@@ -1,0 +1,52 @@
+// Fig. 1 — motivation: per-epoch runtime breakdown of *baseline* TGAT
+// (original sequential finder, uncached RAM feature slicing) as the
+// number of neighbors per layer grows, on Wikipedia- and Reddit-like
+// data. Prep. = neighbor finding + feature slicing (+ transfers);
+// Prop. = forward/backward propagation.
+//
+// Paper claim: mini-batch generation dominates and grows with fan-out.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace taser;
+
+int main() {
+  std::printf("== Fig. 1: TGAT runtime breakdown vs neighbors/layer (baseline) ==\n");
+  std::printf("(wall+modeled seconds per capped epoch; Prep = NF+FS, Prop = PP)\n\n");
+
+  const std::vector<std::int64_t> neighbor_counts = {5, 10, 15, 20};
+  bool prep_dominates_at_max = true;
+  bool prep_grows = true;
+
+  auto presets = bench::runtime_presets();
+  for (std::size_t d : {std::size_t{0}, std::size_t{1}}) {  // wikipedia, reddit
+    graph::Dataset data = generate_synthetic(presets[d]);
+    util::Table table({"neighbors/layer", "Prep. (s)", "Prop. (s)", "Prep. %"});
+    double prev_prep = 0;
+    for (std::int64_t n : neighbor_counts) {
+      auto cfg = bench::reduced_trainer_config(core::BackboneKind::kTgat);
+      cfg.finder = core::FinderKind::kOrig;  // the original sequential finder
+      cfg.n_neighbors = n;
+      cfg.batch_size = 192;
+      cfg.hidden_dim = 48;
+      cfg.max_iters_per_epoch = 5;
+      core::Trainer trainer(data, cfg);
+      const auto s = trainer.train_epoch();
+      const double prep = s.nf() + s.fs();
+      const double prop = s.pp();
+      table.add_row({std::to_string(n), util::Table::fmt(prep, 3),
+                     util::Table::fmt(prop, 3),
+                     util::Table::fmt(100 * prep / (prep + prop), 1)});
+      if (n == neighbor_counts.back() && prep < prop) prep_dominates_at_max = false;
+      if (prep < prev_prep * 0.8) prep_grows = false;
+      prev_prep = prep;
+    }
+    std::printf("%s:\n", data.name.c_str());
+    table.print();
+    std::printf("\n");
+  }
+  bench::print_shape("mini-batch generation grows with fan-out and dominates epoch time",
+                     prep_dominates_at_max && prep_grows);
+  return 0;
+}

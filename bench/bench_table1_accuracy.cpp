@@ -1,0 +1,83 @@
+// Table I — accuracy (MRR %) of Baseline / +Ada.Mini-Batch /
+// +Ada.Neighbor / TASER for both backbones on the five datasets.
+//
+// Reduced configuration (see EXPERIMENTS.md): ~2.5-4k-edge synthetic
+// stand-ins, hidden 32, n=5, m=15, single seed, short training — the
+// paper uses full datasets, hidden 100, n=10, m=25, 5 seeds, 200 epochs.
+// The claim under test is the *ordering*: each adaptive component helps,
+// and TASER (both) is at or near the top.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace taser;
+
+int main() {
+  const int mixer_epochs = static_cast<int>(12 * bench::bench_scale());
+  const int tgat_epochs = static_cast<int>(8 * bench::bench_scale());
+  std::printf("== Table I: MRR (%%) of TASER and variants (reduced config, "
+              "%d/%d epochs, 1 seed) ==\n\n", tgat_epochs, mixer_epochs);
+
+  struct Variant {
+    const char* name;
+    bool ada_batch, ada_neighbor;
+  };
+  const Variant variants[] = {{"Baseline", false, false},
+                              {"w/ Ada. Mini-Batch", true, false},
+                              {"w/ Ada. Neighbor", false, true},
+                              {"TASER", true, true}};
+
+  int taser_wins = 0, cells = 0;
+  double improvement_sum = 0;
+
+  for (auto backbone : {core::BackboneKind::kTgat, core::BackboneKind::kGraphMixer}) {
+    std::printf("--- backbone: %s ---\n", core::to_string(backbone));
+    util::Table table({"variant", "wikipedia", "reddit", "flights", "movielens", "gdelt"});
+    std::vector<std::vector<double>> mrr(4);
+    auto presets = bench::training_presets();
+    // The 2-hop TGAT fan-out is ~6x the GraphMixer cost per edge; its
+    // column uses 0.6x-edge datasets to fit the bench budget
+    // (EXPERIMENTS.md records the reduction).
+    if (backbone == core::BackboneKind::kTgat)
+      for (auto& p : presets)
+        p.num_edges = static_cast<std::int64_t>(static_cast<double>(p.num_edges) * 0.6);
+    for (auto& v : {0, 1, 2, 3}) {
+      std::vector<std::string> row = {variants[v].name};
+      for (auto& preset : presets) {
+        graph::Dataset data = generate_synthetic(preset);
+        auto cfg = bench::reduced_trainer_config(backbone);
+        cfg.ada_batch = variants[v].ada_batch;
+        cfg.ada_neighbor = variants[v].ada_neighbor;
+        int epochs = mixer_epochs;
+        if (backbone == core::BackboneKind::kTgat) {
+          cfg.batch_size = 96;
+          epochs = tgat_epochs;
+        }
+        const double m = bench::train_and_eval(data, cfg, epochs);
+        mrr[static_cast<std::size_t>(v)].push_back(m);
+        row.push_back(util::Table::fmt(100 * m, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    // Improvement row (TASER - Baseline), as in the paper.
+    std::vector<std::string> impr = {"(Improvement)"};
+    for (std::size_t d = 0; d < mrr[0].size(); ++d) {
+      const double delta = 100 * (mrr[3][d] - mrr[0][d]);
+      impr.push_back((delta >= 0 ? "+" : "") + util::Table::fmt(delta, 2));
+      improvement_sum += delta;
+      ++cells;
+      const double best_single = std::max(mrr[1][d], mrr[2][d]);
+      if (mrr[3][d] >= std::max(mrr[0][d], best_single) - 0.02) ++taser_wins;
+    }
+    table.add_row(std::move(impr));
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf("mean TASER improvement over baseline: %+.2f MRR points "
+              "(paper: +2.3 on real data)\n\n", improvement_sum / cells);
+  bench::print_shape("TASER >= baseline and >= each single variant (±2pp) on most cells",
+                     taser_wins >= cells * 7 / 10);
+  bench::print_shape("TASER improves on baseline on average", improvement_sum > 0);
+  return 0;
+}

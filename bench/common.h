@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared helpers for the per-table / per-figure bench binaries.
+//
+// Every bench prints (a) the paper-shaped table with *measured wall* and
+// *modeled device* time clearly separated where relevant, and (b) a
+// final "paper-shape:" line stating whether the qualitative claim the
+// paper makes for that table/figure held in this run. Reduced
+// configurations (edge counts, dims, epochs) are all centralised here
+// and recorded in EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "graph/synthetic.h"
+#include "util/table.h"
+
+namespace taser::bench {
+
+/// Global bench scale from $TASER_BENCH_SCALE (default 1.0). Values > 1
+/// grow datasets/epochs towards the paper's configuration; < 1 shrinks
+/// for smoke runs.
+double bench_scale();
+
+/// Reduced-configuration presets of the five paper datasets for
+/// *training* benches (edge counts ~2-4k at scale 1).
+std::vector<graph::SyntheticConfig> training_presets();
+
+/// Larger edge-count presets for *sampling-only* benches (Fig. 3a).
+std::vector<graph::SyntheticConfig> sampling_presets();
+
+/// Training presets with wider (64-dim) features so feature-slicing
+/// volume is meaningful — used by the runtime benches (Fig. 1, Table III).
+std::vector<graph::SyntheticConfig> runtime_presets();
+
+/// The reduced trainer configuration shared by all accuracy benches:
+/// hidden/time dims 32/16, n=5, m=15, lr 5e-3 (paper: 100/100, n=10,
+/// m=25, lr 1e-4 — see EXPERIMENTS.md).
+core::TrainerConfig reduced_trainer_config(core::BackboneKind backbone);
+
+/// Trains `epochs` epochs and returns the final test MRR.
+double train_and_eval(const graph::Dataset& data, core::TrainerConfig cfg, int epochs);
+
+/// Prints the standard "paper-shape" verdict line.
+void print_shape(const std::string& claim, bool held);
+
+}  // namespace taser::bench

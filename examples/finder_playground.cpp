@@ -1,0 +1,61 @@
+// Side-by-side tour of the three neighbor-finder generations on one
+// graph: agreement under the most-recent policy, the TGL finder's
+// chronological-order restriction firing on a shuffled batch, and the
+// simulated-device time ledger of the GPU finder.
+//
+//   ./example_finder_playground
+#include <cstdio>
+
+#include "graph/synthetic.h"
+#include "sampling/gpu_finder.h"
+#include "sampling/orig_finder.h"
+#include "sampling/tgl_finder.h"
+
+using namespace taser;
+using namespace taser::sampling;
+
+int main() {
+  graph::SyntheticConfig cfg = graph::wikipedia_like(0.05, 0);
+  graph::Dataset data = generate_synthetic(cfg);
+  graph::TCSR graph(data);
+  gpusim::Device device;
+
+  OrigNeighborFinder orig(graph, 1, &device);
+  TglNeighborFinder tgl(graph);
+  GpuNeighborFinder gpu(graph, device);
+
+  // A chronological batch of roots taken from late edges.
+  graph::TargetBatch batch;
+  for (std::int64_t i = data.num_edges() - 200; i < data.num_edges() - 100; ++i)
+    batch.push(data.src[i], data.ts[i]);
+
+  std::printf("sampling 10 most-recent neighbors for %zu targets...\n", batch.size());
+  auto a = orig.sample(batch, 10, FinderPolicy::kMostRecent);
+  auto b = tgl.sample(batch, 10, FinderPolicy::kMostRecent);
+  auto c = gpu.sample(batch, 10, FinderPolicy::kMostRecent);
+  std::printf("orig == tgl: %s, orig == gpu: %s (deterministic policies agree)\n",
+              a.eid == b.eid ? "yes" : "NO", a.eid == c.eid ? "yes" : "NO");
+
+  // Uniform sampling: same counts, different draws.
+  auto u = gpu.sample(batch, 10, FinderPolicy::kUniform);
+  std::printf("uniform draw: first target got %d of its eligible neighbors\n",
+              u.count[0]);
+
+  // The TGL restriction: a batch from the distant past after a late one.
+  graph::TargetBatch early;
+  for (std::int64_t i = 100; i < 110; ++i) early.push(data.src[i], data.ts[i]);
+  try {
+    tgl.begin_batch(early.times.back());
+    std::printf("TGL accepted an out-of-order batch (unexpected!)\n");
+  } catch (const std::exception& e) {
+    std::printf("\nTGL finder rejected the shuffled batch, as the paper describes:\n  %s\n",
+                e.what());
+  }
+  std::printf("\nGPU finder handles the same batch fine (arbitrary order):\n");
+  auto g = gpu.sample(early, 5, FinderPolicy::kUniform);
+  std::printf("  sampled %d neighbors for the first early target\n", g.count[0]);
+
+  std::printf("\nmodeled device time so far: %.6f s (kernels + interpreter model)\n",
+              device.elapsed().seconds);
+  return 0;
+}

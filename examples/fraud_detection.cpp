@@ -1,0 +1,70 @@
+// Fraud-detection scenario (one of the paper's motivating applications):
+// a transaction graph where a slice of interactions is random noise
+// (fraudulent / mislabeled events) and some accounts change behaviour
+// mid-stream (account takeover ≈ the paper's "relocation").
+//
+// Demonstrates the *mechanism* behind TASER's accuracy gains: after
+// training, the adaptive mini-batch selector has pushed the importance
+// scores of noisy positives towards the γ floor while clean interactions
+// keep high scores — the model stops supervising itself on fraud.
+//
+//   ./example_fraud_detection
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "graph/synthetic.h"
+
+using namespace taser;
+
+int main() {
+  graph::SyntheticConfig cfg;
+  cfg.name = "transactions";
+  cfg.num_src = 300;
+  cfg.num_dst = 120;
+  cfg.num_edges = 6000;
+  cfg.edge_feat_dim = 16;
+  cfg.noise_edge_prob = 0.2;   // fraudulent interactions
+  cfg.relocation_prob = 0.4;   // account takeovers
+  cfg.seed = 7;
+  graph::SyntheticMeta meta;
+  graph::Dataset data = generate_synthetic(cfg, &meta);
+
+  core::TrainerConfig tc;
+  tc.backbone = core::BackboneKind::kGraphMixer;
+  tc.ada_batch = true;  // the component under study
+  tc.batch_size = 128;
+  tc.n_neighbors = 5;
+  tc.hidden_dim = 32;
+  tc.time_dim = 16;
+  tc.lr = 5e-3f;
+  tc.max_eval_edges = 200;
+  core::Trainer trainer(data, tc);
+
+  std::printf("training GraphMixer + adaptive mini-batch selection on %lld events "
+              "(%.0f%% fraud)...\n",
+              static_cast<long long>(data.num_edges()), cfg.noise_edge_prob * 100);
+  for (int e = 0; e < 10; ++e) trainer.train_epoch();
+
+  // Compare learned importance scores of clean vs fraudulent positives.
+  const auto* sel = trainer.selector();
+  double clean_sum = 0, fraud_sum = 0;
+  std::int64_t clean_n = 0, fraud_n = 0;
+  for (std::int64_t e = 0; e < data.num_train(); ++e) {
+    const bool fraud = meta.edge_kind[static_cast<std::size_t>(e)] ==
+                       graph::SyntheticMeta::kNoise;
+    (fraud ? fraud_sum : clean_sum) += sel->score(e);
+    ++(fraud ? fraud_n : clean_n);
+  }
+  const double clean_avg = clean_sum / static_cast<double>(clean_n);
+  const double fraud_avg = fraud_sum / static_cast<double>(fraud_n);
+  std::printf("\nmean importance score P(e):\n");
+  std::printf("  clean interactions     : %.3f  (%lld edges)\n", clean_avg,
+              static_cast<long long>(clean_n));
+  std::printf("  fraudulent interactions: %.3f  (%lld edges, γ floor = %.2f)\n",
+              fraud_avg, static_cast<long long>(fraud_n),
+              static_cast<double>(sel->gamma()));
+  std::printf("\n=> the selector supervises the model %.1fx more often on clean "
+              "events.\n", clean_avg / fraud_avg);
+  std::printf("test MRR: %.4f\n", trainer.evaluate_test_mrr());
+  return 0;
+}

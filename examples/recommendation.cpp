@@ -1,0 +1,116 @@
+// Content-recommendation scenario (MovieLens-like bipartite user–item
+// graph): train TASER on GraphMixer, then rank candidate items for a few
+// users at the end of the timeline — the inference-side use of the
+// dynamic embeddings the paper targets.
+//
+//   ./example_recommendation
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/trainer.h"
+#include "graph/synthetic.h"
+
+using namespace taser;
+
+int main() {
+  graph::SyntheticConfig cfg = graph::movielens_like(/*scale=*/0.004,
+                                                     /*feat_dim_override=*/24);
+  cfg.num_dst = 60;  // keep the catalogue small enough to rank exhaustively
+  graph::Dataset data = generate_synthetic(cfg);
+
+  core::TrainerConfig tc;
+  tc.backbone = core::BackboneKind::kGraphMixer;
+  tc.ada_batch = true;
+  tc.ada_neighbor = true;
+  tc.decoder = core::DecoderKind::kLinear;
+  tc.batch_size = 128;
+  tc.n_neighbors = 5;
+  tc.m_candidates = 15;
+  tc.hidden_dim = 32;
+  tc.time_dim = 16;
+  tc.sampler_dim = 16;
+  tc.decoder_hidden = 16;
+  tc.lr = 5e-3f;
+  tc.sampler_lr = 5e-3f;
+  tc.max_eval_edges = 150;
+  core::Trainer trainer(data, tc);
+
+  std::printf("training TASER/GraphMixer on %s (%lld interactions)...\n",
+              data.name.c_str(), static_cast<long long>(data.num_edges()));
+  for (int e = 0; e < 8; ++e) trainer.train_epoch();
+  std::printf("test MRR: %.4f\n\n", trainer.evaluate_test_mrr());
+
+  // Rank the full catalogue for three active users at the last timestamp.
+  // Reuse the MRR machinery: treat each candidate item as a "negative" and
+  // read off the pairwise scores via the public evaluate path — here we
+  // instead surface the underlying embed+predict API directly.
+  const graph::Time now = data.ts.back() + 1.0;
+  std::vector<graph::NodeId> users = {data.src[data.num_edges() - 1],
+                                      data.src[data.num_edges() - 2],
+                                      data.src[data.num_edges() - 3]};
+  graph::TCSR tcsr(data);
+  for (graph::NodeId user : users) {
+    // Roots: [user, item_0 .. item_{C-1}] all at time `now`.
+    std::vector<std::pair<float, graph::NodeId>> scored;
+    graph::TargetBatch roots;
+    roots.push(user, now);
+    for (graph::NodeId item = data.dst_begin; item < data.dst_end; ++item)
+      roots.push(item, now);
+    // Score via the trainer's evaluation helper: MRR machinery scores
+    // (user, item) pairs; we re-rank by reusing evaluate on a single edge
+    // is awkward, so use the model through its public pieces:
+    // the simplest supported path is evaluate_mrr-style scoring inside
+    // the trainer; for the example we approximate preference by the
+    // predictor over embeddings computed at `now`.
+    // (embed() is private; the public API for custom inference is the
+    //  Trainer's evaluate_* plus the model/builder primitives.)
+    // Public-primitive path: build inputs with a fresh builder.
+    core::BuilderConfig bc;
+    bc.n = tc.n_neighbors;
+    bc.m = tc.m_candidates;
+    bc.policy = sampling::FinderPolicy::kMostRecent;
+    bc.time_scale = (data.ts.back() - data.ts.front()) /
+                    std::max(1.0, 2.0 * static_cast<double>(data.num_edges()) /
+                                      static_cast<double>(data.num_nodes));
+    sampling::GpuNeighborFinder finder(tcsr, trainer.device());
+    cache::PlainFeatureSource features(data, trainer.device());
+    core::BatchBuilder builder(data, finder, features, trainer.device(),
+                               trainer.sampler(), bc);
+    util::Rng rng(1);
+    util::PhaseAccumulator phases;
+    auto built = builder.build(roots, trainer.model().num_hops(), phases, rng);
+    tensor::Tensor h = trainer.model().compute_embeddings(built.inputs);
+
+    const std::int64_t catalogue = data.dst_end - data.dst_begin;
+    std::vector<std::int64_t> u_idx(static_cast<std::size_t>(catalogue), 0);
+    std::vector<std::int64_t> i_idx(static_cast<std::size_t>(catalogue));
+    for (std::int64_t c = 0; c < catalogue; ++c) i_idx[static_cast<std::size_t>(c)] = 1 + c;
+    tensor::Tensor hu = tensor::index_select0(h, u_idx);
+    tensor::Tensor hi = tensor::index_select0(h, i_idx);
+    // Score with the trainer's predictor via evaluate-style pairing is
+    // internal; the example keeps its own tiny head-free scorer: cosine
+    // similarity of embeddings.
+    const float* a = hu.data();
+    const float* b = hi.data();
+    const std::int64_t d = h.size(1);
+    for (std::int64_t c = 0; c < catalogue; ++c) {
+      float dot = 0, na = 0, nb = 0;
+      for (std::int64_t k = 0; k < d; ++k) {
+        dot += a[c * d + k] * b[c * d + k];
+        na += a[c * d + k] * a[c * d + k];
+        nb += b[c * d + k] * b[c * d + k];
+      }
+      scored.emplace_back(dot / (std::sqrt(na * nb) + 1e-9f),
+                          static_cast<graph::NodeId>(data.dst_begin + c));
+    }
+    std::partial_sort(scored.begin(), scored.begin() + 5, scored.end(),
+                      [](auto& x, auto& y) { return x.first > y.first; });
+    std::printf("top-5 recommendations for user %d:", user);
+    for (int k = 0; k < 5; ++k)
+      std::printf("  item %d (%.3f)", scored[static_cast<std::size_t>(k)].second,
+                  scored[static_cast<std::size_t>(k)].first);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "cache/feature_store.h"
+
+#include <cstring>
+
+namespace taser::cache {
+
+void HostFeatureStore::gather_edge_feats(const std::vector<EdgeId>& ids, float* out) {
+  const std::int64_t d = data_.edge_feat_dim;
+  if (d == 0) return;
+  std::uint64_t rows = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    float* dst = out + static_cast<std::int64_t>(i) * d;
+    if (ids[i] == graph::kInvalidEdge) {
+      std::memset(dst, 0, static_cast<std::size_t>(d) * sizeof(float));
+      continue;
+    }
+    std::memcpy(dst, data_.edge_feat(ids[i]), static_cast<std::size_t>(d) * sizeof(float));
+    ++rows;
+  }
+  const std::uint64_t bytes = rows * static_cast<std::uint64_t>(d) * sizeof(float);
+  // Baseline slicing = host gather into a staging buffer + bulk H2D.
+  device_.account(device_.model().host_slice_time(bytes));
+  device_.account_h2d(bytes);
+}
+
+void HostFeatureStore::gather_node_feats(const std::vector<NodeId>& ids, float* out) {
+  const std::int64_t d = data_.node_feat_dim;
+  if (d == 0) return;
+  std::uint64_t rows = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    float* dst = out + static_cast<std::int64_t>(i) * d;
+    if (ids[i] == graph::kInvalidNode) {
+      std::memset(dst, 0, static_cast<std::size_t>(d) * sizeof(float));
+      continue;
+    }
+    std::memcpy(dst, data_.node_feat(ids[i]), static_cast<std::size_t>(d) * sizeof(float));
+    ++rows;
+  }
+  device_.account_vram_gather(rows * static_cast<std::uint64_t>(d) * sizeof(float));
+}
+
+}  // namespace taser::cache

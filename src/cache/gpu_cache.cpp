@@ -1,0 +1,159 @@
+#include "cache/gpu_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace taser::cache {
+
+std::vector<EdgeId> top_k_edges(const std::vector<std::uint32_t>& counts, std::int64_t k) {
+  const auto e = static_cast<std::int64_t>(counts.size());
+  k = std::min(k, e);
+  std::vector<EdgeId> ids(static_cast<std::size_t>(e));
+  std::iota(ids.begin(), ids.end(), 0);
+  if (k <= 0) return {};
+  auto cmp = [&](EdgeId a, EdgeId b) {
+    const auto ca = counts[static_cast<std::size_t>(a)];
+    const auto cb = counts[static_cast<std::size_t>(b)];
+    return ca != cb ? ca > cb : a < b;
+  };
+  std::nth_element(ids.begin(), ids.begin() + (k - 1), ids.end(), cmp);
+  ids.resize(static_cast<std::size_t>(k));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+GpuFeatureCache::GpuFeatureCache(const graph::Dataset& data, gpusim::Device& device,
+                                 double cache_ratio, double epsilon, std::uint64_t seed)
+    : data_(data), device_(device), epsilon_(epsilon) {
+  TASER_CHECK(cache_ratio >= 0.0 && cache_ratio <= 1.0);
+  TASER_CHECK_MSG(data_.edge_feat_dim > 0, "GpuFeatureCache on dataset without edge features");
+  const std::int64_t e = data_.num_edges();
+  capacity_ = static_cast<std::int64_t>(static_cast<double>(e) * cache_ratio);
+  slot_of_.assign(static_cast<std::size_t>(e), -1);
+  freq_.assign(static_cast<std::size_t>(e), 0);
+  vram_.resize(static_cast<std::size_t>(capacity_ * data_.edge_feat_dim));
+
+  // Algorithm 3 line 2: initial cache content is random.
+  std::vector<EdgeId> ids(static_cast<std::size_t>(e));
+  std::iota(ids.begin(), ids.end(), 0);
+  util::Rng rng(seed);
+  rng.shuffle(ids);
+  ids.resize(static_cast<std::size_t>(capacity_));
+  std::sort(ids.begin(), ids.end());
+  install(ids);
+  // The initial fill is a bulk H2D copy.
+  device_.account_h2d(static_cast<std::uint64_t>(capacity_) *
+                      static_cast<std::uint64_t>(data_.edge_feat_dim) * sizeof(float));
+}
+
+void GpuFeatureCache::install(const std::vector<EdgeId>& edges) {
+  TASER_CHECK(static_cast<std::int64_t>(edges.size()) <= capacity_);
+  std::fill(slot_of_.begin(), slot_of_.end(), -1);
+  slot_edge_ = edges;
+  const std::int64_t d = data_.edge_feat_dim;
+  for (std::size_t s = 0; s < edges.size(); ++s) {
+    slot_of_[static_cast<std::size_t>(edges[s])] = static_cast<std::int32_t>(s);
+    std::memcpy(vram_.data() + static_cast<std::int64_t>(s) * d, data_.edge_feat(edges[s]),
+                static_cast<std::size_t>(d) * sizeof(float));
+  }
+}
+
+void GpuFeatureCache::gather_edge_feats(const std::vector<EdgeId>& ids, float* out) {
+  const std::int64_t d = data_.edge_feat_dim;
+  std::uint64_t hit_rows = 0, miss_rows = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    float* dst = out + static_cast<std::int64_t>(i) * d;
+    const EdgeId e = ids[i];
+    if (e == graph::kInvalidEdge) {
+      std::memset(dst, 0, static_cast<std::size_t>(d) * sizeof(float));
+      continue;
+    }
+    ++freq_[static_cast<std::size_t>(e)];
+    const std::int32_t slot = slot_of_[static_cast<std::size_t>(e)];
+    if (slot >= 0) {
+      std::memcpy(dst, vram_.data() + static_cast<std::int64_t>(slot) * d,
+                  static_cast<std::size_t>(d) * sizeof(float));
+      ++hit_rows;
+    } else {
+      // Zero-copy read over PCIe (paper: "we directly slice the feature
+      // through the unified virtual memory").
+      std::memcpy(dst, data_.edge_feat(e), static_cast<std::size_t>(d) * sizeof(float));
+      ++miss_rows;
+    }
+  }
+  current_.hits += hit_rows;
+  current_.misses += miss_rows;
+  const auto row_bytes = static_cast<std::uint64_t>(d) * sizeof(float);
+  if (hit_rows > 0) device_.account_vram_gather(hit_rows * row_bytes);
+  if (miss_rows > 0) device_.account_zero_copy(miss_rows * row_bytes);
+}
+
+void GpuFeatureCache::end_epoch() {
+  // Algorithm 3 lines 8-10.
+  const auto topk = top_k_edges(freq_, capacity_);
+  std::int64_t overlap = 0;
+  for (EdgeId e : topk)
+    if (slot_of_[static_cast<std::size_t>(e)] >= 0) ++overlap;
+  if (static_cast<double>(overlap) <
+      epsilon_ * static_cast<double>(std::max<std::int64_t>(capacity_, 1))) {
+    install(topk);
+    ++replacements_;
+    current_.replaced = true;
+    device_.account_h2d(static_cast<std::uint64_t>(topk.size()) *
+                        static_cast<std::uint64_t>(data_.edge_feat_dim) * sizeof(float));
+  }
+  history_.push_back(current_);
+  current_ = {};
+  if (record_counts_) epoch_counts_.push_back(freq_);
+  std::fill(freq_.begin(), freq_.end(), 0);
+}
+
+OracleCache::OracleCache(const graph::Dataset& data, gpusim::Device& device,
+                         double cache_ratio)
+    : data_(data), device_(device) {
+  const std::int64_t e = data_.num_edges();
+  capacity_ = static_cast<std::int64_t>(static_cast<double>(e) * cache_ratio);
+  cached_.assign(static_cast<std::size_t>(e), 0);
+}
+
+void OracleCache::prepare_epoch(const std::vector<std::uint32_t>& upcoming_counts) {
+  TASER_CHECK(upcoming_counts.size() == cached_.size());
+  std::fill(cached_.begin(), cached_.end(), 0);
+  for (EdgeId e : top_k_edges(upcoming_counts, capacity_))
+    cached_[static_cast<std::size_t>(e)] = 1;
+}
+
+void OracleCache::gather_edge_feats(const std::vector<EdgeId>& ids, float* out) {
+  const std::int64_t d = data_.edge_feat_dim;
+  std::uint64_t hit_rows = 0, miss_rows = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    float* dst = out + static_cast<std::int64_t>(i) * d;
+    const EdgeId e = ids[i];
+    if (e == graph::kInvalidEdge) {
+      std::memset(dst, 0, static_cast<std::size_t>(d) * sizeof(float));
+      continue;
+    }
+    std::memcpy(dst, data_.edge_feat(e), static_cast<std::size_t>(d) * sizeof(float));
+    if (cached_[static_cast<std::size_t>(e)]) {
+      ++hit_rows;
+    } else {
+      ++miss_rows;
+    }
+  }
+  current_.hits += hit_rows;
+  current_.misses += miss_rows;
+  const auto row_bytes = static_cast<std::uint64_t>(d) * sizeof(float);
+  if (hit_rows > 0) device_.account_vram_gather(hit_rows * row_bytes);
+  if (miss_rows > 0) device_.account_zero_copy(miss_rows * row_bytes);
+}
+
+void OracleCache::end_epoch() {
+  history_.push_back(current_);
+  current_ = {};
+}
+
+}  // namespace taser::cache

@@ -1,0 +1,87 @@
+#include "core/adaptive_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace taser::core {
+
+namespace tt = taser::tensor;
+
+AdaptiveSampler::AdaptiveSampler(EncoderConfig enc_config, DecoderKind decoder_kind,
+                                 std::int64_t decoder_hidden, util::Rng& rng)
+    : encoder_(enc_config, rng),
+      decoder_(decoder_kind, enc_config.m, enc_config.neighbor_width(),
+               enc_config.target_width(), decoder_hidden, rng) {
+  register_module("encoder", encoder_);
+  register_module("decoder", decoder_);
+}
+
+SelectionResult AdaptiveSampler::select(const CandidateSet& cands, std::int64_t n,
+                                        util::Rng& rng) {
+  const std::int64_t T = cands.targets;
+  const std::int64_t m = cands.m;
+
+  Tensor z = encoder_.encode_candidates(cands);
+  Tensor z_v = encoder_.encode_targets(cands);
+  Tensor mask = Tensor::from_vector({T, m}, std::vector<float>(cands.mask));
+  Tensor probs = decoder_.forward(z, z_v, mask);  // [T, m]
+
+  SelectionResult result;
+  result.probs = probs;
+  result.selected.resize(T, n);
+  result.selected_mask.assign(static_cast<std::size_t>(T * n), 0.f);
+  result.selected_slot.assign(static_cast<std::size_t>(T * n), 0);
+
+  const float* p = probs.data();
+  std::vector<std::pair<float, std::int64_t>> keys;
+  keys.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < T; ++i) {
+    const std::int64_t avail = cands.raw.count[static_cast<std::size_t>(i)];
+    const std::int64_t take = std::min<std::int64_t>(n, avail);
+    if (take == 0) continue;
+
+    keys.clear();
+    for (std::int64_t j = 0; j < avail; ++j) {
+      const float pj = std::max(p[i * m + j], 1e-12f);
+      float key;
+      if (training()) {
+        // Gumbel top-k: key = log p + G. Top-n keys ~ PL sampling w/o repl.
+        const float u = std::max(rng.next_float(), 1e-12f);
+        key = std::log(pj) - std::log(-std::log(u));
+      } else {
+        key = pj;  // eval: deterministic top-n
+      }
+      keys.emplace_back(key, j);
+    }
+    std::partial_sort(keys.begin(), keys.begin() + take, keys.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    result.selected.count[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(take);
+    for (std::int64_t k = 0; k < take; ++k) {
+      const std::int64_t j = keys[static_cast<std::size_t>(k)].second;
+      const auto dst = static_cast<std::size_t>(i * n + k);
+      const auto src = static_cast<std::size_t>(cands.raw.slot(i, j));
+      result.selected.nbr[dst] = cands.raw.nbr[src];
+      result.selected.ts[dst] = cands.raw.ts[src];
+      result.selected.eid[dst] = cands.raw.eid[src];
+      result.selected_mask[dst] = 1.f;
+      result.selected_slot[dst] = j;
+    }
+  }
+
+  // log q of the chosen slots, with gradient to θ: gather rows of the
+  // flattened [T*m, 1] log-prob matrix at (i*m + slot).
+  Tensor log_probs = tt::log_t(probs);
+  Tensor flat = tt::reshape(log_probs, {T * m, 1});
+  std::vector<std::int64_t> flat_idx(static_cast<std::size_t>(T * n));
+  for (std::int64_t i = 0; i < T; ++i)
+    for (std::int64_t k = 0; k < n; ++k)
+      flat_idx[static_cast<std::size_t>(i * n + k)] =
+          i * m + result.selected_slot[static_cast<std::size_t>(i * n + k)];
+  result.log_probs_selected = tt::reshape(tt::index_select0(flat, flat_idx), {T, n});
+  return result;
+}
+
+}  // namespace taser::core

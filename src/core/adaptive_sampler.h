@@ -1,0 +1,42 @@
+#pragma once
+
+#include <memory>
+
+#include "core/decoder.h"
+#include "core/encoder.h"
+
+namespace taser::core {
+
+/// Result of one adaptive selection over a candidate hop: the n chosen
+/// neighbors (dense, padded) plus the autograd handles needed to build
+/// the sample loss afterwards.
+struct SelectionResult {
+  SampledNeighbors selected;  ///< [T x n]
+  Tensor probs;               ///< [T, m] full policy q(·|v) (grad → θ)
+  Tensor log_probs_selected;  ///< [T, n] log q of chosen slots (grad → θ)
+  std::vector<float> selected_mask;        ///< [T*n] 1 = real pick
+  std::vector<std::int64_t> selected_slot; ///< [T*n] candidate slot per pick (or 0 pad)
+};
+
+/// Temporal adaptive neighbor sampling (paper §III-B): encoder → decoder
+/// → sample-n-of-m without replacement. Sampling uses Gumbel top-k on
+/// log q, the standard reparameterisation of Plackett–Luce sampling
+/// without replacement; in eval mode it degrades to deterministic top-k
+/// (exploit-only).
+class AdaptiveSampler : public nn::Module {
+ public:
+  AdaptiveSampler(EncoderConfig enc_config, DecoderKind decoder_kind,
+                  std::int64_t decoder_hidden, util::Rng& rng);
+
+  /// Picks n supporting neighbors from each target's m candidates.
+  SelectionResult select(const CandidateSet& cands, std::int64_t n, util::Rng& rng);
+
+  const NeighborEncoder& encoder() const { return encoder_; }
+  const NeighborDecoder& decoder() const { return decoder_; }
+
+ private:
+  NeighborEncoder encoder_;
+  NeighborDecoder decoder_;
+};
+
+}  // namespace taser::core

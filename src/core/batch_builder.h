@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+
+#include "cache/feature_source.h"
+#include "core/adaptive_sampler.h"
+#include "models/batch_inputs.h"
+#include "util/timer.h"
+
+namespace taser::core {
+
+/// Phase keys used by the runtime breakdown (paper Table III). Wall time
+/// is host-measured; ".sim" entries are simulated device time accrued in
+/// the same phase (kernels + transfers). Benches report the sum.
+namespace phase {
+inline constexpr const char* kNF = "NF";        // neighbor finding (wall)
+inline constexpr const char* kNFSim = "NF.sim"; // finder kernels / index H2D
+inline constexpr const char* kAS = "AS";        // adaptive sampling (wall)
+inline constexpr const char* kASSim = "AS.sim"; // modeled sampler device compute
+inline constexpr const char* kFS = "FS";        // feature slicing (wall)
+inline constexpr const char* kFSSim = "FS.sim"; // transfers / gathers
+inline constexpr const char* kPP = "PP";        // propagation (wall)
+inline constexpr const char* kPPSim = "PP.sim"; // modeled backbone device compute
+}  // namespace phase
+
+struct BuilderConfig {
+  std::int64_t n = 10;  ///< supporting neighbors per target
+  std::int64_t m = 25;  ///< pre-sampling candidate budget (adaptive mode)
+  sampling::FinderPolicy policy = sampling::FinderPolicy::kUniform;
+  /// Divisor applied to raw ∆t before it reaches any time encoding, so a
+  /// "typical" recency lands at O(1) regardless of the dataset's raw time
+  /// unit (the cos-based encodings are frequency-banded around 1).
+  /// Trainer sets this to the mean per-node inter-event gap.
+  double time_scale = 1.0;
+};
+
+/// Assembles model-ready mini-batches: bi-level sampling (finder budget m
+/// → adaptive budget n, §III), feature slicing through the configured
+/// FeatureSource, and the encoder-side auxiliary signals (∆t, frequency,
+/// identity). When no AdaptiveSampler is supplied, the finder samples n
+/// directly (the baseline path).
+class BatchBuilder {
+ public:
+  BatchBuilder(const graph::Dataset& data, sampling::NeighborFinder& finder,
+               cache::FeatureSource& features, gpusim::Device& device,
+               AdaptiveSampler* sampler, BuilderConfig config);
+
+  struct Built {
+    models::BatchInputs inputs;
+    /// Per-hop selection (empty when non-adaptive); selections[h] chose
+    /// the neighbors in inputs.hops[h].
+    std::vector<SelectionResult> selections;
+  };
+
+  Built build(const graph::TargetBatch& roots, int num_hops,
+              util::PhaseAccumulator& phases, util::Rng& rng);
+
+  const BuilderConfig& config() const { return config_; }
+  bool adaptive() const { return sampler_ != nullptr; }
+
+ private:
+  /// Sorts each target's valid candidates by timestamp descending (the
+  /// recency order Eq. 13's identity encoding is defined on).
+  static void sort_by_recency(sampling::SampledNeighbors& s);
+
+  CandidateSet make_candidate_set(const graph::TargetBatch& frontier,
+                                  sampling::SampledNeighbors raw,
+                                  util::PhaseAccumulator& phases);
+
+  models::HopInputs hop_inputs_from(const CandidateSet& cands,
+                                    const sampling::SampledNeighbors& chosen,
+                                    const std::vector<std::int64_t>* slots) const;
+
+  const graph::Dataset& data_;
+  sampling::NeighborFinder& finder_;
+  cache::FeatureSource& features_;
+  gpusim::Device& device_;
+  AdaptiveSampler* sampler_;
+  BuilderConfig config_;
+};
+
+}  // namespace taser::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "sampling/neighbor_finder.h"
+#include "tensor/tensor.h"
+
+namespace taser::core {
+
+using sampling::SampledNeighbors;
+using tensor::Tensor;
+
+/// The pre-sampled candidate neighborhood of one hop (budget m per
+/// target), with everything the neighbor encoder consumes (paper Eq.
+/// 12–15): contextual features, relative timespans, appearance
+/// frequencies and the identity pattern. Candidates are sorted by
+/// recency (timestamp descending) within each target, matching the
+/// sorted-neighbor-list convention of the identity encoding (Eq. 13).
+struct CandidateSet {
+  std::int64_t targets = 0;
+  std::int64_t m = 0;  ///< neighbor-finder budget
+
+  SampledNeighbors raw;  ///< sorted desc by timestamp per target
+
+  // Host-side feature buffers (rows for invalid slots are zero).
+  std::vector<float> node_feats;    ///< [T*m*dv]
+  std::vector<float> edge_feats;    ///< [T*m*de]
+  std::vector<float> delta_t;       ///< [T*m]
+  std::vector<float> freq;          ///< [T*m] appearance count within target's list
+  std::vector<float> identity;      ///< [T*m*m] Eq. 13 pattern
+  std::vector<float> mask;          ///< [T*m]
+  std::vector<float> target_feats;  ///< [T*dv] the target nodes' own features
+
+  std::int64_t node_dim = 0;
+  std::int64_t edge_dim = 0;
+};
+
+}  // namespace taser::core

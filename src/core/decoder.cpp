@@ -1,0 +1,94 @@
+#include "core/decoder.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace taser::core {
+
+namespace tt = taser::tensor;
+
+const char* to_string(DecoderKind kind) {
+  switch (kind) {
+    case DecoderKind::kLinear:
+      return "linear";
+    case DecoderKind::kGat:
+      return "gat";
+    case DecoderKind::kGatV2:
+      return "gatv2";
+    case DecoderKind::kTransformer:
+      return "transformer";
+  }
+  return "?";
+}
+
+NeighborDecoder::NeighborDecoder(DecoderKind kind, std::int64_t m, std::int64_t in_dim,
+                                 std::int64_t target_dim, std::int64_t hidden,
+                                 util::Rng& rng)
+    : kind_(kind),
+      m_(m),
+      hidden_(hidden),
+      trunk_(m, in_dim, rng),
+      proj_u_(in_dim, kind == DecoderKind::kLinear ? 1 : hidden, rng) {
+  register_module("trunk", trunk_);
+  register_module("proj_u", proj_u_);
+  if (kind != DecoderKind::kLinear) {
+    proj_v_ = std::make_unique<nn::Linear>(target_dim, hidden, rng);
+    register_module("proj_v", *proj_v_);
+  }
+  if (kind == DecoderKind::kGat || kind == DecoderKind::kGatV2) {
+    score_u_ = std::make_unique<nn::Linear>(hidden, 1, rng, /*bias=*/false);
+    register_module("score_u", *score_u_);
+  }
+  if (kind == DecoderKind::kGat) {
+    score_v_ = std::make_unique<nn::Linear>(hidden, 1, rng, /*bias=*/false);
+    register_module("score_v", *score_v_);
+  }
+}
+
+Tensor NeighborDecoder::forward(const Tensor& z, const Tensor& z_v,
+                                const Tensor& mask) const {
+  const std::int64_t T = z.size(0);
+  TASER_CHECK_MSG(z.size(1) == m_, "decoder built for m=" << m_ << ", got " << z.size(1));
+
+  // Eq. 16: Mixer trunk over (hidden, neighbor) dims.
+  Tensor zt = trunk_.forward(z);  // [T, m, in_dim]
+
+  Tensor scores;  // [T, m]
+  switch (kind_) {
+    case DecoderKind::kLinear: {
+      // Eq. 17.
+      scores = tt::reshape(proj_u_.forward(zt), {T, m_});
+      break;
+    }
+    case DecoderKind::kGat: {
+      // Eq. 18: LeakyReLU(a_u·W z_u + a_v·W' z_v).
+      Tensor su = tt::reshape(score_u_->forward(proj_u_.forward(zt)), {T, m_});
+      Tensor sv = score_v_->forward(proj_v_->forward(z_v));  // [T, 1]
+      scores = tt::leaky_relu(tt::add(su, sv));
+      break;
+    }
+    case DecoderKind::kGatV2: {
+      // Eq. 19: a·LeakyReLU(W z_u + W' z_v).
+      Tensor hu = proj_u_.forward(zt);                                   // [T, m, h]
+      Tensor hv = tt::reshape(proj_v_->forward(z_v), {T, 1, hidden_});   // [T, 1, h]
+      Tensor h = tt::leaky_relu(tt::add(hu, hv));
+      scores = tt::reshape(score_u_->forward(h), {T, m_});
+      break;
+    }
+    case DecoderKind::kTransformer: {
+      // Eq. 20: (W_t z_v)(W'_t Z)^T / sqrt(m).
+      Tensor q = tt::reshape(proj_v_->forward(z_v), {T, 1, hidden_});
+      Tensor k = proj_u_.forward(zt);  // [T, m, h]
+      scores = tt::mul_scalar(tt::sum_dim(tt::mul(k, q), -1),
+                              1.f / std::sqrt(static_cast<float>(m_)));
+      break;
+    }
+  }
+
+  // Masked softmax: padding slots get probability ~0.
+  Tensor neg_mask = tt::mul_scalar(tt::add_scalar(mask, -1.f), 1e4f);
+  return tt::softmax_lastdim(tt::add(scores, neg_mask));
+}
+
+}  // namespace taser::core

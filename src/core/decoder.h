@@ -1,0 +1,49 @@
+#pragma once
+
+#include "nn/linear.h"
+#include "nn/mixer.h"
+
+namespace taser::core {
+
+using tensor::Tensor;
+
+/// The four predictor heads of the neighbor decoder (paper Eq. 17–20).
+/// §IV-B reports that the best head depends on the backbone (GATv2 for
+/// TGAT, Mixer/linear for GraphMixer) — all four are implemented and the
+/// choice is a config knob, with an ablation bench comparing them.
+enum class DecoderKind { kLinear, kGat, kGatV2, kTransformer };
+
+const char* to_string(DecoderKind kind);
+
+/// TASER's neighbor decoder (paper §III-B, Eq. 16–20): a 1-layer
+/// MLP-Mixer trunk transforms the encoded neighborhood jointly over the
+/// hidden and the neighbor dimension (capturing neighborhood
+/// correlations), then one of four heads scores each candidate; a masked
+/// softmax yields the per-neighborhood sampling distribution q(u|v).
+class NeighborDecoder : public nn::Module {
+ public:
+  /// `m` — candidate count (mixer token dim), `in_dim` — encoder
+  /// neighbor width, `target_dim` — encoder target width, `hidden` —
+  /// head projection width.
+  NeighborDecoder(DecoderKind kind, std::int64_t m, std::int64_t in_dim,
+                  std::int64_t target_dim, std::int64_t hidden, util::Rng& rng);
+
+  /// Z: [T, m, in_dim] candidate embeddings; z_v: [T, target_dim];
+  /// mask: [T, m]. Returns sampling probabilities q [T, m] (rows sum to
+  /// 1 over valid slots).
+  Tensor forward(const Tensor& z, const Tensor& z_v, const Tensor& mask) const;
+
+  DecoderKind kind() const { return kind_; }
+
+ private:
+  DecoderKind kind_;
+  std::int64_t m_, hidden_;
+  nn::MixerBlock trunk_;
+  // Head parameters (not all used by every head).
+  nn::Linear proj_u_;                    ///< candidate projection
+  std::unique_ptr<nn::Linear> proj_v_;   ///< target projection (gat/gatv2/trans)
+  std::unique_ptr<nn::Linear> score_u_;  ///< a_u / a (scores from candidate side)
+  std::unique_ptr<nn::Linear> score_v_;  ///< a_v (gat)
+};
+
+}  // namespace taser::core

@@ -1,0 +1,63 @@
+#include "core/encoder.h"
+
+#include "tensor/ops.h"
+
+namespace taser::core {
+
+namespace tt = taser::tensor;
+
+NeighborEncoder::NeighborEncoder(EncoderConfig config, util::Rng& rng)
+    : config_(config), time_enc_(config.dim), freq_enc_(config.dim) {
+  if (config_.node_feat_dim > 0) {
+    w_node_ = std::make_unique<nn::Linear>(config_.node_feat_dim, config_.dim, rng);
+    register_module("w_node", *w_node_);
+  }
+  if (config_.edge_feat_dim > 0) {
+    w_edge_ = std::make_unique<nn::Linear>(config_.edge_feat_dim, config_.dim, rng);
+    register_module("w_edge", *w_edge_);
+  }
+}
+
+Tensor NeighborEncoder::encode_candidates(const CandidateSet& cands) const {
+  const std::int64_t T = cands.targets;
+  const std::int64_t m = cands.m;
+  std::vector<Tensor> parts;
+
+  if (w_node_) {
+    Tensor x = Tensor::from_vector({T, m, config_.node_feat_dim},
+                                   std::vector<float>(cands.node_feats));
+    parts.push_back(tt::gelu(w_node_->forward(x)));  // h(u), Eq. 14
+  }
+  if (w_edge_) {
+    Tensor x = Tensor::from_vector({T, m, config_.edge_feat_dim},
+                                   std::vector<float>(cands.edge_feats));
+    parts.push_back(tt::gelu(w_edge_->forward(x)));  // h(v,u,t), Eq. 14
+  }
+  // TE(∆t) — fixed (Eq. 8), so computed straight into a constant tensor.
+  parts.push_back(tt::reshape(time_enc_.forward(cands.delta_t), {T, m, config_.dim}));
+  // FE(freq) — Eq. 12.
+  if (config_.use_freq)
+    parts.push_back(tt::reshape(freq_enc_.forward(cands.freq), {T, m, config_.dim}));
+  // IE — Eq. 13, precomputed by the batch builder.
+  if (config_.use_identity)
+    parts.push_back(Tensor::from_vector({T, m, m}, std::vector<float>(cands.identity)));
+
+  return tt::concat_lastdim(parts);  // [T, m, neighbor_width]
+}
+
+Tensor NeighborEncoder::encode_targets(const CandidateSet& cands) const {
+  const std::int64_t T = cands.targets;
+  std::vector<Tensor> parts;
+  if (w_node_) {
+    Tensor x = Tensor::from_vector({T, config_.node_feat_dim},
+                                   std::vector<float>(cands.target_feats));
+    parts.push_back(tt::gelu(w_node_->forward(x)));
+  }
+  // TE(0) and FE(1), per Eq. 21.
+  parts.push_back(time_enc_.forward(std::vector<float>(static_cast<std::size_t>(T), 0.f)));
+  if (config_.use_freq)
+    parts.push_back(freq_enc_.forward(std::vector<float>(static_cast<std::size_t>(T), 1.f)));
+  return tt::concat_lastdim(parts);  // [T, target_width]
+}
+
+}  // namespace taser::core

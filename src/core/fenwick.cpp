@@ -1,0 +1,67 @@
+#include "core/fenwick.h"
+
+#include <algorithm>
+
+namespace taser::core {
+
+FenwickTree::FenwickTree(std::size_t n, double initial)
+    : tree_(n + 1, 0.0), weights_(n, initial) {
+  // O(n) build: push each node's partial sum to its parent.
+  for (std::size_t i = 1; i <= n; ++i) {
+    tree_[i] += initial;
+    const std::size_t parent = i + (i & (~i + 1));
+    if (parent <= n) tree_[parent] += tree_[i];
+  }
+  total_ = initial * static_cast<double>(n);
+}
+
+void FenwickTree::add(std::size_t i, double delta) {
+  for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) tree_[j] += delta;
+  total_ += delta;
+}
+
+void FenwickTree::set(std::size_t i, double w) {
+  TASER_CHECK(i < weights_.size());
+  TASER_CHECK_MSG(w >= 0.0, "negative weight " << w);
+  add(i, w - weights_[i]);
+  weights_[i] = w;
+}
+
+std::size_t FenwickTree::find_prefix(double target) const {
+  std::size_t pos = 0;
+  std::size_t mask = 1;
+  while (mask * 2 < tree_.size()) mask *= 2;
+  for (; mask > 0; mask /= 2) {
+    const std::size_t next = pos + mask;
+    if (next < tree_.size() && tree_[next] <= target) {
+      pos = next;
+      target -= tree_[next];
+    }
+  }
+  // pos is the count of elements whose cumulative weight is <= target.
+  return std::min(pos, weights_.size() - 1);
+}
+
+std::size_t FenwickTree::sample(util::Rng& rng) const {
+  TASER_CHECK_MSG(total_ > 0, "sampling from empty weight mass");
+  return find_prefix(rng.next_double() * total_);
+}
+
+std::vector<std::size_t> FenwickTree::sample_without_replacement(std::size_t count,
+                                                                 util::Rng& rng) {
+  std::vector<std::size_t> picked;
+  std::vector<double> saved;
+  picked.reserve(count);
+  saved.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    TASER_CHECK_MSG(total_ > 1e-12, "exhausted weight mass at draw " << k);
+    const std::size_t i = sample(rng);
+    picked.push_back(i);
+    saved.push_back(weights_[i]);
+    set(i, 0.0);
+  }
+  for (std::size_t k = 0; k < count; ++k) set(picked[k], saved[k]);
+  return picked;
+}
+
+}  // namespace taser::core

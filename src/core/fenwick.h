@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace taser::core {
+
+/// Fenwick (binary-indexed) tree over non-negative weights supporting
+/// O(log n) point update and O(log n) weighted sampling — the backing
+/// store of the adaptive mini-batch selector, where |E_train| importance
+/// scores must be re-sampled and re-weighted every iteration.
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n, double initial = 0.0);
+
+  std::size_t size() const { return weights_.size(); }
+
+  void set(std::size_t i, double w);
+  double get(std::size_t i) const { return weights_[i]; }
+  double total() const { return total_; }
+
+  /// Index of the first element whose prefix sum exceeds `target`
+  /// (target in [0, total)).
+  std::size_t find_prefix(double target) const;
+
+  /// One weighted draw.
+  std::size_t sample(util::Rng& rng) const;
+
+  /// `count` draws *without replacement* (weights are temporarily zeroed
+  /// and restored). count must be ≤ number of positive-weight elements.
+  std::vector<std::size_t> sample_without_replacement(std::size_t count, util::Rng& rng);
+
+ private:
+  void add(std::size_t i, double delta);
+
+  std::vector<double> tree_;     ///< 1-based BIT
+  std::vector<double> weights_;  ///< raw weights
+  double total_ = 0;
+};
+
+}  // namespace taser::core

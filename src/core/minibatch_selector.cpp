@@ -1,0 +1,31 @@
+#include "core/minibatch_selector.h"
+
+#include <cmath>
+
+namespace taser::core {
+
+MiniBatchSelector::MiniBatchSelector(std::int64_t num_train_edges, float gamma,
+                                     std::uint64_t seed)
+    : scores_(static_cast<std::size_t>(num_train_edges), 1.0),
+      gamma_(gamma),
+      rng_(seed) {
+  TASER_CHECK(num_train_edges > 0);
+  TASER_CHECK(gamma >= 0.f);
+}
+
+std::vector<std::int64_t> MiniBatchSelector::sample_batch(std::int64_t batch_size) {
+  const auto want = static_cast<std::size_t>(
+      std::min<std::int64_t>(batch_size, num_edges()));
+  auto picked = scores_.sample_without_replacement(want, rng_);
+  std::vector<std::int64_t> out(picked.begin(), picked.end());
+  return out;
+}
+
+void MiniBatchSelector::update(std::int64_t edge_index, float positive_logit) {
+  const float s = positive_logit >= 0.f
+                      ? 1.f / (1.f + std::exp(-positive_logit))
+                      : std::exp(positive_logit) / (1.f + std::exp(positive_logit));
+  scores_.set(static_cast<std::size_t>(edge_index), static_cast<double>(s) + gamma_);
+}
+
+}  // namespace taser::core

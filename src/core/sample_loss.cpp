@@ -1,0 +1,150 @@
+#include "core/sample_loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace taser::core {
+
+namespace tt = taser::tensor;
+using models::AggregationRecord;
+
+namespace {
+
+/// Eq. 25 coefficients for one attention aggregation. All inputs are raw
+/// data (already detached by construction). λ is estimated with the
+/// softmax-stabilised scores, i.e. λ̃_i = mean_j exp(a_ij - max_j a_ij);
+/// the missing exp(max) factor is a per-target rescale absorbed by α.
+std::vector<float> attention_coeffs(const AggregationRecord& rec, const float* grad,
+                                    const std::vector<float>& sel_mask, float alpha,
+                                    float beta) {
+  const std::int64_t T = rec.attention.size(0);
+  const std::int64_t n = rec.attention.size(1);
+  const std::int64_t d = rec.output.size(1);
+  const float* attn = rec.attention.data();
+  const float* scores = rec.scores.data();
+  const float* values = rec.values.data();
+  const float* h = rec.output.data();
+  const float* mask = rec.mask.data();
+
+  std::vector<float> coeff(static_cast<std::size_t>(T * n), 0.f);
+  const float inv_T = 1.f / static_cast<float>(T);
+  for (std::int64_t i = 0; i < T; ++i) {
+    // λ̃_i over valid slots.
+    float smax = -1e30f;
+    std::int64_t valid = 0;
+    for (std::int64_t j = 0; j < n; ++j)
+      if (mask[i * n + j] > 0.5f) {
+        smax = std::max(smax, scores[i * n + j]);
+        ++valid;
+      }
+    if (valid == 0) continue;
+    float lambda = 0.f;
+    for (std::int64_t j = 0; j < n; ++j)
+      if (mask[i * n + j] > 0.5f) lambda += std::exp(scores[i * n + j] - smax);
+    lambda /= static_cast<float>(valid);
+    const float scale = inv_T / (std::max(lambda, 1e-6f) * alpha);
+
+    const float* gi = grad + i * d;
+    const float* hi = h + i * d;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const auto s = static_cast<std::size_t>(i * n + j);
+      if (sel_mask[s] < 0.5f || mask[i * n + j] < 0.5f) continue;
+      const float* vij = values + (i * n + j) * d;
+      float dot = 0.f;
+      for (std::int64_t k = 0; k < d; ++k) dot += (vij[k] + beta * hi[k]) * gi[k];
+      coeff[s] = attn[i * n + j] * dot * scale;
+    }
+  }
+  return coeff;
+}
+
+/// Eq. 26 (generic form) coefficients for one mixer aggregation:
+/// the mean-pool Jacobian routes g_i to each token equally, so
+/// coeff_ij = (g_i · token_ij) / n_valid_i.
+std::vector<float> mixer_coeffs(const AggregationRecord& rec, const float* grad,
+                                const std::vector<float>& sel_mask) {
+  const std::int64_t T = rec.tokens.size(0);
+  const std::int64_t n = rec.tokens.size(1);
+  const std::int64_t d = rec.tokens.size(2);
+  const float* tokens = rec.tokens.data();
+  const float* mask = rec.mask.data();
+
+  std::vector<float> coeff(static_cast<std::size_t>(T * n), 0.f);
+  const float inv_T = 1.f / static_cast<float>(T);
+  for (std::int64_t i = 0; i < T; ++i) {
+    std::int64_t valid = 0;
+    for (std::int64_t j = 0; j < n; ++j)
+      if (mask[i * n + j] > 0.5f) ++valid;
+    if (valid == 0) continue;
+    const float inv_n = 1.f / static_cast<float>(valid);
+    const float* gi = grad + i * d;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const auto s = static_cast<std::size_t>(i * n + j);
+      if (sel_mask[s] < 0.5f || mask[i * n + j] < 0.5f) continue;
+      const float* tij = tokens + (i * n + j) * d;
+      float dot = 0.f;
+      for (std::int64_t k = 0; k < d; ++k) dot += tij[k] * gi[k];
+      coeff[s] = dot * inv_n * inv_T;
+    }
+  }
+  return coeff;
+}
+
+}  // namespace
+
+tensor::Tensor build_sample_loss(const std::vector<AggregationRecord>& records,
+                                 const std::vector<SelectionResult>& selections,
+                                 const SampleLossConfig& config) {
+  tensor::Tensor total;
+  for (const auto& rec : records) {
+    TASER_CHECK_MSG(rec.hop >= 0 && rec.hop < static_cast<int>(selections.size()),
+                    "aggregation record references hop " << rec.hop << " but only "
+                                                         << selections.size()
+                                                         << " selections exist");
+    const SelectionResult& sel = selections[static_cast<std::size_t>(rec.hop)];
+    tensor::Tensor grad = rec.output.grad();
+    if (!grad.defined()) continue;  // no gradient reached this aggregation
+
+    const std::int64_t T = sel.log_probs_selected.size(0);
+    const std::int64_t n = sel.log_probs_selected.size(1);
+    TASER_CHECK_MSG(rec.attention.defined()
+                        ? (rec.attention.size(0) == T && rec.attention.size(1) == n)
+                        : (rec.tokens.size(0) == T && rec.tokens.size(1) == n),
+                    "record/selection shape mismatch at hop " << rec.hop);
+
+    std::vector<float> coeff =
+        rec.kind == AggregationRecord::Kind::kAttention
+            ? attention_coeffs(rec, grad.data(), sel.selected_mask, config.alpha,
+                               config.beta)
+            : mixer_coeffs(rec, grad.data(), sel.selected_mask);
+
+    if (config.center_advantage) {
+      for (std::int64_t i = 0; i < T; ++i) {
+        float sum = 0.f;
+        std::int64_t cnt = 0;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const auto s = static_cast<std::size_t>(i * n + j);
+          if (sel.selected_mask[s] > 0.5f) {
+            sum += coeff[s];
+            ++cnt;
+          }
+        }
+        if (cnt < 2) continue;
+        const float mean = sum / static_cast<float>(cnt);
+        for (std::int64_t j = 0; j < n; ++j) {
+          const auto s = static_cast<std::size_t>(i * n + j);
+          if (sel.selected_mask[s] > 0.5f) coeff[s] -= mean;
+        }
+      }
+    }
+
+    tensor::Tensor coeff_t = tensor::Tensor::from_vector({T, n}, std::move(coeff));
+    tensor::Tensor part = tt::sum_all(tt::mul(coeff_t, sel.log_probs_selected));
+    total = total.defined() ? tt::add(total, part) : part;
+  }
+  return total;
+}
+
+}  // namespace taser::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "core/adaptive_sampler.h"
+#include "models/batch_inputs.h"
+
+namespace taser::core {
+
+/// Hyper-parameters of the sample-loss construction (paper Eq. 25):
+/// α controls gradient variance, β the importance ratio between the
+/// target and its neighbors. Paper defaults α=2, β=1.
+struct SampleLossConfig {
+  float alpha = 2.f;
+  float beta = 1.f;
+  /// Subtract the per-target mean coefficient before weighting log-probs
+  /// (the standard REINFORCE control variate). Leaves the estimator's
+  /// expectation unchanged for a normalised policy but sharply reduces
+  /// its variance — without it the sampler barely learns within the
+  /// short training budgets of the reduced configurations.
+  bool center_advantage = true;
+};
+
+/// Builds L_sample after L_model's backward pass (paper §III-B,
+/// "Co-Training with Temporal Aggregators").
+///
+/// The sampling operation is non-differentiable, so ∇θ L_model is
+/// approximated with the log-derivative trick (Eq. 23): for every
+/// temporal aggregation the model recorded, a per-(target, neighbor)
+/// coefficient is computed from *detached* aggregator internals and the
+/// gradient dL/dh that L_model.backward() left on the aggregation
+/// output, then
+///     L_sample = Σ_agg Σ_{i,j} coeff_ij · log q_θ(u_j | v_i).
+/// Minimising L_sample therefore descends the true model loss w.r.t. θ.
+///
+///  - Attention aggregators use Eq. 25: coeff_ij ∝ â_ij·((V_j + β h_i)·g_i)/(λ_i α),
+///    with λ_i estimated from the softmax-stabilised scores.
+///  - Mixer aggregators use the Eq. 26 estimator in its generic form:
+///    coeff_ij = (g_i · token_ij) / n_i, where token_ij is the post-mixer
+///    token and n_i the valid-slot count (the mean-pool Jacobian).
+///
+/// `selections[h]` is the SelectionResult whose log-probs hop-h
+/// aggregations couple to. Returns an undefined Tensor when no record
+/// produced any gradient (e.g. zero-neighbor batch).
+tensor::Tensor build_sample_loss(const std::vector<models::AggregationRecord>& records,
+                                 const std::vector<SelectionResult>& selections,
+                                 const SampleLossConfig& config = {});
+
+}  // namespace taser::core

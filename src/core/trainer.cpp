@@ -1,0 +1,330 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/counters.h"
+#include "tensor/ops.h"
+
+namespace taser::core {
+
+namespace tt = taser::tensor;
+
+const char* to_string(BackboneKind kind) {
+  return kind == BackboneKind::kTgat ? "TGAT" : "GraphMixer";
+}
+
+const char* to_string(FinderKind kind) {
+  switch (kind) {
+    case FinderKind::kOrig:
+      return "orig-cpu";
+    case FinderKind::kTgl:
+      return "tgl-cpu";
+    case FinderKind::kGpu:
+      return "taser-gpu";
+  }
+  return "?";
+}
+
+Trainer::Trainer(const graph::Dataset& data, TrainerConfig config)
+    : data_(data), config_(config), device_(config.device_spec), tcsr_(data),
+      rng_(config.seed) {
+  TASER_CHECK(data_.num_train() > 0);
+  dst_begin_ = data_.dst_end > data_.dst_begin ? data_.dst_begin : 0;
+  dst_end_ = data_.dst_end > data_.dst_begin ? data_.dst_end
+                                             : static_cast<graph::NodeId>(data_.num_nodes);
+
+  // Backbone-default static policy (§IV-A): TGAT uniform, GraphMixer
+  // most-recent.
+  if (!config_.policy_overridden && config_.backbone == BackboneKind::kGraphMixer)
+    config_.policy = sampling::FinderPolicy::kMostRecent;
+
+  switch (config_.finder) {
+    case FinderKind::kOrig:
+      finder_ = std::make_unique<sampling::OrigNeighborFinder>(tcsr_, config_.seed,
+                                                               &device_);
+      break;
+    case FinderKind::kTgl:
+      finder_ = std::make_unique<sampling::TglNeighborFinder>(tcsr_, config_.seed);
+      break;
+    case FinderKind::kGpu:
+      finder_ = std::make_unique<sampling::GpuNeighborFinder>(tcsr_, device_);
+      break;
+  }
+
+  if (config_.cache_ratio > 0.0 && data_.edge_feat_dim > 0) {
+    features_ = std::make_unique<cache::CachedFeatureSource>(data_, device_,
+                                                             config_.cache_ratio);
+  } else {
+    features_ = std::make_unique<cache::PlainFeatureSource>(data_, device_);
+  }
+
+  util::Rng init_rng(config_.seed ^ 0xabcdef12345ULL);
+  models::ModelConfig mc;
+  mc.node_feat_dim = data_.node_feat_dim;
+  mc.edge_feat_dim = data_.edge_feat_dim;
+  mc.hidden_dim = config_.hidden_dim;
+  mc.time_dim = config_.time_dim;
+  mc.num_neighbors = config_.n_neighbors;
+  mc.dropout = config_.dropout;
+  if (config_.backbone == BackboneKind::kTgat) {
+    model_ = std::make_unique<models::TgatModel>(mc, init_rng);
+  } else {
+    model_ = std::make_unique<models::GraphMixerModel>(mc, init_rng);
+  }
+  predictor_ = std::make_unique<models::EdgePredictor>(config_.hidden_dim, init_rng);
+
+  if (config_.ada_neighbor) {
+    EncoderConfig ec;
+    ec.node_feat_dim = data_.node_feat_dim;
+    ec.edge_feat_dim = data_.edge_feat_dim;
+    ec.dim = config_.sampler_dim;
+    ec.m = config_.m_candidates;
+    ec.use_freq = config_.encoder_use_freq;
+    ec.use_identity = config_.encoder_use_identity;
+    sampler_ = std::make_unique<AdaptiveSampler>(ec, config_.decoder,
+                                                 config_.decoder_hidden, init_rng);
+    auto sampler_params = sampler_->parameters();
+    opt_sampler_ = std::make_unique<nn::Adam>(sampler_params, config_.sampler_lr);
+  }
+  if (config_.ada_batch) {
+    selector_ = std::make_unique<MiniBatchSelector>(data_.num_train(), config_.gamma,
+                                                    config_.seed ^ 0x5151ULL);
+  }
+
+  BuilderConfig bc;
+  bc.n = config_.n_neighbors;
+  bc.m = config_.m_candidates;
+  bc.policy = config_.policy;
+  // Normalise ∆t so a typical per-node inter-event gap is ~1: the
+  // time-encoding frequency banks are centred around unit timescales.
+  const double span = data_.ts.empty() ? 1.0 : data_.ts.back() - data_.ts.front();
+  const double events_per_node =
+      std::max(1.0, 2.0 * static_cast<double>(data_.num_edges()) /
+                        static_cast<double>(std::max<std::int64_t>(data_.num_nodes, 1)));
+  bc.time_scale = std::max(1e-9, span / events_per_node);
+  builder_ = std::make_unique<BatchBuilder>(data_, *finder_, *features_, device_,
+                                            sampler_.get(), bc);
+
+  auto params = model_->parameters();
+  auto pp = predictor_->parameters();
+  params.insert(params.end(), pp.begin(), pp.end());
+  opt_model_ = std::make_unique<nn::Adam>(params, config_.lr);
+}
+
+graph::TargetBatch Trainer::make_roots(const std::vector<std::int64_t>& edge_ids) {
+  graph::TargetBatch roots;
+  const auto B = edge_ids.size();
+  roots.nodes.reserve(3 * B);
+  roots.times.reserve(3 * B);
+  for (auto e : edge_ids) roots.push(data_.src[e], data_.ts[e]);
+  for (auto e : edge_ids) roots.push(data_.dst[e], data_.ts[e]);
+  for (auto e : edge_ids) {
+    const auto span = static_cast<std::uint64_t>(dst_end_ - dst_begin_);
+    roots.push(dst_begin_ + static_cast<graph::NodeId>(rng_.next_below(span)),
+               data_.ts[e]);
+  }
+  return roots;
+}
+
+Tensor Trainer::embed(const graph::TargetBatch& roots, util::PhaseAccumulator& phases) {
+  auto built = builder_->build(roots, model_->num_hops(), phases, rng_);
+  util::ScopedPhase pp(phases, phase::kPP);
+  Tensor h = model_->compute_embeddings(built.inputs);
+  // Stash selections for the sample-loss step of the caller.
+  last_selections_ = std::move(built.selections);
+  return h;
+}
+
+EpochStats Trainer::train_epoch() {
+  model_->set_training(true);
+  predictor_->set_training(true);
+  if (sampler_) sampler_->set_training(true);
+  if (auto* tgl = dynamic_cast<sampling::TglNeighborFinder*>(finder_.get())) tgl->reset();
+
+  util::PhaseAccumulator phases;
+  const std::int64_t train = data_.num_train();
+  const std::int64_t B = std::min<std::int64_t>(config_.batch_size, train);
+  std::int64_t iters = (train + B - 1) / B;
+  if (config_.max_iters_per_epoch > 0)
+    iters = std::min(iters, config_.max_iters_per_epoch);
+  double loss_sum = 0;
+
+  for (std::int64_t it = 0; it < iters; ++it) {
+    // --- mini-batch selection (§III-A or chronological baseline) -------
+    std::vector<std::int64_t> edge_ids;
+    if (selector_) {
+      edge_ids = selector_->sample_batch(B);
+    } else {
+      const std::int64_t lo = it * B;
+      const std::int64_t hi = std::min<std::int64_t>(lo + B, train);
+      edge_ids.resize(static_cast<std::size_t>(hi - lo));
+      for (std::int64_t k = lo; k < hi; ++k)
+        edge_ids[static_cast<std::size_t>(k - lo)] = k;
+    }
+    const auto b = static_cast<std::int64_t>(edge_ids.size());
+
+    graph::TargetBatch roots = make_roots(edge_ids);
+    tensor::OpCounterSnapshot as_snap;  // sampler tensor work happens in build()
+    auto built = builder_->build(roots, model_->num_hops(), phases, rng_);
+    last_selections_ = std::move(built.selections);
+    phases.add(phase::kASSim,
+               device_.model().nn_time(as_snap.flops(), as_snap.launches()).seconds);
+
+    util::WallTimer pp_timer;
+    tensor::OpCounterSnapshot pp_snap;
+    Tensor h = model_->compute_embeddings(built.inputs);
+    std::vector<std::int64_t> src_idx(static_cast<std::size_t>(b)),
+        dst_idx(static_cast<std::size_t>(b)), neg_idx(static_cast<std::size_t>(b));
+    for (std::int64_t i = 0; i < b; ++i) {
+      src_idx[static_cast<std::size_t>(i)] = i;
+      dst_idx[static_cast<std::size_t>(i)] = b + i;
+      neg_idx[static_cast<std::size_t>(i)] = 2 * b + i;
+    }
+    Tensor h_src = tt::index_select0(h, src_idx);
+    Tensor h_dst = tt::index_select0(h, dst_idx);
+    Tensor h_neg = tt::index_select0(h, neg_idx);
+    Tensor pos_logits = predictor_->forward(h_src, h_dst);
+    Tensor neg_logits = predictor_->forward(h_src, h_neg);
+
+    Tensor logits = tt::concat_dim0({tt::reshape(pos_logits, {b, 1}),
+                                     tt::reshape(neg_logits, {b, 1})});
+    std::vector<float> targets(static_cast<std::size_t>(2 * b), 0.f);
+    std::fill(targets.begin(), targets.begin() + b, 1.f);
+    Tensor loss = tt::bce_with_logits_mean(
+        tt::reshape(logits, {2 * b}),
+        Tensor::from_vector({2 * b}, std::move(targets)));
+    loss_sum += loss.item();
+
+    loss.backward();
+    {
+      auto params = model_->parameters();
+      auto pp_params = predictor_->parameters();
+      params.insert(params.end(), pp_params.begin(), pp_params.end());
+      nn::clip_grad_norm(params, config_.grad_clip);
+    }
+    opt_model_->step();
+    phases.add(phase::kPP, pp_timer.seconds());
+    phases.add(phase::kPPSim,
+               device_.model().nn_time(pp_snap.flops(), pp_snap.launches()).seconds);
+
+    // --- importance-score update (Eq. 11) -------------------------------
+    if (selector_) {
+      const float* pl = pos_logits.data();
+      for (std::int64_t i = 0; i < b; ++i)
+        selector_->update(edge_ids[static_cast<std::size_t>(i)], pl[i]);
+    }
+
+    // --- sampler co-training (Eq. 25/26) --------------------------------
+    if (sampler_) {
+      util::ScopedPhase as(phases, phase::kAS);
+      tensor::OpCounterSnapshot loss_snap;
+      Tensor sample_loss =
+          build_sample_loss(model_->records(), last_selections_, config_.sample_loss);
+      if (sample_loss.defined()) {
+        sample_loss.backward();
+        auto sp = sampler_->parameters();
+        nn::clip_grad_norm(sp, config_.grad_clip);
+        opt_sampler_->step();
+        opt_sampler_->zero_grad();
+      }
+      phases.add(phase::kASSim,
+                 device_.model().nn_time(loss_snap.flops(), loss_snap.launches()).seconds);
+    }
+    opt_model_->zero_grad();
+  }
+
+  features_->end_epoch();
+  ++epochs_run_;
+
+  EpochStats stats;
+  stats.nf_wall = phases.total(phase::kNF);
+  stats.nf_sim = phases.total(phase::kNFSim);
+  stats.as_wall = phases.total(phase::kAS);
+  stats.as_sim = phases.total(phase::kASSim);
+  stats.fs_wall = phases.total(phase::kFS);
+  stats.fs_sim = phases.total(phase::kFSSim);
+  stats.pp_wall = phases.total(phase::kPP);
+  stats.pp_sim = phases.total(phase::kPPSim);
+  // The GPU finder's wall time is the cost of *simulating* the kernels,
+  // not of the pipeline; only its modeled time counts.
+  if (config_.finder == FinderKind::kGpu) stats.nf_wall = 0;
+  stats.iterations = iters;
+  stats.mean_loss = iters > 0 ? loss_sum / static_cast<double>(iters) : 0;
+  return stats;
+}
+
+double Trainer::evaluate_mrr(std::int64_t first_edge, std::int64_t last_edge) {
+  TASER_CHECK(first_edge >= 0 && last_edge <= data_.num_edges() && first_edge < last_edge);
+  model_->set_training(false);
+  predictor_->set_training(false);
+  if (sampler_) sampler_->set_training(false);
+  if (auto* tgl = dynamic_cast<sampling::TglNeighborFinder*>(finder_.get())) tgl->reset();
+
+  // Evenly strided subsample of at most max_eval_edges.
+  std::vector<std::int64_t> eval_edges;
+  const std::int64_t span = last_edge - first_edge;
+  const std::int64_t count = std::min<std::int64_t>(span, config_.max_eval_edges);
+  for (std::int64_t k = 0; k < count; ++k)
+    eval_edges.push_back(first_edge + k * span / count);
+
+  const int K = config_.eval_negatives;
+  // Chunk so each embedding batch stays modest: E*(2+K) roots.
+  const std::int64_t chunk = std::max<std::int64_t>(1, 600 / (2 + K));
+  util::PhaseAccumulator scratch;
+  double mrr_sum = 0;
+  std::int64_t mrr_count = 0;
+
+  for (std::size_t lo = 0; lo < eval_edges.size(); lo += static_cast<std::size_t>(chunk)) {
+    const std::size_t hi = std::min(eval_edges.size(), lo + static_cast<std::size_t>(chunk));
+    const auto E = static_cast<std::int64_t>(hi - lo);
+    graph::TargetBatch roots;
+    for (std::size_t k = lo; k < hi; ++k)
+      roots.push(data_.src[eval_edges[k]], data_.ts[eval_edges[k]]);
+    for (std::size_t k = lo; k < hi; ++k)
+      roots.push(data_.dst[eval_edges[k]], data_.ts[eval_edges[k]]);
+    for (std::size_t k = lo; k < hi; ++k) {
+      for (int j = 0; j < K; ++j) {
+        const auto spanN = static_cast<std::uint64_t>(dst_end_ - dst_begin_);
+        roots.push(dst_begin_ + static_cast<graph::NodeId>(rng_.next_below(spanN)),
+                   data_.ts[eval_edges[k]]);
+      }
+    }
+    Tensor h = embed(roots, scratch);
+
+    // Pair up: pos (src_i, dst_i); negs (src_i, neg_ik).
+    std::vector<std::int64_t> a_idx, b_idx;
+    for (std::int64_t i = 0; i < E; ++i) {
+      a_idx.push_back(i);
+      b_idx.push_back(E + i);
+    }
+    for (std::int64_t i = 0; i < E; ++i)
+      for (int j = 0; j < K; ++j) {
+        a_idx.push_back(i);
+        b_idx.push_back(2 * E + i * K + j);
+      }
+    Tensor ha = tt::index_select0(h, a_idx);
+    Tensor hb = tt::index_select0(h, b_idx);
+    Tensor logits = predictor_->forward(ha, hb);
+    const float* lg = logits.data();
+    for (std::int64_t i = 0; i < E; ++i) {
+      const float pos = lg[i];
+      int greater = 0, ties = 0;
+      for (int j = 0; j < K; ++j) {
+        const float neg = lg[E + i * K + j];
+        if (neg > pos) ++greater;
+        else if (neg == pos) ++ties;
+      }
+      const double rank = 1.0 + greater + 0.5 * ties;
+      mrr_sum += 1.0 / rank;
+      ++mrr_count;
+    }
+  }
+
+  model_->set_training(true);
+  predictor_->set_training(true);
+  if (sampler_) sampler_->set_training(true);
+  return mrr_count > 0 ? mrr_sum / static_cast<double>(mrr_count) : 0.0;
+}
+
+}  // namespace taser::core

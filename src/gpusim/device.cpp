@@ -1,0 +1,57 @@
+#include "gpusim/device.h"
+
+#include <omp.h>
+
+#include "util/check.h"
+
+namespace taser::gpusim {
+
+LaunchResult Device::launch(int grid_dim, int block_dim,
+                            const std::function<void(BlockCtx&)>& kernel) {
+  TASER_CHECK(grid_dim >= 0 && block_dim > 0);
+  const std::uint64_t launch_seed = seed_ + 0x1000003ULL * (++launch_counter_);
+
+  KernelStats merged;
+#pragma omp parallel if (grid_dim > 4)
+  {
+    KernelStats local;
+#pragma omp for schedule(dynamic, 16) nowait
+    for (int b = 0; b < grid_dim; ++b) {
+      BlockCtx ctx(b, block_dim, launch_seed);
+      kernel(ctx);
+      local.merge(ctx.stats());
+    }
+#pragma omp critical(taser_gpusim_merge)
+    merged.merge(local);
+  }
+
+  LaunchResult result{merged, model_.kernel_time(merged)};
+  elapsed_ += result.time;
+  return result;
+}
+
+SimDuration Device::account_h2d(std::uint64_t bytes) {
+  const SimDuration d = model_.h2d_time(bytes);
+  elapsed_ += d;
+  return d;
+}
+
+SimDuration Device::account_d2h(std::uint64_t bytes) {
+  const SimDuration d = model_.d2h_time(bytes);
+  elapsed_ += d;
+  return d;
+}
+
+SimDuration Device::account_zero_copy(std::uint64_t bytes) {
+  const SimDuration d = model_.zero_copy_time(bytes);
+  elapsed_ += d;
+  return d;
+}
+
+SimDuration Device::account_vram_gather(std::uint64_t bytes) {
+  const SimDuration d = model_.vram_gather_time(bytes);
+  elapsed_ += d;
+  return d;
+}
+
+}  // namespace taser::gpusim

@@ -1,0 +1,44 @@
+#include "graph/dataset.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::graph {
+
+void Dataset::apply_chrono_split(double train_frac, double val_frac) {
+  TASER_CHECK(train_frac > 0 && val_frac >= 0 && train_frac + val_frac <= 1.0);
+  const std::int64_t e = num_edges();
+  train_end = static_cast<std::int64_t>(static_cast<double>(e) * train_frac);
+  val_end = static_cast<std::int64_t>(static_cast<double>(e) * (train_frac + val_frac));
+}
+
+void Dataset::truncate_to_latest(std::int64_t max_edges) {
+  const std::int64_t e = num_edges();
+  if (e <= max_edges) return;
+  const std::int64_t drop = e - max_edges;
+  src.erase(src.begin(), src.begin() + drop);
+  dst.erase(dst.begin(), dst.begin() + drop);
+  ts.erase(ts.begin(), ts.begin() + drop);
+  if (edge_feat_dim > 0)
+    edge_feats.erase(edge_feats.begin(),
+                     edge_feats.begin() + drop * edge_feat_dim);
+  train_end = std::max<std::int64_t>(0, train_end - drop);
+  val_end = std::max<std::int64_t>(0, val_end - drop);
+}
+
+void Dataset::validate() const {
+  const std::int64_t e = num_edges();
+  TASER_CHECK(static_cast<std::int64_t>(dst.size()) == e);
+  TASER_CHECK(static_cast<std::int64_t>(ts.size()) == e);
+  for (std::int64_t i = 0; i < e; ++i) {
+    TASER_CHECK_MSG(src[i] >= 0 && src[i] < num_nodes, "src out of range at " << i);
+    TASER_CHECK_MSG(dst[i] >= 0 && dst[i] < num_nodes, "dst out of range at " << i);
+    if (i > 0) TASER_CHECK_MSG(ts[i] >= ts[i - 1], "timestamps not sorted at " << i);
+  }
+  TASER_CHECK(static_cast<std::int64_t>(node_feats.size()) == num_nodes * node_feat_dim);
+  TASER_CHECK(static_cast<std::int64_t>(edge_feats.size()) == e * edge_feat_dim);
+  TASER_CHECK(0 <= train_end && train_end <= val_end && val_end <= e);
+}
+
+}  // namespace taser::graph

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace taser::graph {
+
+/// A continuous-time dynamic graph: timestamped edges in chronological
+/// order plus optional dense node / edge features, with the chronological
+/// train/val/test split used by the paper (§IV-A).
+struct Dataset {
+  std::string name;
+  std::int64_t num_nodes = 0;
+
+  // Edge events, sorted by non-decreasing `ts`. Index into these arrays
+  // is the EdgeId used everywhere (T-CSR, feature store, caches).
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+  std::vector<Time> ts;
+
+  std::int64_t node_feat_dim = 0;
+  std::int64_t edge_feat_dim = 0;
+  std::vector<float> node_feats;  ///< [num_nodes * node_feat_dim]
+  std::vector<float> edge_feats;  ///< [num_edges * edge_feat_dim]
+
+  // Chronological split: edges [0, train_end) train, [train_end, val_end)
+  // val, [val_end, num_edges) test.
+  std::int64_t train_end = 0;
+  std::int64_t val_end = 0;
+
+  // Destination-node id range [dst_begin, dst_end): negative destinations
+  // for link prediction are drawn here. Bipartite datasets restrict it to
+  // the item partition; unipartite datasets span all nodes.
+  NodeId dst_begin = 0;
+  NodeId dst_end = 0;
+
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(src.size()); }
+  std::int64_t num_train() const { return train_end; }
+  std::int64_t num_val() const { return val_end - train_end; }
+  std::int64_t num_test() const { return num_edges() - val_end; }
+
+  const float* edge_feat(EdgeId e) const {
+    return edge_feats.data() + static_cast<std::int64_t>(e) * edge_feat_dim;
+  }
+  const float* node_feat(NodeId v) const {
+    return node_feats.data() + static_cast<std::int64_t>(v) * node_feat_dim;
+  }
+
+  /// Applies the paper's 60/20/20 chronological split (optionally after
+  /// truncating to the most recent `max_edges`, as done for the large
+  /// datasets).
+  void apply_chrono_split(double train_frac = 0.6, double val_frac = 0.2);
+
+  /// Keeps only the latest `max_edges` events (paper: "we use the latest
+  /// one million edges" for MovieLens and GDELT). Feature rows are
+  /// re-based so EdgeIds stay dense.
+  void truncate_to_latest(std::int64_t max_edges);
+
+  /// Validates invariants (sorted timestamps, ids in range, feature array
+  /// sizes). Throws on violation.
+  void validate() const;
+};
+
+}  // namespace taser::graph

@@ -1,0 +1,44 @@
+#include "graph/stats.h"
+
+#include <unordered_set>
+
+namespace taser::graph {
+
+DatasetStats compute_stats(const Dataset& data) {
+  DatasetStats s;
+  s.name = data.name;
+  s.num_nodes = data.num_nodes;
+  s.num_edges = data.num_edges();
+  s.node_feat_dim = data.node_feat_dim;
+  s.edge_feat_dim = data.edge_feat_dim;
+  s.num_train = data.num_train();
+  s.num_val = data.num_val();
+  s.num_test = data.num_test();
+
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(data.num_nodes), 0);
+  std::unordered_set<std::uint64_t> seen_pairs;
+  seen_pairs.reserve(static_cast<std::size_t>(s.num_edges));
+  std::int64_t repeats = 0;
+  for (std::int64_t i = 0; i < s.num_edges; ++i) {
+    ++degree[static_cast<std::size_t>(data.src[i])];
+    ++degree[static_cast<std::size_t>(data.dst[i])];
+    const std::uint64_t key = (static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(data.src[i]))
+                               << 32) |
+                              static_cast<std::uint32_t>(data.dst[i]);
+    if (!seen_pairs.insert(key).second) ++repeats;
+  }
+  std::int64_t max_deg = 0, total = 0;
+  for (auto d : degree) {
+    max_deg = std::max(max_deg, d);
+    total += d;
+  }
+  s.max_degree = static_cast<double>(max_deg);
+  s.mean_degree =
+      data.num_nodes > 0 ? static_cast<double>(total) / static_cast<double>(data.num_nodes) : 0;
+  s.repeat_edge_frac =
+      s.num_edges > 0 ? static_cast<double>(repeats) / static_cast<double>(s.num_edges) : 0;
+  return s;
+}
+
+}  // namespace taser::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "graph/dataset.h"
+
+namespace taser::graph {
+
+/// Summary statistics in the shape of the paper's Table II.
+struct DatasetStats {
+  std::string name;
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+  std::int64_t node_feat_dim = 0;
+  std::int64_t edge_feat_dim = 0;
+  std::int64_t num_train = 0, num_val = 0, num_test = 0;
+  double max_degree = 0;      ///< undirected temporal degree
+  double mean_degree = 0;
+  double repeat_edge_frac = 0;  ///< fraction of events repeating a prior (u,v) pair
+};
+
+DatasetStats compute_stats(const Dataset& data);
+
+}  // namespace taser::graph

@@ -1,0 +1,286 @@
+#include "graph/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace taser::graph {
+
+namespace {
+
+/// Unit-norm random latent vectors, one per archetype.
+std::vector<std::vector<float>> make_latents(int count, int dim, util::Rng& rng) {
+  std::vector<std::vector<float>> latents(static_cast<std::size_t>(count));
+  for (auto& v : latents) {
+    v.resize(static_cast<std::size_t>(dim));
+    float norm = 0.f;
+    for (auto& x : v) {
+      x = rng.next_normal();
+      norm += x * x;
+    }
+    norm = std::sqrt(norm) + 1e-6f;
+    for (auto& x : v) x /= norm;
+  }
+  return latents;
+}
+
+/// Random projection matrix [in, out], fixed per dataset.
+std::vector<float> make_projection(std::int64_t in, std::int64_t out, util::Rng& rng) {
+  std::vector<float> w(static_cast<std::size_t>(in * out));
+  const float s = 1.f / std::sqrt(static_cast<float>(in));
+  for (auto& x : w) x = rng.next_normal() * s;
+  return w;
+}
+
+void project_into(const float* latent, std::int64_t in, const std::vector<float>& w,
+                  std::int64_t out, float noise, util::Rng& rng, float* dst) {
+  for (std::int64_t j = 0; j < out; ++j) {
+    float acc = 0.f;
+    for (std::int64_t i = 0; i < in; ++i) acc += latent[i] * w[static_cast<std::size_t>(i * out + j)];
+    dst[j] = acc + noise * rng.next_normal();
+  }
+}
+
+}  // namespace
+
+Dataset generate_synthetic(const SyntheticConfig& config, SyntheticMeta* meta) {
+  TASER_CHECK(config.num_src > 0 && config.num_edges > 0);
+  TASER_CHECK(config.num_archetypes > 0 && config.latent_dim > 0);
+  util::Rng rng(config.seed);
+
+  const bool bipartite = config.num_dst > 0;
+  const std::int64_t num_dst = bipartite ? config.num_dst : config.num_src;
+  const std::int64_t num_nodes = bipartite ? config.num_src + config.num_dst : config.num_src;
+  // Destination ids occupy [dst_base, dst_base + num_dst).
+  const std::int64_t dst_base = bipartite ? config.num_src : 0;
+  const int A = config.num_archetypes;
+
+  Dataset data;
+  data.name = config.name;
+  data.num_nodes = num_nodes;
+  data.dst_begin = static_cast<NodeId>(dst_base);
+  data.dst_end = static_cast<NodeId>(dst_base + num_dst);
+  data.node_feat_dim = config.node_feat_dim;
+  data.edge_feat_dim = config.edge_feat_dim;
+  data.src.reserve(static_cast<std::size_t>(config.num_edges));
+  data.dst.reserve(static_cast<std::size_t>(config.num_edges));
+  data.ts.reserve(static_cast<std::size_t>(config.num_edges));
+
+  // ---- latent structure ----------------------------------------------------
+  const auto archetype_latent = make_latents(A, config.latent_dim, rng);
+
+  // Every node gets a "before" archetype; relocating nodes get an "after"
+  // archetype and a relocation time in the middle 60% of the horizon so
+  // that both regimes carry a meaningful number of events.
+  std::vector<int> arch0(static_cast<std::size_t>(num_nodes));
+  std::vector<int> arch1(static_cast<std::size_t>(num_nodes));
+  std::vector<Time> reloc(static_cast<std::size_t>(num_nodes),
+                          std::numeric_limits<Time>::infinity());
+  for (std::int64_t v = 0; v < num_nodes; ++v) {
+    arch0[static_cast<std::size_t>(v)] = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(A)));
+    arch1[static_cast<std::size_t>(v)] = arch0[static_cast<std::size_t>(v)];
+    if (rng.next_bool(config.relocation_prob)) {
+      int na = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(A)));
+      if (A > 1)
+        while (na == arch0[static_cast<std::size_t>(v)])
+          na = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(A)));
+      arch1[static_cast<std::size_t>(v)] = na;
+      reloc[static_cast<std::size_t>(v)] = config.horizon * rng.next_uniform(0.2f, 0.8f);
+    }
+  }
+  auto archetype_at = [&](NodeId v, Time t) {
+    return t < reloc[static_cast<std::size_t>(v)] ? arch0[static_cast<std::size_t>(v)]
+                                                  : arch1[static_cast<std::size_t>(v)];
+  };
+
+  // Destination cluster = archetype it "belongs" to. Round-robin keeps
+  // cluster sizes balanced.
+  auto cluster_of = [&](NodeId dst_node) {
+    return static_cast<int>((dst_node - dst_base) % A);
+  };
+  // Per-cluster destination lists for fast preferred draws.
+  std::vector<std::vector<NodeId>> cluster_members(static_cast<std::size_t>(A));
+  for (std::int64_t i = 0; i < num_dst; ++i) {
+    const NodeId v = static_cast<NodeId>(dst_base + i);
+    cluster_members[static_cast<std::size_t>(cluster_of(v))].push_back(v);
+  }
+  for (const auto& members : cluster_members)
+    TASER_CHECK_MSG(!members.empty(), "archetype count exceeds destination count");
+
+  // Shuffled source order so Zipf rank is uncorrelated with node id.
+  std::vector<NodeId> src_by_rank(static_cast<std::size_t>(config.num_src));
+  for (std::int64_t i = 0; i < config.num_src; ++i) src_by_rank[static_cast<std::size_t>(i)] = static_cast<NodeId>(i);
+  rng.shuffle(src_by_rank);
+
+  // ---- event stream -----------------------------------------------------
+  std::vector<std::vector<NodeId>> partners(static_cast<std::size_t>(config.num_src));
+  if (meta) {
+    meta->edge_kind.reserve(static_cast<std::size_t>(config.num_edges));
+    meta->relocation_time = reloc;
+    meta->archetype_before = arch0;
+    meta->archetype_after = arch1;
+  }
+
+  for (std::int64_t k = 0; k < config.num_edges; ++k) {
+    const Time t = config.horizon * (static_cast<double>(k) + rng.next_double()) /
+                   static_cast<double>(config.num_edges);
+    const NodeId u =
+        src_by_rank[rng.next_zipf(static_cast<std::size_t>(config.num_src),
+                                  config.zipf_activity)];
+    auto& hist = partners[static_cast<std::size_t>(u)];
+
+    NodeId v;
+    std::uint8_t kind;
+    if (rng.next_bool(config.noise_edge_prob)) {
+      v = static_cast<NodeId>(dst_base + static_cast<std::int64_t>(
+                                             rng.next_below(static_cast<std::uint64_t>(num_dst))));
+      kind = SyntheticMeta::kNoise;
+    } else if (!hist.empty() && rng.next_bool(config.repeat_prob)) {
+      // Re-interact with an earlier partner. Bias towards recent partners
+      // (last-quarter window twice as likely) — bursts, not uniform recall.
+      const std::size_t h = hist.size();
+      std::size_t idx;
+      if (h >= 4 && rng.next_bool(0.5)) {
+        idx = h - 1 - rng.next_below(h / 4 + 1);
+      } else {
+        idx = rng.next_below(h);
+      }
+      v = hist[idx];
+      // Classify the repeat: matching the current regime is a benign
+      // (if redundant) repeat; matching the *pre-relocation* regime of a
+      // relocated source is exactly the paper's deprecated link; anything
+      // else is a re-run of an originally random partner, i.e. noise.
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (cluster_of(v) == archetype_at(u, t)) {
+        kind = SyntheticMeta::kRepeat;
+      } else if (t >= reloc[su] && cluster_of(v) == arch0[su]) {
+        kind = SyntheticMeta::kDeprecated;
+      } else {
+        kind = SyntheticMeta::kNoise;
+      }
+    } else {
+      const auto& members = cluster_members[static_cast<std::size_t>(archetype_at(u, t))];
+      v = members[rng.next_below(members.size())];
+      kind = SyntheticMeta::kFresh;
+    }
+    hist.push_back(v);
+    data.src.push_back(bipartite ? u : u);  // sources already occupy [0, num_src)
+    data.dst.push_back(v);
+    data.ts.push_back(t);
+    if (meta) meta->edge_kind.push_back(kind);
+  }
+
+  // ---- features ------------------------------------------------------------
+  // Edge feature = projection of [latent(arch(u,t)) ; latent(cluster(v))]
+  // plus noise: a mismatched pair (noise / deprecated edge) is detectable,
+  // which is the contextual signal the adaptive sampler can exploit.
+  if (config.edge_feat_dim > 0) {
+    const std::int64_t in = 2 * config.latent_dim;
+    const auto w = make_projection(in, config.edge_feat_dim, rng);
+    data.edge_feats.resize(static_cast<std::size_t>(config.num_edges * config.edge_feat_dim));
+    std::vector<float> latent_pair(static_cast<std::size_t>(in));
+    for (std::int64_t k = 0; k < config.num_edges; ++k) {
+      const int au = archetype_at(data.src[static_cast<std::size_t>(k)], data.ts[static_cast<std::size_t>(k)]);
+      const int cv = cluster_of(data.dst[static_cast<std::size_t>(k)]);
+      std::copy(archetype_latent[static_cast<std::size_t>(au)].begin(),
+                archetype_latent[static_cast<std::size_t>(au)].end(), latent_pair.begin());
+      std::copy(archetype_latent[static_cast<std::size_t>(cv)].begin(),
+                archetype_latent[static_cast<std::size_t>(cv)].end(),
+                latent_pair.begin() + config.latent_dim);
+      project_into(latent_pair.data(), in, w, config.edge_feat_dim,
+                   static_cast<float>(config.feat_noise), rng,
+                   data.edge_feats.data() + k * config.edge_feat_dim);
+    }
+  }
+
+  // Node feature = projection of the node's (initial) archetype/cluster
+  // latent. Static by nature, so it cannot reflect relocations — exactly
+  // like real node attributes.
+  if (config.node_feat_dim > 0) {
+    const auto w = make_projection(config.latent_dim, config.node_feat_dim, rng);
+    data.node_feats.resize(static_cast<std::size_t>(num_nodes * config.node_feat_dim));
+    for (std::int64_t v = 0; v < num_nodes; ++v) {
+      const bool is_dst = v >= dst_base;
+      const int a = is_dst ? cluster_of(static_cast<NodeId>(v)) : arch0[static_cast<std::size_t>(v)];
+      project_into(archetype_latent[static_cast<std::size_t>(a)].data(), config.latent_dim,
+                   w, config.node_feat_dim, static_cast<float>(config.feat_noise) * 0.5f,
+                   rng, data.node_feats.data() + v * config.node_feat_dim);
+    }
+  }
+
+  data.apply_chrono_split();
+  data.validate();
+  return data;
+}
+
+namespace {
+
+SyntheticConfig preset(std::string name, std::int64_t num_src, std::int64_t num_dst,
+                       std::int64_t num_edges, std::int64_t dv, std::int64_t de,
+                       double scale, std::int64_t feat_dim_override, std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.name = std::move(name);
+  auto scaled = [scale](std::int64_t x) {
+    return std::max<std::int64_t>(16, static_cast<std::int64_t>(static_cast<double>(x) * scale));
+  };
+  cfg.num_src = scaled(num_src);
+  cfg.num_dst = num_dst > 0 ? scaled(num_dst) : 0;
+  cfg.num_edges = std::max<std::int64_t>(500, static_cast<std::int64_t>(
+                                                  static_cast<double>(num_edges) * scale));
+  cfg.node_feat_dim = dv > 0 && feat_dim_override > 0 ? feat_dim_override : dv;
+  cfg.edge_feat_dim = de > 0 && feat_dim_override > 0 ? feat_dim_override : de;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+// Table II shapes. Node splits follow the bipartite structure of the real
+// data (Wikipedia/Reddit/MovieLens are user–item graphs; Flights and
+// GDELT are unipartite). Edge counts for MovieLens/GDELT reflect the
+// paper's "latest 1M edges" protocol rather than the raw totals.
+SyntheticConfig wikipedia_like(double scale, std::int64_t feat_dim_override) {
+  auto cfg = preset("wikipedia", 8227, 1000, 157474, 0, 172, scale, feat_dim_override, 101);
+  cfg.repeat_prob = 0.55;  // Wikipedia editors revisit pages heavily
+  return cfg;
+}
+
+SyntheticConfig reddit_like(double scale, std::int64_t feat_dim_override) {
+  auto cfg = preset("reddit", 10000, 984, 672447, 0, 172, scale, feat_dim_override, 102);
+  cfg.repeat_prob = 0.6;
+  cfg.zipf_activity = 1.15;  // heavier poster skew
+  return cfg;
+}
+
+SyntheticConfig flights_like(double scale, std::int64_t feat_dim_override) {
+  auto cfg = preset("flights", 13169, 0, 1000000, 100, 0, scale, feat_dim_override, 103);
+  cfg.repeat_prob = 0.7;       // schedules repeat daily
+  cfg.relocation_prob = 0.3;   // route changes are rarer
+  cfg.noise_edge_prob = 0.08;  // schedules are clean
+  return cfg;
+}
+
+SyntheticConfig movielens_like(double scale, std::int64_t feat_dim_override) {
+  auto cfg = preset("movielens", 360715, 11000, 1000000, 0, 266, scale, feat_dim_override, 104);
+  cfg.repeat_prob = 0.25;  // users rarely re-rate the same movie
+  cfg.zipf_activity = 1.2;
+  return cfg;
+}
+
+SyntheticConfig gdelt_like(double scale, std::int64_t feat_dim_override) {
+  auto cfg = preset("gdelt", 16682, 0, 1000000, 413, 130, scale, feat_dim_override, 105);
+  if (feat_dim_override > 0) cfg.node_feat_dim = feat_dim_override;
+  cfg.repeat_prob = 0.5;
+  cfg.noise_edge_prob = 0.2;  // news co-mention graphs are noisy
+  return cfg;
+}
+
+std::vector<SyntheticConfig> all_paper_presets(double scale, std::int64_t feat_dim_override) {
+  return {wikipedia_like(scale, feat_dim_override), reddit_like(scale, feat_dim_override),
+          flights_like(scale, feat_dim_override), movielens_like(scale, feat_dim_override),
+          gdelt_like(scale, feat_dim_override)};
+}
+
+}  // namespace taser::graph

@@ -1,0 +1,55 @@
+#include "graph/tcsr.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::graph {
+
+TCSR::TCSR(const Dataset& dataset) {
+  num_nodes_ = dataset.num_nodes;
+  const std::int64_t e = dataset.num_edges();
+  const std::int64_t slots = 2 * e;  // both directions
+
+  // Counting pass.
+  indptr_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (std::int64_t i = 0; i < e; ++i) {
+    ++indptr_[static_cast<std::size_t>(dataset.src[i]) + 1];
+    ++indptr_[static_cast<std::size_t>(dataset.dst[i]) + 1];
+  }
+  for (std::size_t v = 0; v < static_cast<std::size_t>(num_nodes_); ++v)
+    indptr_[v + 1] += indptr_[v];
+
+  nbr_.resize(static_cast<std::size_t>(slots));
+  nbr_ts_.resize(static_cast<std::size_t>(slots));
+  nbr_eid_.resize(static_cast<std::size_t>(slots));
+
+  // Fill pass. Events are already chronological, so writing them in edge
+  // order leaves every per-node list sorted by timestamp — no per-node
+  // sort is needed (this is what makes T-CSR construction linear).
+  std::vector<std::int64_t> cursor(indptr_.begin(), indptr_.end() - 1);
+  for (std::int64_t i = 0; i < e; ++i) {
+    const auto eid = static_cast<EdgeId>(i);
+    const NodeId u = dataset.src[i];
+    const NodeId v = dataset.dst[i];
+    const Time t = dataset.ts[i];
+    auto& cu = cursor[static_cast<std::size_t>(u)];
+    nbr_[static_cast<std::size_t>(cu)] = v;
+    nbr_ts_[static_cast<std::size_t>(cu)] = t;
+    nbr_eid_[static_cast<std::size_t>(cu)] = eid;
+    ++cu;
+    auto& cv = cursor[static_cast<std::size_t>(v)];
+    nbr_[static_cast<std::size_t>(cv)] = u;
+    nbr_ts_[static_cast<std::size_t>(cv)] = t;
+    nbr_eid_[static_cast<std::size_t>(cv)] = eid;
+    ++cv;
+  }
+}
+
+std::int64_t TCSR::pivot(NodeId v, Time t) const {
+  const auto first = nbr_ts_.begin() + begin(v);
+  const auto last = nbr_ts_.begin() + end(v);
+  return std::lower_bound(first, last, t) - nbr_ts_.begin();
+}
+
+}  // namespace taser::graph

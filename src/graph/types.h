@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace taser::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using Time = double;
+
+constexpr NodeId kInvalidNode = -1;
+constexpr EdgeId kInvalidEdge = -1;
+
+/// A batch of (node, timestamp) roots for which temporal neighborhoods
+/// are requested. The timestamp is exclusive: only interactions strictly
+/// earlier than `times[i]` are eligible (paper §II-A).
+struct TargetBatch {
+  std::vector<NodeId> nodes;
+  std::vector<Time> times;
+
+  std::size_t size() const { return nodes.size(); }
+  void clear() {
+    nodes.clear();
+    times.clear();
+  }
+  void push(NodeId v, Time t) {
+    nodes.push_back(v);
+    times.push_back(t);
+  }
+};
+
+}  // namespace taser::graph

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace taser::models {
+
+using tensor::Tensor;
+
+/// Dense inputs for one hop of sampled temporal neighbors:
+/// T targets, each with `width` neighbor slots (padded; see mask).
+/// All tensors are constants w.r.t. the model (requires_grad = false);
+/// gradients flow into model weights only.
+struct HopInputs {
+  std::int64_t targets = 0;
+  std::int64_t width = 0;
+
+  Tensor nbr_node_feats;  ///< [T, width, dv]; undefined when the dataset has no node feats
+  Tensor edge_feats;      ///< [T, width, de]; undefined when no edge feats
+  Tensor delta_t;         ///< [T, width] (t_target - t_neighbor; 0 on padding)
+  Tensor mask;            ///< [T, width] 1 = valid slot, 0 = padding
+};
+
+/// Everything a backbone needs to embed a batch of root nodes: the roots'
+/// own features plus one HopInputs per sampled hop (hops[0] = neighbors
+/// of roots, hops[1] = neighbors of hops[0]'s neighbors, ...).
+/// hops[k].targets == num_roots * prod(hops[<k].width).
+struct BatchInputs {
+  std::int64_t num_roots = 0;
+  Tensor root_feats;  ///< [num_roots, dv]; undefined when no node feats
+  std::vector<HopInputs> hops;
+};
+
+/// Internals of one temporal aggregation, captured during forward so that
+/// the TASER sample loss (paper Eq. 25 / Eq. 26) can be assembled after
+/// Lmodel's backward pass populated `.grad` on `output`.
+struct AggregationRecord {
+  enum class Kind { kAttention, kMixer };
+  Kind kind = Kind::kAttention;
+  /// Which sampled hop's log-probabilities this aggregation couples to
+  /// (0 = the sampler that picked roots' neighbors, 1 = next hop, ...).
+  int hop = 0;
+  Tensor output;     ///< [T, d] aggregated embeddings (grad-bearing)
+  Tensor attention;  ///< [T, n] softmax attention (attention kind)
+  Tensor scores;     ///< [T, n] pre-softmax scores (attention kind)
+  Tensor values;     ///< [T, n, d] V matrix (attention kind)
+  Tensor tokens;     ///< [T, n, d] post-mixer tokens before mean (mixer kind)
+  Tensor mask;       ///< [T, n]
+};
+
+}  // namespace taser::models

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "nn/mlp.h"
+
+namespace taser::models {
+
+using tensor::Tensor;
+
+/// Link-prediction head: scores a (source, destination) embedding pair
+/// with a 2-layer MLP on the concatenation, returning one logit per pair.
+class EdgePredictor : public nn::Module {
+ public:
+  EdgePredictor(std::int64_t embed_dim, util::Rng& rng)
+      : mlp_(2 * embed_dim, embed_dim, 1, rng) {
+    register_module("mlp", mlp_);
+  }
+
+  /// h_src, h_dst: [B, d] -> logits [B].
+  Tensor forward(const Tensor& h_src, const Tensor& h_dst) const {
+    Tensor z = tensor::concat_lastdim({h_src, h_dst});
+    return tensor::reshape(mlp_.forward(z), {h_src.size(0)});
+  }
+
+ private:
+  nn::Mlp mlp_;
+};
+
+}  // namespace taser::models

@@ -1,0 +1,77 @@
+#include "models/graphmixer.h"
+
+#include "tensor/ops.h"
+
+namespace taser::models {
+
+namespace tt = taser::tensor;
+
+GraphMixerModel::GraphMixerModel(ModelConfig config, util::Rng& rng)
+    : TgnnModel(config),
+      time_enc_(config.time_dim),
+      in_proj_(config.node_feat_dim + config.edge_feat_dim + config.time_dim,
+               config.hidden_dim, rng),
+      mixer_(config.num_neighbors, config.hidden_dim, rng),
+      out_proj_(config.hidden_dim, config.hidden_dim, rng) {
+  register_module("in_proj", in_proj_);
+  register_module("mixer", mixer_);
+  register_module("out_proj", out_proj_);
+  if (config.node_feat_dim > 0) {
+    self_proj_ = std::make_unique<nn::Linear>(config.node_feat_dim, config.hidden_dim, rng);
+    register_module("self_proj", *self_proj_);
+  }
+}
+
+Tensor GraphMixerModel::compute_embeddings(const BatchInputs& inputs) {
+  TASER_CHECK_MSG(inputs.hops.size() == 1, "GraphMixer expects 1 sampled hop");
+  records_.clear();
+  const HopInputs& hop = inputs.hops[0];
+  const std::int64_t T = hop.targets;
+  const std::int64_t n = hop.width;
+  TASER_CHECK_MSG(n == config_.num_neighbors,
+                  "MixerBlock is compiled for " << config_.num_neighbors
+                                                << " tokens, got hop width " << n);
+
+  // Fixed time encoding (Eq. 8) — computed outside the autograd graph.
+  std::vector<float> dts(static_cast<std::size_t>(T * n));
+  const float* dt_data = hop.delta_t.data();
+  for (std::int64_t i = 0; i < T * n; ++i) dts[static_cast<std::size_t>(i)] = dt_data[i];
+  Tensor phi = tt::reshape(time_enc_.forward(dts), {T, n, config_.time_dim});
+
+  std::vector<Tensor> parts;
+  if (config_.node_feat_dim > 0) parts.push_back(hop.nbr_node_feats);
+  if (config_.edge_feat_dim > 0) parts.push_back(hop.edge_feats);
+  parts.push_back(phi);
+  Tensor tokens_in = parts.size() == 1 ? parts[0] : tt::concat_lastdim(parts);
+
+  Tensor tokens = in_proj_.forward(tokens_in);   // [T, n, d]
+  Tensor mixed = mixer_.forward(tokens);         // [T, n, d]
+
+  // Mask-aware mean over tokens (Eq. 9): padded slots contribute nothing.
+  Tensor mask3 = tt::reshape(hop.mask, {T, n, 1});
+  Tensor summed = tt::sum_dim(tt::mul(mixed, mask3), 1);  // [T, d]
+  // Valid-slot counts, clamped to >= 1 (targets with no history).
+  std::vector<float> counts(static_cast<std::size_t>(T));
+  const float* mask_data = hop.mask.data();
+  for (std::int64_t i = 0; i < T; ++i) {
+    float c = 0.f;
+    for (std::int64_t j = 0; j < n; ++j) c += mask_data[i * n + j];
+    counts[static_cast<std::size_t>(i)] = c > 0.f ? c : 1.f;
+  }
+  Tensor count_t = Tensor::from_vector({T, 1}, std::move(counts));
+  Tensor pooled = tt::div(summed, count_t);  // [T, d]
+
+  AggregationRecord rec;
+  rec.kind = AggregationRecord::Kind::kMixer;
+  rec.hop = 0;
+  rec.output = pooled;
+  rec.tokens = mixed;
+  rec.mask = hop.mask;
+  records_.push_back(rec);
+
+  Tensor out = out_proj_.forward(tt::gelu(pooled));
+  if (self_proj_) out = tt::add(out, self_proj_->forward(inputs.root_feats));
+  return out;
+}
+
+}  // namespace taser::models

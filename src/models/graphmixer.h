@@ -1,0 +1,32 @@
+#pragma once
+
+#include "models/tgnn.h"
+#include "nn/linear.h"
+#include "nn/mixer.h"
+#include "nn/time_encoding.h"
+
+namespace taser::models {
+
+/// The GraphMixer backbone (Cong et al., ICLR 2023) as used in the paper:
+/// a single MLP-Mixer temporal aggregation (Eq. 8–9) over the most-recent
+/// neighbors. Token per neighbor = [h_u ‖ x_uvt ‖ Φ_fixed(∆t)]; tokens
+/// are mixed by one MixerBlock and mean-pooled with mask-aware averaging;
+/// a self projection of the root's features is added when node features
+/// exist.
+class GraphMixerModel : public TgnnModel {
+ public:
+  GraphMixerModel(ModelConfig config, util::Rng& rng);
+
+  Tensor compute_embeddings(const BatchInputs& inputs) override;
+  int num_hops() const override { return 1; }
+  std::string name() const override { return "GraphMixer"; }
+
+ private:
+  nn::FixedTimeEncoding time_enc_;
+  nn::Linear in_proj_;
+  nn::MixerBlock mixer_;
+  nn::Linear out_proj_;
+  std::unique_ptr<nn::Linear> self_proj_;  ///< only when node features exist
+};
+
+}  // namespace taser::models

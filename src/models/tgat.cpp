@@ -1,0 +1,121 @@
+#include "models/tgat.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace taser::models {
+
+namespace tt = taser::tensor;
+
+TgatLayer::TgatLayer(std::int64_t self_dim, std::int64_t nbr_dim, std::int64_t edge_dim,
+                     std::int64_t time_dim, std::int64_t out_dim, util::Rng& rng)
+    : self_dim_(self_dim),
+      nbr_dim_(nbr_dim),
+      edge_dim_(edge_dim),
+      time_dim_(time_dim),
+      out_dim_(out_dim),
+      time_enc_(time_dim, rng),
+      w_q_(self_dim + time_dim, out_dim, rng),
+      w_k_(nbr_dim + edge_dim + time_dim, out_dim, rng),
+      w_v_(nbr_dim + edge_dim + time_dim, out_dim, rng),
+      out_mlp_(out_dim + self_dim, out_dim, out_dim, rng) {
+  register_module("time_enc", time_enc_);
+  register_module("w_q", w_q_);
+  register_module("w_k", w_k_);
+  register_module("w_v", w_v_);
+  register_module("out_mlp", out_mlp_);
+}
+
+Tensor TgatLayer::forward(const Tensor& self_feats, const Tensor& nbr_hidden,
+                          const HopInputs& hop, AggregationRecord& record) const {
+  const std::int64_t T = hop.targets;
+  const std::int64_t n = hop.width;
+
+  // Φ(∆t) over all neighbor slots.
+  Tensor dt_flat = tt::reshape(hop.delta_t, {T * n});
+  Tensor phi = tt::reshape(time_enc_.forward(dt_flat), {T, n, time_dim_});
+
+  // Message matrix M (Eq. 1): concat available parts.
+  std::vector<Tensor> msg_parts;
+  if (nbr_dim_ > 0) msg_parts.push_back(nbr_hidden);
+  if (edge_dim_ > 0) msg_parts.push_back(hop.edge_feats);
+  msg_parts.push_back(phi);
+  Tensor M = msg_parts.size() == 1 ? msg_parts[0] : tt::concat_lastdim(msg_parts);
+
+  // Query from the target's own state and Φ(0) (Eq. 4).
+  Tensor phi0 = time_enc_.forward(Tensor::zeros({T}));
+  Tensor q_in = self_dim_ > 0 ? tt::concat_lastdim({self_feats, phi0}) : phi0;
+  Tensor q = w_q_.forward(q_in);               // [T, d]
+  Tensor K = w_k_.forward(M);                  // [T, n, d]
+  Tensor V = w_v_.forward(M);                  // [T, n, d]
+
+  // Attention scores (Eq. 7): q·K^T / sqrt(|Ns|), padded slots masked out.
+  Tensor q3 = tt::reshape(q, {T, 1, out_dim_});
+  Tensor scores = tt::mul_scalar(tt::sum_dim(tt::mul(K, q3), -1),
+                                 1.f / std::sqrt(static_cast<float>(n)));  // [T, n]
+  Tensor neg_mask = tt::mul_scalar(tt::add_scalar(hop.mask, -1.f), 1e4f);  // 0 valid, -1e4 pad
+  Tensor masked_scores = tt::add(scores, neg_mask);
+  Tensor attn = tt::softmax_lastdim(masked_scores);  // [T, n]
+
+  Tensor attn3 = tt::reshape(attn, {T, n, 1});
+  Tensor h_att = tt::sum_dim(tt::mul(V, attn3), 1);  // [T, d]
+
+  Tensor out_in = self_dim_ > 0 ? tt::concat_lastdim({h_att, self_feats}) : h_att;
+  Tensor out = out_mlp_.forward(out_in);
+
+  record.kind = AggregationRecord::Kind::kAttention;
+  record.output = out;
+  record.attention = attn;
+  record.scores = masked_scores;
+  record.values = V;
+  record.mask = hop.mask;
+  return out;
+}
+
+TgatModel::TgatModel(ModelConfig config, util::Rng& rng)
+    : TgnnModel(config),
+      layer1_(config.node_feat_dim, config.node_feat_dim, config.edge_feat_dim,
+              config.time_dim, config.hidden_dim, rng),
+      layer2_(config.hidden_dim, config.hidden_dim, config.edge_feat_dim,
+              config.time_dim, config.hidden_dim, rng) {
+  register_module("layer1", layer1_);
+  register_module("layer2", layer2_);
+}
+
+Tensor TgatModel::compute_embeddings(const BatchInputs& inputs) {
+  TASER_CHECK_MSG(inputs.hops.size() == 2, "TGAT expects 2 sampled hops");
+  records_.clear();
+  const HopInputs& hop1 = inputs.hops[0];
+  const HopInputs& hop2 = inputs.hops[1];
+  const std::int64_t R = inputs.num_roots;
+  const std::int64_t n1 = hop1.width;
+
+  // h^1 of the hop-1 frontier, aggregated from hop-2 raw neighbors. The
+  // frontier's own raw features are hop1.nbr_node_feats flattened.
+  Tensor frontier_self;
+  if (config_.node_feat_dim > 0)
+    frontier_self = tt::reshape(hop1.nbr_node_feats, {R * n1, config_.node_feat_dim});
+  AggregationRecord rec_frontier;
+  rec_frontier.hop = 1;  // couples to the sampler that picked hop-2 neighbors
+  Tensor h1_frontier =
+      layer1_.forward(frontier_self, hop2.nbr_node_feats, hop2, rec_frontier);
+  records_.push_back(rec_frontier);
+
+  // h^1 of the roots, aggregated from hop-1 raw neighbors.
+  AggregationRecord rec_root1;
+  rec_root1.hop = 0;
+  Tensor h1_root =
+      layer1_.forward(inputs.root_feats, hop1.nbr_node_feats, hop1, rec_root1);
+  records_.push_back(rec_root1);
+
+  // h^2 of the roots, aggregated from the frontier's h^1.
+  AggregationRecord rec_root2;
+  rec_root2.hop = 0;
+  Tensor h1_frontier_3d = tt::reshape(h1_frontier, {R, n1, config_.hidden_dim});
+  Tensor h2_root = layer2_.forward(h1_root, h1_frontier_3d, hop1, rec_root2);
+  records_.push_back(rec_root2);
+  return h2_root;
+}
+
+}  // namespace taser::models

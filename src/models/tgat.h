@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+
+#include "models/tgnn.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/time_encoding.h"
+
+namespace taser::models {
+
+/// One TGAT self-attention temporal aggregation layer (paper Eq. 4–7).
+///
+/// Message per neighbor (Eq. 1): m_u = [h_u ‖ x_uvt ‖ Φ(∆t)], where the
+/// parts that don't exist at a given layer (featureless nodes at layer 1)
+/// are simply omitted from the concatenation. Attention scale follows the
+/// paper: 1/√|Ns| (Eq. 7 normalises by the neighborhood size, not by the
+/// key width).
+class TgatLayer : public nn::Module {
+ public:
+  /// `self_dim` — width of the target's own representation h_v (0 = none);
+  /// `nbr_dim` — width of neighbors' h_u (0 = none).
+  TgatLayer(std::int64_t self_dim, std::int64_t nbr_dim, std::int64_t edge_dim,
+            std::int64_t time_dim, std::int64_t out_dim, util::Rng& rng);
+
+  /// self_feats: [T, self_dim] (undefined iff self_dim == 0);
+  /// nbr_hidden: [T, n, nbr_dim] (undefined iff nbr_dim == 0).
+  /// Fills `record` with the attention internals needed by Eq. 25.
+  Tensor forward(const Tensor& self_feats, const Tensor& nbr_hidden,
+                 const HopInputs& hop, AggregationRecord& record) const;
+
+  std::int64_t out_dim() const { return out_dim_; }
+
+ private:
+  std::int64_t self_dim_, nbr_dim_, edge_dim_, time_dim_, out_dim_;
+  nn::LearnableTimeEncoding time_enc_;
+  nn::Linear w_q_, w_k_, w_v_;
+  nn::Mlp out_mlp_;
+};
+
+/// The 2-layer TGAT backbone (Xu et al., ICLR 2020), as configured in the
+/// paper's experiments: uniform neighbor finding, 2 hops, self-attention
+/// aggregation. Produces three aggregation records per forward:
+/// layer-1 over hop-2 (couples to hop-1 sample log-probs), layer-1 over
+/// hop-1 (couples to hop-0), and layer-2 over hop-1 (couples to hop-0).
+class TgatModel : public TgnnModel {
+ public:
+  TgatModel(ModelConfig config, util::Rng& rng);
+
+  Tensor compute_embeddings(const BatchInputs& inputs) override;
+  int num_hops() const override { return 2; }
+  std::string name() const override { return "TGAT"; }
+
+ private:
+  TgatLayer layer1_, layer2_;
+};
+
+}  // namespace taser::models

@@ -1,0 +1,74 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace taser::nn {
+
+Adam::Adam(std::vector<tensor::Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto n = static_cast<std::size_t>(params_[i].numel());
+    m_[i].assign(n, 0.f);
+    v_[i].assign(n, 0.f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& node = params_[k].node();
+    if (node.grad.size() != node.data.size()) continue;  // never received grad
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    float* x = node.data.data();
+    const float* g = node.grad.data();
+    const std::size_t n = node.data.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      float gi = g[i];
+      if (weight_decay_ != 0.f) gi += weight_decay_ * x[i];
+      m[i] = beta1_ * m[i] + (1.f - beta1_) * gi;
+      v[i] = beta2_ * v[i] + (1.f - beta2_) * gi * gi;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      x[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+float clip_grad_norm(const std::vector<tensor::Tensor>& params, float max_norm) {
+  TASER_CHECK(max_norm > 0.f);
+  double total = 0;
+  for (const auto& p : params) {
+    const auto& node = p.node();
+    if (node.grad.size() != node.data.size()) continue;
+    for (float g : node.grad) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (const auto& p : params) {
+      auto& node = const_cast<tensor::TensorImpl&>(p.node());
+      if (node.grad.size() != node.data.size()) continue;
+      for (auto& g : node.grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace taser::nn

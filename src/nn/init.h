@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace taser::nn {
+
+/// Glorot/Xavier uniform init for a [fan_in, fan_out] weight matrix.
+inline tensor::Tensor xavier_uniform(std::int64_t fan_in, std::int64_t fan_out,
+                                     util::Rng& rng) {
+  const float bound = std::sqrt(6.f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::rand_uniform({fan_in, fan_out}, rng, -bound, bound);
+}
+
+}  // namespace taser::nn

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "nn/layer_norm.h"
+#include "nn/mlp.h"
+
+namespace taser::nn {
+
+/// One MLP-Mixer block (Tolstikhin et al., 2021) on [B, tokens, channels]:
+/// token-mixing MLP applied across the token dimension (via transpose),
+/// then channel-mixing MLP, each with pre-LayerNorm and residual.
+///
+/// Used both as the GraphMixer temporal aggregator (tokens = sampled
+/// neighbors) and as the TASER neighbor-decoder trunk (Eq. 16).
+class MixerBlock : public Module {
+ public:
+  /// `tokens` is the fixed token count (neighbor budget), `channels` the
+  /// embedding width. Hidden sizes follow GraphMixer: 0.5x for the token
+  /// MLP, 4x for the channel MLP.
+  MixerBlock(std::int64_t tokens, std::int64_t channels, util::Rng& rng,
+             std::int64_t token_hidden = 0, std::int64_t channel_hidden = 0)
+      : tokens_(tokens),
+        channels_(channels),
+        ln_token_(channels),
+        ln_channel_(channels),
+        token_mlp_(tokens, token_hidden > 0 ? token_hidden : std::max<std::int64_t>(tokens / 2, 2),
+                   tokens, rng),
+        channel_mlp_(channels, channel_hidden > 0 ? channel_hidden : channels * 4, channels,
+                     rng) {
+    register_module("ln_token", ln_token_);
+    register_module("ln_channel", ln_channel_);
+    register_module("token_mlp", token_mlp_);
+    register_module("channel_mlp", channel_mlp_);
+  }
+
+  /// x: [B, tokens, channels] -> same shape.
+  Tensor forward(const Tensor& x) const {
+    TASER_CHECK_MSG(x.dim() == 3 && x.size(1) == tokens_ && x.size(2) == channels_,
+                    "MixerBlock expects [B," << tokens_ << "," << channels_ << "], got "
+                                             << tensor::shape_str(x.shape()));
+    // Token mixing: transpose to [B, channels, tokens], MLP over tokens.
+    Tensor t = tensor::permute_021(ln_token_.forward(x));
+    t = token_mlp_.forward(t);
+    Tensor x1 = tensor::add(x, tensor::permute_021(t));
+    // Channel mixing.
+    Tensor c = channel_mlp_.forward(ln_channel_.forward(x1));
+    return tensor::add(x1, c);
+  }
+
+  std::int64_t tokens() const { return tokens_; }
+  std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t tokens_, channels_;
+  LayerNorm ln_token_, ln_channel_;
+  Mlp token_mlp_, channel_mlp_;
+};
+
+}  // namespace taser::nn

@@ -1,0 +1,51 @@
+#include "nn/module.h"
+
+namespace taser::nn {
+
+Tensor Module::register_parameter(std::string name, Tensor t) {
+  t.set_requires_grad(true);
+  params_.emplace_back(std::move(name), t);
+  return t;
+}
+
+void Module::register_module(std::string name, Module& child) {
+  children_.emplace_back(std::move(name), &child);
+}
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [_, t] : params_) out.push_back(t);
+  for (const auto& [_, c] : children_) {
+    auto sub = c->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_parameters(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [n, t] : params_) out.emplace_back(prefix + n, t);
+  for (const auto& [n, c] : children_) {
+    auto sub = c->named_parameters(prefix + n + ".");
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (auto& t : parameters()) t.zero_grad();
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& t : parameters()) n += t.numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [_, c] : children_) c->set_training(training);
+}
+
+}  // namespace taser::nn

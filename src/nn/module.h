@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace taser::nn {
+
+using tensor::Tensor;
+
+/// Base class for trainable components. Parameters are registered by the
+/// constructor of each concrete module; `parameters()` flattens the
+/// subtree for the optimizer. Modules are owned by value inside their
+/// parents (no virtual forward — each module exposes its own typed
+/// forward signature), so `register_module` stores non-owning pointers
+/// that remain valid for the parent's lifetime.
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;  // children hold raw parent-owned pointers
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = delete;
+  Module& operator=(Module&&) = delete;
+
+  /// All trainable tensors of this module and its registered children.
+  std::vector<Tensor> parameters() const;
+  std::vector<std::pair<std::string, Tensor>> named_parameters(
+      const std::string& prefix = "") const;
+
+  void zero_grad();
+  std::int64_t parameter_count() const;
+
+  bool training() const { return training_; }
+  virtual void set_training(bool training);
+
+ protected:
+  Tensor register_parameter(std::string name, Tensor t);
+  void register_module(std::string name, Module& child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace taser::nn

@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "util/check.h"
+
+namespace taser::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54535231;  // "TSR1"
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  TASER_CHECK_MSG(n < (1u << 20), "corrupt checkpoint: name length " << n);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+}  // namespace
+
+void save_parameters(const Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  TASER_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  std::uint32_t magic = kMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+
+  const auto named = module.named_parameters();
+  write_u64(os, named.size());
+  for (const auto& [name, tensor] : named) {
+    write_string(os, name);
+    const auto& shape = tensor.shape();
+    write_u64(os, shape.size());
+    for (auto d : shape) write_u64(os, static_cast<std::uint64_t>(d));
+    os.write(reinterpret_cast<const char*>(tensor.data()),
+             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  TASER_CHECK_MSG(os.good(), "write failed for " << path);
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TASER_CHECK_MSG(is.good(), "cannot open " << path);
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  TASER_CHECK_MSG(magic == kMagic, path << " is not a TASER checkpoint");
+
+  auto named = module.named_parameters();
+  std::map<std::string, Tensor> by_name(named.begin(), named.end());
+
+  const std::uint64_t count = read_u64(is);
+  TASER_CHECK_MSG(count == by_name.size(),
+                  "checkpoint has " << count << " parameters, model expects "
+                                    << by_name.size());
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::string name = read_string(is);
+    auto it = by_name.find(name);
+    TASER_CHECK_MSG(it != by_name.end(), "unknown parameter '" << name << "'");
+    const std::uint64_t rank = read_u64(is);
+    tensor::Shape shape(rank);
+    for (auto& d : shape) d = static_cast<std::int64_t>(read_u64(is));
+    TASER_CHECK_MSG(shape == it->second.shape(),
+                    "shape mismatch for '" << name << "': checkpoint "
+                                           << tensor::shape_str(shape) << " vs model "
+                                           << tensor::shape_str(it->second.shape()));
+    is.read(reinterpret_cast<char*>(it->second.data()),
+            static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
+    TASER_CHECK_MSG(is.good(), "truncated checkpoint at '" << name << "'");
+  }
+}
+
+}  // namespace taser::nn

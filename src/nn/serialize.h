@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace taser::nn {
+
+/// Checkpointing: saves/loads a module's named parameters to a simple
+/// binary container (magic, count, then per-parameter name + shape +
+/// float32 payload). Loading matches strictly by name and shape — a
+/// mismatch throws rather than silently truncating, so checkpoints are
+/// only exchangeable between identically-configured models.
+void save_parameters(const Module& module, const std::string& path);
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace taser::nn

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace taser::nn {
+
+/// TGAT's learnable time encoding (paper Eq. 3):
+///   Φ(∆t) = cos(∆t·w + b),  w, b ∈ R^{dT} learnable.
+class LearnableTimeEncoding : public Module {
+ public:
+  LearnableTimeEncoding(std::int64_t dim, util::Rng& rng) : dim_(dim) {
+    // Initialise w like TGAT: geometric frequencies, so early training
+    // already spans multiple timescales.
+    std::vector<float> w(static_cast<std::size_t>(dim));
+    for (std::int64_t i = 0; i < dim; ++i)
+      w[static_cast<std::size_t>(i)] =
+          1.f / std::pow(10.f, 2.f * static_cast<float>(i) / static_cast<float>(dim));
+    (void)rng;
+    w_ = register_parameter("w", Tensor::from_vector({dim}, std::move(w)));
+    b_ = register_parameter("b", Tensor::zeros({dim}));
+  }
+
+  /// delta_t: [N] (no grad) -> [N, dim].
+  Tensor forward(const Tensor& delta_t) const {
+    Tensor dt = tensor::reshape(delta_t, {delta_t.numel(), 1});
+    return tensor::cos_t(tensor::add(tensor::mul(dt, w_), b_));
+  }
+
+  std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t dim_;
+  Tensor w_, b_;
+};
+
+/// GraphMixer's fixed time encoding (paper Eq. 8):
+///   Φ(∆t) = cos(∆t·ω),  ω_i = α^{-(i-1)/β}, defaults α = β = √dT.
+class FixedTimeEncoding {
+ public:
+  explicit FixedTimeEncoding(std::int64_t dim, float alpha = 0.f, float beta = 0.f)
+      : dim_(dim) {
+    const float a = alpha > 0.f ? alpha : std::sqrt(static_cast<float>(dim));
+    const float b = beta > 0.f ? beta : std::sqrt(static_cast<float>(dim));
+    omega_.resize(static_cast<std::size_t>(dim));
+    for (std::int64_t i = 0; i < dim; ++i)
+      omega_[static_cast<std::size_t>(i)] =
+          std::pow(a, -static_cast<float>(i) / b);
+  }
+
+  /// Fills `out` (length dim) for one ∆t. Hot path helper for encoders
+  /// that assemble feature rows directly.
+  void encode(float delta_t, float* out) const {
+    for (std::int64_t i = 0; i < dim_; ++i)
+      out[static_cast<std::size_t>(i)] =
+          std::cos(delta_t * omega_[static_cast<std::size_t>(i)]);
+  }
+
+  /// delta_ts: host buffer of N values -> [N, dim] constant tensor.
+  Tensor forward(const std::vector<float>& delta_ts) const {
+    std::vector<float> data(delta_ts.size() * static_cast<std::size_t>(dim_));
+    for (std::size_t r = 0; r < delta_ts.size(); ++r)
+      encode(delta_ts[r], data.data() + r * static_cast<std::size_t>(dim_));
+    return Tensor::from_vector({static_cast<std::int64_t>(delta_ts.size()), dim_},
+                               std::move(data));
+  }
+
+  std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t dim_;
+  std::vector<float> omega_;
+};
+
+/// Sinusoidal frequency encoding (paper Eq. 12): positional encoding of
+/// the *appearance count* of a neighbor within a temporal neighborhood.
+class FrequencyEncoding {
+ public:
+  explicit FrequencyEncoding(std::int64_t dim) : dim_(dim) {}
+
+  void encode(float freq, float* out) const {
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      // Pairs (sin, cos) as in Vaswani et al.; exponent uses the pair index.
+      const float expo = static_cast<float>(2 * ((i / 2) + 1)) / static_cast<float>(dim_);
+      const float denom = std::pow(10000.f, expo);
+      out[static_cast<std::size_t>(i)] =
+          (i % 2 == 0) ? std::sin(freq / denom) : std::cos(freq / denom);
+    }
+  }
+
+  Tensor forward(const std::vector<float>& freqs) const {
+    std::vector<float> data(freqs.size() * static_cast<std::size_t>(dim_));
+    for (std::size_t r = 0; r < freqs.size(); ++r)
+      encode(freqs[r], data.data() + r * static_cast<std::size_t>(dim_));
+    return Tensor::from_vector({static_cast<std::int64_t>(freqs.size()), dim_},
+                               std::move(data));
+  }
+
+  std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t dim_;
+};
+
+}  // namespace taser::nn

@@ -1,0 +1,112 @@
+#include "sampling/gpu_finder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::sampling {
+
+SampledNeighbors GpuNeighborFinder::sample(const TargetBatch& targets,
+                                           std::int64_t budget, FinderPolicy policy) {
+  TASER_CHECK(budget > 0);
+  TASER_CHECK_MSG(policy != FinderPolicy::kInverseTimespan,
+                  "GPU finder implements uniform and most-recent policies (Algorithm 2)");
+  SampledNeighbors out;
+  out.resize(static_cast<std::int64_t>(targets.size()), budget);
+  if (targets.size() == 0) {
+    last_kernel_time_ = {};
+    return out;
+  }
+
+  const auto& indptr = graph_.indptr();
+  const auto& nbr_ts = graph_.nbr_ts();
+
+  auto kernel = [&](gpusim::BlockCtx& blk) {
+    const std::int64_t i = blk.block_id();
+    const NodeId v = targets.nodes[static_cast<std::size_t>(i)];
+    if (v == graph::kInvalidNode) return;
+    const Time t = targets.times[static_cast<std::size_t>(i)];
+    const std::int64_t lo = indptr[static_cast<std::size_t>(v)];
+    const std::int64_t hi_all = indptr[static_cast<std::size_t>(v) + 1];
+
+    // Phase 1 (thread 0): binary search for the pivot. Each probe is one
+    // global read of a timestamp; work is log2(degree).
+    std::int64_t pivot = lo;
+    blk.single_thread([&] {
+      std::int64_t a = lo, b = hi_all;
+      while (a < b) {
+        const std::int64_t mid = (a + b) / 2;
+        blk.count_instr(4);
+        blk.count_global_read(sizeof(Time));
+        if (nbr_ts[static_cast<std::size_t>(mid)] < t) {
+          a = mid + 1;
+        } else {
+          b = mid;
+        }
+      }
+      pivot = a;
+    });
+    // __syncthreads(): pivot becomes visible to all threads.
+
+    const std::int64_t n = pivot - lo;
+    if (n <= 0) return;
+    const std::int64_t take = std::min(budget, n);
+    out.count[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(take);
+
+    auto emit = [&](std::int64_t j, std::int64_t adj_index) {
+      const auto s = static_cast<std::size_t>(out.slot(i, j));
+      out.nbr[s] = graph_.nbr_at(adj_index);
+      out.ts[s] = graph_.ts_at(adj_index);
+      out.eid[s] = graph_.eid_at(adj_index);
+      // Reads neighbor record from global memory, writes the sample slot.
+      blk.count_global_read(sizeof(NodeId) + sizeof(Time) + sizeof(EdgeId));
+      blk.count_global_write(sizeof(NodeId) + sizeof(Time) + sizeof(EdgeId));
+      blk.count_instr(2);
+    };
+
+    if (policy == FinderPolicy::kMostRecent) {
+      blk.for_each_thread([&](int j) {
+        if (j < take) emit(j, pivot - 1 - j);
+      });
+      return;
+    }
+
+    // Uniform. Degenerate case: neighborhood fits the budget entirely.
+    if (n <= budget) {
+      blk.for_each_thread([&](int j) {
+        if (j < n) emit(j, lo + j);
+      });
+      return;
+    }
+
+    // Shared-memory bitmap over the n candidates; each thread keeps
+    // drawing until its atomicCAS claims a free slot (Algorithm 2 l.11-14).
+    const std::size_t words = static_cast<std::size_t>((n + 31) / 32);
+    std::uint32_t* bitmap = blk.shared_words(words);
+    blk.for_each_thread([&](int j) {
+      if (j >= take) return;
+      util::Rng rng = blk.thread_rng(j);
+      while (true) {
+        const std::int64_t r =
+            static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+        blk.count_instr(3);
+        blk.count_shared(1);
+        const std::uint32_t mask = 1u << (r % 32);
+        std::uint32_t* word = bitmap + r / 32;
+        const std::uint32_t seen = *word;
+        if ((seen & mask) != 0) continue;  // collision detected in shared mem
+        if (blk.atomic_cas(word, seen, seen | mask)) {
+          emit(j, lo + r);
+          break;
+        }
+      }
+    });
+  };
+
+  const auto result =
+      device_.launch(static_cast<int>(targets.size()), static_cast<int>(budget), kernel);
+  last_kernel_time_ = result.time;
+  return out;
+}
+
+}  // namespace taser::sampling

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "gpusim/device.h"
+#include "sampling/neighbor_finder.h"
+
+namespace taser::sampling {
+
+/// TASER's pure-GPU temporal neighbor finder (paper Algorithm 2),
+/// executed on the SIMT device simulator. Block-centric design:
+///
+///   - one thread block per target (v, t);
+///   - thread 0 binary-searches the T-CSR timestamp prefix for the pivot;
+///   - barrier;
+///   - most-recent mode: thread j copies neighbor (pivot-1-j);
+///   - uniform mode: a shared-memory bitmap + atomicCAS collision
+///     detection lets every thread draw without replacement in parallel.
+///
+/// Supports arbitrary (non-chronological) batch order — the property
+/// TASER's shuffled adaptive mini-batches require. Device time for every
+/// launch accrues on the Device's simulated-time ledger; wall-clock time
+/// of this class is meaningless (it is a simulation).
+class GpuNeighborFinder : public NeighborFinder {
+ public:
+  GpuNeighborFinder(const graph::TCSR& graph, gpusim::Device& device)
+      : graph_(graph), device_(device) {}
+
+  SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
+                          FinderPolicy policy) override;
+
+  std::string name() const override { return "taser-gpu"; }
+
+  /// Modeled device time of the most recent `sample` call.
+  gpusim::SimDuration last_kernel_time() const { return last_kernel_time_; }
+
+ private:
+  const graph::TCSR& graph_;
+  gpusim::Device& device_;
+  gpusim::SimDuration last_kernel_time_;
+};
+
+}  // namespace taser::sampling

@@ -1,0 +1,27 @@
+#include "sampling/neighbor_finder.h"
+
+namespace taser::sampling {
+
+const char* to_string(FinderPolicy policy) {
+  switch (policy) {
+    case FinderPolicy::kUniform:
+      return "uniform";
+    case FinderPolicy::kMostRecent:
+      return "most-recent";
+    case FinderPolicy::kInverseTimespan:
+      return "inverse-timespan";
+  }
+  return "?";
+}
+
+void SampledNeighbors::resize(std::int64_t targets, std::int64_t budget_per_target) {
+  num_targets = targets;
+  budget = budget_per_target;
+  const auto slots = static_cast<std::size_t>(targets * budget_per_target);
+  nbr.assign(slots, graph::kInvalidNode);
+  ts.assign(slots, 0.0);
+  eid.assign(slots, graph::kInvalidEdge);
+  count.assign(static_cast<std::size_t>(targets), 0);
+}
+
+}  // namespace taser::sampling

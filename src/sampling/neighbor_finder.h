@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/tcsr.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace taser::sampling {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::TargetBatch;
+using graph::Time;
+
+/// Static sampling policy of a neighbor finder (paper §II-A plus the
+/// TGAT inverse-timespan heuristic discussed in §I/§II-C).
+enum class FinderPolicy { kUniform, kMostRecent, kInverseTimespan };
+
+const char* to_string(FinderPolicy policy);
+
+/// Result of one neighbor-finding call: a dense [num_targets x budget]
+/// block. Slots beyond a target's `count` are padded with kInvalidNode /
+/// kInvalidEdge and time 0.
+struct SampledNeighbors {
+  std::int64_t num_targets = 0;
+  std::int64_t budget = 0;
+  std::vector<NodeId> nbr;
+  std::vector<Time> ts;
+  std::vector<EdgeId> eid;
+  std::vector<std::int32_t> count;  ///< valid entries per target
+
+  void resize(std::int64_t targets, std::int64_t budget_per_target);
+
+  std::int64_t slot(std::int64_t target, std::int64_t j) const {
+    return target * budget + j;
+  }
+  /// Bytes a CPU finder must ship to the device for this result
+  /// (neighbor id + timestamp + edge id per slot).
+  std::uint64_t payload_bytes() const {
+    return static_cast<std::uint64_t>(num_targets * budget) *
+           (sizeof(NodeId) + sizeof(Time) + sizeof(EdgeId));
+  }
+};
+
+/// Interface shared by the three finder generations (original / TGL CPU /
+/// TASER GPU). Implementations must enforce the strict time restriction
+/// tu < t and sample without replacement under kUniform.
+class NeighborFinder {
+ public:
+  virtual ~NeighborFinder() = default;
+
+  /// Declares the start of a new root mini-batch whose maximum root
+  /// timestamp is `batch_time`. Finders built on monotone snapshot
+  /// pointers (TGL) enforce chronological order here; all others ignore
+  /// it. Trainers call this once per mini-batch before sampling hops.
+  virtual void begin_batch(Time batch_time) { (void)batch_time; }
+
+  virtual SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
+                                  FinderPolicy policy) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True when the finder requires batches in chronological order (the
+  /// TGL pointer-array restriction the paper's §III-C motivates the GPU
+  /// finder with).
+  virtual bool chronological_only() const { return false; }
+};
+
+}  // namespace taser::sampling

@@ -1,0 +1,94 @@
+#include "sampling/orig_finder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::sampling {
+
+SampledNeighbors OrigNeighborFinder::sample(const TargetBatch& targets,
+                                            std::int64_t budget, FinderPolicy policy) {
+  TASER_CHECK(budget > 0);
+  SampledNeighbors out;
+  out.resize(static_cast<std::int64_t>(targets.size()), budget);
+  std::uint64_t visited = 0;
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId v = targets.nodes[i];
+    const Time t = targets.times[i];
+    if (v == graph::kInvalidNode) continue;
+
+    // Re-materialise the eligible neighborhood — fresh vectors per query,
+    // full scan, exactly like the numpy implementation's list slicing.
+    std::vector<NodeId> cand_nbr;
+    std::vector<Time> cand_ts;
+    std::vector<EdgeId> cand_eid;
+    visited += static_cast<std::uint64_t>(graph_.degree(v));
+    for (std::int64_t p = graph_.begin(v); p < graph_.end(v); ++p) {
+      if (graph_.ts_at(p) < t) {
+        cand_nbr.push_back(graph_.nbr_at(p));
+        cand_ts.push_back(graph_.ts_at(p));
+        cand_eid.push_back(graph_.eid_at(p));
+      }
+    }
+    const std::int64_t n = static_cast<std::int64_t>(cand_nbr.size());
+    if (n == 0) continue;
+
+    const std::int64_t take = std::min(budget, n);
+    std::vector<std::int64_t> picks;
+    picks.reserve(static_cast<std::size_t>(take));
+    switch (policy) {
+      case FinderPolicy::kMostRecent:
+        for (std::int64_t j = 0; j < take; ++j) picks.push_back(n - 1 - j);
+        break;
+      case FinderPolicy::kUniform: {
+        if (n <= budget) {
+          for (std::int64_t j = 0; j < n; ++j) picks.push_back(j);
+        } else {
+          // Partial Fisher–Yates over an index vector (allocation included
+          // on purpose; the original allocates too).
+          std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+          for (std::int64_t j = 0; j < n; ++j) idx[static_cast<std::size_t>(j)] = j;
+          for (std::int64_t j = 0; j < take; ++j) {
+            const std::int64_t r =
+                j + static_cast<std::int64_t>(rng_.next_below(static_cast<std::uint64_t>(n - j)));
+            std::swap(idx[static_cast<std::size_t>(j)], idx[static_cast<std::size_t>(r)]);
+            picks.push_back(idx[static_cast<std::size_t>(j)]);
+          }
+        }
+        break;
+      }
+      case FinderPolicy::kInverseTimespan: {
+        // TGAT's heuristic: p(j) ∝ 1 / (t - t_j + δ), without replacement.
+        std::vector<double> w(static_cast<std::size_t>(n));
+        for (std::int64_t j = 0; j < n; ++j)
+          w[static_cast<std::size_t>(j)] =
+              1.0 / (t - cand_ts[static_cast<std::size_t>(j)] + 1e-6);
+        for (std::int64_t j = 0; j < take; ++j) {
+          const std::size_t pick = rng_.next_weighted(w);
+          picks.push_back(static_cast<std::int64_t>(pick));
+          w[pick] = 0.0;
+        }
+        break;
+      }
+    }
+
+    out.count[i] = static_cast<std::int32_t>(picks.size());
+    for (std::size_t j = 0; j < picks.size(); ++j) {
+      const auto s = static_cast<std::size_t>(
+          out.slot(static_cast<std::int64_t>(i), static_cast<std::int64_t>(j)));
+      const auto p = static_cast<std::size_t>(picks[j]);
+      out.nbr[s] = cand_nbr[p];
+      out.ts[s] = cand_ts[p];
+      out.eid[s] = cand_eid[p];
+    }
+  }
+  if (device_) {
+    // Interpreter-overhead model for the original Python implementation.
+    device_->account({static_cast<double>(targets.size()) * kInterpPerQueryUs * 1e-6 +
+                      static_cast<double>(visited) * kInterpPerNeighborNs * 1e-9});
+  }
+  return out;
+}
+
+}  // namespace taser::sampling

@@ -1,0 +1,109 @@
+#include "sampling/tgl_finder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::sampling {
+
+TglNeighborFinder::TglNeighborFinder(const graph::TCSR& graph, std::uint64_t seed)
+    : graph_(graph), seed_(seed) {
+  reset();
+}
+
+void TglNeighborFinder::reset() {
+  ptr_.assign(graph_.indptr().begin(), graph_.indptr().end() - 1);
+  snapshot_time_ = 0;
+  batch_counter_ = 0;
+}
+
+void TglNeighborFinder::begin_batch(Time batch_time) {
+  TASER_CHECK_MSG(
+      batch_time + 1e-9 >= snapshot_time_,
+      "TglNeighborFinder requires chronological batches: snapshot would regress from "
+          << snapshot_time_ << " to " << batch_time
+          << " — this finder cannot serve TASER's shuffled mini-batches");
+  snapshot_time_ = std::max(snapshot_time_, batch_time);
+}
+
+SampledNeighbors TglNeighborFinder::sample(const TargetBatch& targets,
+                                           std::int64_t budget, FinderPolicy policy) {
+  TASER_CHECK(budget > 0);
+  TASER_CHECK_MSG(policy != FinderPolicy::kInverseTimespan,
+                  "TGL finder implements uniform and most-recent policies only");
+  SampledNeighbors out;
+  out.resize(static_cast<std::int64_t>(targets.size()), budget);
+  if (targets.size() == 0) return out;
+
+  Time batch_max = targets.times[0];
+  for (Time t : targets.times) batch_max = std::max(batch_max, t);
+  if (batch_max > snapshot_time_) begin_batch(batch_max);
+
+  const std::uint64_t batch_seed = seed_ + 0x9e3779b9ULL * (++batch_counter_);
+
+  // Advance pointers to the snapshot for the touched nodes (serial:
+  // multiple targets may share a node). Amortised O(degree) per node per
+  // epoch — the pointer-array trick that makes TGL fast *and* chrono-only.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId v = targets.nodes[i];
+    if (v == graph::kInvalidNode) continue;
+    auto& p = ptr_[static_cast<std::size_t>(v)];
+    while (p < graph_.end(v) && graph_.ts_at(p) < snapshot_time_) ++p;
+  }
+
+  const auto n_targets = static_cast<std::int64_t>(targets.size());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = 0; i < n_targets; ++i) {
+    const NodeId v = targets.nodes[static_cast<std::size_t>(i)];
+    if (v == graph::kInvalidNode) continue;
+    const Time t = targets.times[static_cast<std::size_t>(i)];
+
+    const std::int64_t lo = graph_.begin(v);
+    std::int64_t hi = ptr_[static_cast<std::size_t>(v)];
+    if (hi > lo && graph_.ts_at(hi - 1) >= t) {
+      // Earlier-than-snapshot target (hop-2): bounded backward search
+      // within the visible prefix.
+      hi = std::lower_bound(graph_.nbr_ts().begin() + lo, graph_.nbr_ts().begin() + hi,
+                            t) -
+           graph_.nbr_ts().begin();
+    }
+    const std::int64_t n = hi - lo;
+    if (n <= 0) continue;
+
+    util::Rng rng(batch_seed ^ (static_cast<std::uint64_t>(i) * 0xd1b54a32d192ed03ULL));
+    const std::int64_t take = std::min(budget, n);
+    out.count[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(take);
+
+    auto emit = [&](std::int64_t j, std::int64_t adj_index) {
+      const auto s = static_cast<std::size_t>(out.slot(i, j));
+      out.nbr[s] = graph_.nbr_at(adj_index);
+      out.ts[s] = graph_.ts_at(adj_index);
+      out.eid[s] = graph_.eid_at(adj_index);
+    };
+
+    if (policy == FinderPolicy::kMostRecent) {
+      for (std::int64_t j = 0; j < take; ++j) emit(j, hi - 1 - j);
+    } else if (n <= budget) {
+      for (std::int64_t j = 0; j < take; ++j) emit(j, lo + j);
+    } else {
+      // Uniform without replacement: Floyd's algorithm on the prefix.
+      // O(budget) expected, no allocation proportional to degree.
+      std::vector<std::int64_t> chosen;
+      chosen.reserve(static_cast<std::size_t>(take));
+      for (std::int64_t j = n - take; j < n; ++j) {
+        const std::int64_t r =
+            static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+        if (std::find(chosen.begin(), chosen.end(), r) == chosen.end()) {
+          chosen.push_back(r);
+        } else {
+          chosen.push_back(j);
+        }
+      }
+      for (std::int64_t j = 0; j < take; ++j)
+        emit(j, lo + chosen[static_cast<std::size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace taser::sampling

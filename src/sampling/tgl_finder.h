@@ -1,0 +1,51 @@
+#pragma once
+
+#include "sampling/neighbor_finder.h"
+
+namespace taser::sampling {
+
+/// Reimplementation of the TGL parallel CPU neighbor finder (Zhou et al.
+/// 2022; paper §II-C "Neighbor Finding"). A per-node pointer array tracks
+/// the T-CSR prefix visible at the current batch snapshot; because
+/// pointers only advance, *batch snapshots must be chronological* — the
+/// exact restriction that makes the finder unusable under TASER's
+/// randomly re-ordered adaptive mini-batches and motivates the GPU finder
+/// (§III-C).
+///
+/// Usage per training batch: `begin_batch(max_root_time)` (throws if the
+/// snapshot regresses), then any number of `sample` calls for that
+/// batch's hops; hop-2 targets with earlier timestamps are served by a
+/// bounded backward search inside the visible prefix, as TGL does within
+/// one batch. Targets beyond the snapshot throw. Within a batch, targets
+/// are processed in parallel with OpenMP.
+class TglNeighborFinder : public NeighborFinder {
+ public:
+  TglNeighborFinder(const graph::TCSR& graph, std::uint64_t seed = 1);
+
+  /// Advances the snapshot. `batch_time` must be non-decreasing across
+  /// calls until reset().
+  void begin_batch(Time batch_time) override;
+
+  /// Samples within the current snapshot. For convenience, auto-begins a
+  /// batch at the targets' max time when it is ahead of the snapshot
+  /// (so chronological workloads can omit begin_batch).
+  SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
+                          FinderPolicy policy) override;
+
+  std::string name() const override { return "tgl-cpu"; }
+  bool chronological_only() const override { return true; }
+
+  /// Resets pointers to the beginning of time (start of epoch).
+  void reset();
+
+  Time snapshot_time() const { return snapshot_time_; }
+
+ private:
+  const graph::TCSR& graph_;
+  std::vector<std::int64_t> ptr_;  ///< per-node visible-prefix end
+  Time snapshot_time_ = 0;
+  std::uint64_t seed_;
+  std::uint64_t batch_counter_ = 0;
+};
+
+}  // namespace taser::sampling

@@ -1,0 +1,71 @@
+#include "tensor/broadcast.h"
+
+#include <algorithm>
+
+namespace taser::tensor::detail {
+
+BroadcastPlan make_broadcast_plan(const Shape& a, const Shape& b) {
+  BroadcastPlan plan;
+  const std::size_t rank = std::max(a.size(), b.size());
+  plan.out_shape.resize(rank);
+  plan.stride_a.assign(rank, 0);
+  plan.stride_b.assign(rank, 0);
+
+  // Right-align shapes; size-1 (or missing) dims broadcast with stride 0.
+  Shape pa(rank, 1), pb(rank, 1);
+  std::copy(a.begin(), a.end(), pa.begin() + static_cast<std::ptrdiff_t>(rank - a.size()));
+  std::copy(b.begin(), b.end(), pb.begin() + static_cast<std::ptrdiff_t>(rank - b.size()));
+
+  for (std::size_t d = 0; d < rank; ++d) {
+    TASER_CHECK_MSG(pa[d] == pb[d] || pa[d] == 1 || pb[d] == 1,
+                    "incompatible broadcast: " << shape_str(a) << " vs " << shape_str(b));
+    plan.out_shape[d] = std::max(pa[d], pb[d]);
+  }
+
+  std::int64_t sa = 1, sb = 1;
+  for (std::size_t d = rank; d-- > 0;) {
+    plan.stride_a[d] = (pa[d] == 1) ? 0 : sa;
+    plan.stride_b[d] = (pb[d] == 1) ? 0 : sb;
+    sa *= pa[d];
+    sb *= pb[d];
+  }
+  plan.out_numel = numel_of(plan.out_shape);
+  plan.same_shape = (pa == plan.out_shape && pb == plan.out_shape);
+  return plan;
+}
+
+void reduce_grad_to_shape(const float* gout, const Shape& out_shape,
+                          const Shape& in_shape, float* gin) {
+  const std::size_t rank = out_shape.size();
+  Shape pin(rank, 1);
+  std::copy(in_shape.begin(), in_shape.end(),
+            pin.begin() + static_cast<std::ptrdiff_t>(rank - in_shape.size()));
+
+  std::vector<std::int64_t> in_stride(rank, 0);
+  std::int64_t s = 1;
+  for (std::size_t d = rank; d-- > 0;) {
+    in_stride[d] = (pin[d] == 1) ? 0 : s;
+    s *= pin[d];
+  }
+
+  const std::int64_t n = numel_of(out_shape);
+  if (pin == out_shape) {
+    for (std::int64_t i = 0; i < n; ++i) gin[i] += gout[i];
+    return;
+  }
+  std::vector<std::int64_t> idx(rank, 0);
+  std::int64_t off_in = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    gin[off_in] += gout[i];
+    for (std::int64_t d = static_cast<std::int64_t>(rank) - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      ++idx[du];
+      off_in += in_stride[du];
+      if (idx[du] < out_shape[du]) break;
+      off_in -= in_stride[du] * out_shape[du];
+      idx[du] = 0;
+    }
+  }
+}
+
+}  // namespace taser::tensor::detail

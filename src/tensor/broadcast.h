@@ -1,0 +1,79 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace taser::tensor::detail {
+
+/// Precomputed iteration plan for a broadcast binary op. Strides are per
+/// output dimension and zero where the input is broadcast.
+struct BroadcastPlan {
+  Shape out_shape;
+  std::vector<std::int64_t> stride_a;
+  std::vector<std::int64_t> stride_b;
+  std::int64_t out_numel = 0;
+  bool same_shape = false;  ///< fast path: both inputs already out-shaped
+};
+
+BroadcastPlan make_broadcast_plan(const Shape& a, const Shape& b);
+
+/// Sums `gout` (shaped `out_shape`) down to `in_shape` (right-aligned
+/// broadcasting) and accumulates into `gin` (length numel(in_shape)).
+void reduce_grad_to_shape(const float* gout, const Shape& out_shape,
+                          const Shape& in_shape, float* gin);
+
+/// Applies `f(a_val, b_val)` over the broadcast iteration space.
+template <typename F>
+void broadcast_apply(const BroadcastPlan& plan, const float* a, const float* b,
+                     float* out, F&& f) {
+  if (plan.same_shape) {
+    for (std::int64_t i = 0; i < plan.out_numel; ++i) out[i] = f(a[i], b[i]);
+    return;
+  }
+  const std::size_t rank = plan.out_shape.size();
+  std::vector<std::int64_t> idx(rank, 0);
+  std::int64_t off_a = 0, off_b = 0;
+  for (std::int64_t i = 0; i < plan.out_numel; ++i) {
+    out[i] = f(a[off_a], b[off_b]);
+    // odometer increment
+    for (std::int64_t d = static_cast<std::int64_t>(rank) - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      ++idx[du];
+      off_a += plan.stride_a[du];
+      off_b += plan.stride_b[du];
+      if (idx[du] < plan.out_shape[du]) break;
+      off_a -= plan.stride_a[du] * plan.out_shape[du];
+      off_b -= plan.stride_b[du] * plan.out_shape[du];
+      idx[du] = 0;
+    }
+  }
+}
+
+/// As broadcast_apply but calls `f(i, off_a, off_b)` with raw offsets —
+/// used by backward passes that need to scatter into both inputs.
+template <typename F>
+void broadcast_visit(const BroadcastPlan& plan, F&& f) {
+  if (plan.same_shape) {
+    for (std::int64_t i = 0; i < plan.out_numel; ++i) f(i, i, i);
+    return;
+  }
+  const std::size_t rank = plan.out_shape.size();
+  std::vector<std::int64_t> idx(rank, 0);
+  std::int64_t off_a = 0, off_b = 0;
+  for (std::int64_t i = 0; i < plan.out_numel; ++i) {
+    f(i, off_a, off_b);
+    for (std::int64_t d = static_cast<std::int64_t>(rank) - 1; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      ++idx[du];
+      off_a += plan.stride_a[du];
+      off_b += plan.stride_b[du];
+      if (idx[du] < plan.out_shape[du]) break;
+      off_a -= plan.stride_a[du] * plan.out_shape[du];
+      off_b -= plan.stride_b[du] * plan.out_shape[du];
+      idx[du] = 0;
+    }
+  }
+}
+
+}  // namespace taser::tensor::detail

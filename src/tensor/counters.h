@@ -1,0 +1,38 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace taser::tensor {
+
+/// Global work counters for the tensor runtime. Every op records the
+/// floating-point work it performs and one "kernel launch" per op node;
+/// the trainer snapshots them around each phase and converts the deltas
+/// into modeled GPU time (the paper trains on a GPU; our wall-clock CPU
+/// time for propagation says nothing about the paper's pipeline shape).
+/// Counters are monotonically increasing; consumers diff snapshots.
+class OpCounters {
+ public:
+  static void add_flops(std::uint64_t n) {
+    flops_.fetch_add(n, std::memory_order_relaxed);
+  }
+  static void add_launches(std::uint64_t n = 1) {
+    launches_.fetch_add(n, std::memory_order_relaxed);
+  }
+  static std::uint64_t flops() { return flops_.load(std::memory_order_relaxed); }
+  static std::uint64_t launches() { return launches_.load(std::memory_order_relaxed); }
+
+ private:
+  static inline std::atomic<std::uint64_t> flops_{0};
+  static inline std::atomic<std::uint64_t> launches_{0};
+};
+
+/// Snapshot helper: measures the flop/launch delta over a scope.
+struct OpCounterSnapshot {
+  std::uint64_t flops0 = OpCounters::flops();
+  std::uint64_t launches0 = OpCounters::launches();
+  std::uint64_t flops() const { return OpCounters::flops() - flops0; }
+  std::uint64_t launches() const { return OpCounters::launches() - launches0; }
+};
+
+}  // namespace taser::tensor

@@ -1,0 +1,56 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace taser::tensor {
+
+GradCheckResult grad_check(const std::function<Tensor()>& loss_fn,
+                           const std::vector<Tensor>& inputs, float eps, float atol,
+                           float rtol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (auto t : inputs) t.zero_grad();
+  Tensor loss = loss_fn();
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  for (const auto& t : inputs) {
+    auto g = t.grad();
+    analytic.push_back(g.defined() ? g.to_vector()
+                                   : std::vector<float>(static_cast<std::size_t>(t.numel()), 0.f));
+  }
+
+  // Numeric passes.
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    Tensor t = inputs[k];
+    float* x = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      const float saved = x[i];
+      x[i] = saved + eps;
+      const float lp = loss_fn().item();
+      x[i] = saved - eps;
+      const float lm = loss_fn().item();
+      x[i] = saved;
+
+      const double numeric = (static_cast<double>(lp) - lm) / (2.0 * eps);
+      const double ana = analytic[k][static_cast<std::size_t>(i)];
+      const double abs_err = std::abs(numeric - ana);
+      const double denom = std::max(std::abs(numeric), std::abs(ana));
+      const double rel_err = denom > 1e-8 ? abs_err / denom : 0.0;
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      if (abs_err > atol && rel_err > rtol && result.ok) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "input " << k << " elem " << i << ": analytic=" << ana
+           << " numeric=" << numeric << " abs_err=" << abs_err
+           << " rel_err=" << rel_err;
+        result.detail = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace taser::tensor

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace taser::tensor {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_err = 0;
+  double max_rel_err = 0;
+  std::string detail;  ///< first offending element, for test messages
+};
+
+/// Central-difference gradient check. `loss_fn` must rebuild the graph on
+/// every call from the same `inputs` handles (ops read data at call time,
+/// so in-place perturbation of inputs is observed). fp32 tolerances.
+GradCheckResult grad_check(const std::function<Tensor()>& loss_fn,
+                           const std::vector<Tensor>& inputs, float eps = 1e-2f,
+                           float atol = 2e-2f, float rtol = 5e-2f);
+
+}  // namespace taser::tensor

@@ -1,0 +1,174 @@
+#include <omp.h>
+
+#include "tensor/counters.h"
+#include "tensor/ops.h"
+
+namespace taser::tensor {
+
+namespace {
+
+/// C[m,n] += A[m,k] · B[k,n]. ikj loop order keeps the inner loop
+/// unit-stride on both B and C; OpenMP over rows when the work is large
+/// enough to amortise the fork.
+void gemm_acc(const float* A, const float* B, float* C, std::int64_t m,
+              std::int64_t k, std::int64_t n) {
+  OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
+  const bool par = m * k * n > (1 << 16);
+#pragma omp parallel for schedule(static) if (par)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = C + i * n;
+    const float* a_row = A + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float a = a_row[p];
+      if (a == 0.f) continue;
+      const float* b_row = B + p * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+}
+
+/// C[m,n] += A^T[m,k] · B[k,n] where A is stored [k,m].
+void gemm_at_b_acc(const float* A, const float* B, float* C, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
+  const bool par = m * k * n > (1 << 16);
+#pragma omp parallel for schedule(static) if (par)
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = C + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float a = A[p * m + i];
+      if (a == 0.f) continue;
+      const float* b_row = B + p * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+}
+
+/// C[m,n] += A[m,k] · B^T[k,n] where B is stored [n,k].
+void gemm_a_bt_acc(const float* A, const float* B, float* C, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
+  const bool par = m * k * n > (1 << 16);
+#pragma omp parallel for schedule(static) if (par)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = A + i * k;
+    float* c_row = C + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = B + j * k;
+      float acc = 0.f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TASER_CHECK_MSG(a.dim() == 2 && b.dim() == 2,
+                  "matmul expects 2-d, got " << shape_str(a.shape()) << " x "
+                                             << shape_str(b.shape()));
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  TASER_CHECK_MSG(b.size(0) == k, "matmul inner dims: " << shape_str(a.shape())
+                                                        << " x " << shape_str(b.shape()));
+  Tensor out = make_result({m, n}, {a, b});
+  gemm_acc(a.data(), b.data(), out.data(), m, k, n);
+
+  if (out.requires_grad()) {
+    ImplPtr ia = a.impl(), ib = b.impl();
+    out.node().backward_fn = [ia, ib, m, k, n](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ia->requires_grad) {
+        ia->ensure_grad();
+        // dA = g · B^T : [m,n] x [n,k]
+        gemm_a_bt_acc(g, ib->data.data(), ia->grad.data(), m, n, k);
+      }
+      if (ib->requires_grad) {
+        ib->ensure_grad();
+        // dB = A^T · g : [k,m] x [m,n]
+        gemm_at_b_acc(ia->data.data(), g, ib->grad.data(), k, m, n);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  TASER_CHECK_MSG(a.dim() == 3 && b.dim() == 3,
+                  "bmm expects 3-d, got " << shape_str(a.shape()) << " x "
+                                          << shape_str(b.shape()));
+  const std::int64_t B = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  TASER_CHECK(b.size(0) == B && b.size(1) == k);
+  Tensor out = make_result({B, m, n}, {a, b});
+#pragma omp parallel for schedule(static) if (B > 1 && m * k * n > 1024)
+  for (std::int64_t i = 0; i < B; ++i)
+    gemm_acc(a.data() + i * m * k, b.data() + i * k * n, out.data() + i * m * n, m, k, n);
+
+  if (out.requires_grad()) {
+    ImplPtr ia = a.impl(), ib = b.impl();
+    out.node().backward_fn = [ia, ib, B, m, k, n](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ia->requires_grad) ia->ensure_grad();
+      if (ib->requires_grad) ib->ensure_grad();
+      for (std::int64_t i = 0; i < B; ++i) {
+        if (ia->requires_grad)
+          gemm_a_bt_acc(g + i * m * n, ib->data.data() + i * k * n,
+                        ia->grad.data() + i * m * k, m, n, k);
+        if (ib->requires_grad)
+          gemm_at_b_acc(ia->data.data() + i * m * k, g + i * m * n,
+                        ib->grad.data() + i * k * n, k, m, n);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  TASER_CHECK_MSG(w.dim() == 2, "linear weight must be 2-d");
+  const std::int64_t in = w.size(0), outdim = w.size(1);
+  TASER_CHECK_MSG(x.size(-1) == in, "linear: x " << shape_str(x.shape()) << " vs w "
+                                                 << shape_str(w.shape()));
+  if (b.defined()) TASER_CHECK(b.dim() == 1 && b.size(0) == outdim);
+
+  Shape out_shape = x.shape();
+  out_shape.back() = outdim;
+  const std::int64_t rows = x.numel() / in;
+
+  std::vector<Tensor> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  Tensor out = make_result(std::move(out_shape), inputs);
+
+  float* ov = out.data();
+  if (b.defined()) {
+    const float* bv = b.data();
+#pragma omp parallel for schedule(static) if (rows > 64)
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < outdim; ++j) ov[i * outdim + j] = bv[j];
+  }
+  gemm_acc(x.data(), w.data(), ov, rows, in, outdim);
+
+  if (out.requires_grad()) {
+    ImplPtr ix = x.impl(), iw = w.impl();
+    ImplPtr ibias = b.defined() ? b.impl() : nullptr;
+    out.node().backward_fn = [ix, iw, ibias, rows, in, outdim](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ix->requires_grad) {
+        ix->ensure_grad();
+        gemm_a_bt_acc(g, iw->data.data(), ix->grad.data(), rows, outdim, in);
+      }
+      if (iw->requires_grad) {
+        iw->ensure_grad();
+        gemm_at_b_acc(ix->data.data(), g, iw->grad.data(), in, rows, outdim);
+      }
+      if (ibias && ibias->requires_grad) {
+        ibias->ensure_grad();
+        float* gb = ibias->grad.data();
+        for (std::int64_t i = 0; i < rows; ++i)
+          for (std::int64_t j = 0; j < outdim; ++j) gb[j] += g[i * outdim + j];
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace taser::tensor

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace taser::util {
+
+/// Throws std::runtime_error with a formatted location message.
+/// Used by TASER_CHECK; always on (not compiled out in release) because
+/// the checks guard API contracts, not hot inner loops.
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "TASER_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace taser::util
+
+#define TASER_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) ::taser::util::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TASER_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::taser::util::check_failed(#cond, __FILE__, __LINE__, os_.str());   \
+    }                                                                      \
+  } while (0)

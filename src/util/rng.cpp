@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include "util/check.h"
+
+namespace taser::util {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  have_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  TASER_CHECK(n > 0);
+  // Lemire's unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  TASER_CHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+float Rng::next_float() {
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::next_normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = next_float();
+  while (u1 <= 1e-12f) u1 = next_float();
+  const float u2 = next_float();
+  const float r = std::sqrt(-2.f * std::log(u1));
+  const float theta = 2.f * 3.14159265358979323846f * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  TASER_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  TASER_CHECK_MSG(total > 0, "all weights are zero");
+  double u = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::next_zipf(std::size_t n, double s) {
+  TASER_CHECK(n > 0);
+  if (s <= 0) return static_cast<std::size_t>(next_below(n));
+  // Inverse-CDF on the continuous approximation; cheap and adequate for
+  // workload generation (we only need heavy tails, not exact Zipf).
+  const double u = next_double();
+  if (s == 1.0) {
+    const double x = std::pow(static_cast<double>(n), u);
+    return static_cast<std::size_t>(std::min<double>(n - 1, x - 1 < 0 ? 0 : x - 1));
+  }
+  const double one_minus_s = 1.0 - s;
+  const double max_cdf = (std::pow(static_cast<double>(n), one_minus_s) - 1.0);
+  const double x = std::pow(u * max_cdf + 1.0, 1.0 / one_minus_s);
+  const double idx = x - 1.0;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<double>(n)) return n - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  for (auto& s : child.s_) s = next_u64() | 1ULL;
+  return child;
+}
+
+}  // namespace taser::util

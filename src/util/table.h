@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace taser::util {
+
+/// Minimal fixed-column ASCII table used by the bench harness to print
+/// paper-style rows. Columns auto-size to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render to stdout.
+  void print() const;
+
+  /// Render as a string (used by tests).
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace taser::util

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace taser::util {
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase durations (e.g. NF / AS / FS / PP breakdowns).
+/// Not thread-safe; each worker keeps its own and merges.
+class PhaseAccumulator {
+ public:
+  void add(const std::string& phase, double seconds) { totals_[phase] += seconds; }
+  double total(const std::string& phase) const {
+    auto it = totals_.find(phase);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+  double grand_total() const {
+    double t = 0;
+    for (const auto& [_, v] : totals_) t += v;
+    return t;
+  }
+  void merge(const PhaseAccumulator& other) {
+    for (const auto& [k, v] : other.totals_) totals_[k] += v;
+  }
+  void clear() { totals_.clear(); }
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper: times a scope and adds it to an accumulator under `phase`.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseAccumulator& acc, std::string phase)
+      : acc_(acc), phase_(std::move(phase)) {}
+  ~ScopedPhase() { acc_.add(phase_, timer_.seconds()); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseAccumulator& acc_;
+  std::string phase_;
+  WallTimer timer_;
+};
+
+}  // namespace taser::util

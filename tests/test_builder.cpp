@@ -1,0 +1,200 @@
+// BatchBuilder: hop assembly, recency sorting, ∆t normalisation,
+// frequency/identity signals, adaptive vs baseline paths, and phase
+// accounting.
+#include <gtest/gtest.h>
+
+#include "cache/feature_source.h"
+#include "core/batch_builder.h"
+#include "graph/synthetic.h"
+#include "sampling/gpu_finder.h"
+
+using namespace taser;
+using namespace taser::core;
+
+namespace {
+
+struct BuilderFixture {
+  graph::Dataset data;
+  std::unique_ptr<graph::TCSR> graph;
+  gpusim::Device device;
+  std::unique_ptr<sampling::GpuNeighborFinder> finder;
+  std::unique_ptr<cache::PlainFeatureSource> features;
+
+  BuilderFixture() {
+    graph::SyntheticConfig cfg;
+    cfg.num_src = 80;
+    cfg.num_dst = 40;
+    cfg.num_edges = 3000;
+    cfg.edge_feat_dim = 6;
+    cfg.node_feat_dim = 4;
+    cfg.seed = 11;
+    data = generate_synthetic(cfg);
+    graph = std::make_unique<graph::TCSR>(data);
+    finder = std::make_unique<sampling::GpuNeighborFinder>(*graph, device);
+    features = std::make_unique<cache::PlainFeatureSource>(data, device);
+  }
+
+  graph::TargetBatch roots(std::int64_t from, std::int64_t count) const {
+    graph::TargetBatch b;
+    for (std::int64_t i = from; i < from + count; ++i)
+      b.push(data.src[i], data.ts[i]);
+    return b;
+  }
+};
+
+TEST(Builder, BaselineHopShapes) {
+  BuilderFixture fx;
+  BuilderConfig bc;
+  bc.n = 4;
+  core::BatchBuilder builder(fx.data, *fx.finder, *fx.features, fx.device, nullptr, bc);
+  util::PhaseAccumulator phases;
+  util::Rng rng(1);
+  auto built = builder.build(fx.roots(2500, 10), 2, phases, rng);
+
+  ASSERT_EQ(built.inputs.hops.size(), 2u);
+  EXPECT_EQ(built.inputs.num_roots, 10);
+  EXPECT_EQ(built.inputs.hops[0].targets, 10);
+  EXPECT_EQ(built.inputs.hops[0].width, 4);
+  EXPECT_EQ(built.inputs.hops[1].targets, 40);  // 10 roots * 4 neighbors
+  EXPECT_EQ(built.inputs.hops[1].width, 4);
+  EXPECT_TRUE(built.selections.empty());
+  EXPECT_EQ(built.inputs.root_feats.shape(), (tensor::Shape{10, 4}));
+  EXPECT_EQ(built.inputs.hops[0].edge_feats.shape(), (tensor::Shape{10, 4, 6}));
+}
+
+TEST(Builder, DeltaTNormalisedAndNonNegative) {
+  BuilderFixture fx;
+  BuilderConfig bc;
+  bc.n = 5;
+  bc.time_scale = 1000.0;
+  core::BatchBuilder builder(fx.data, *fx.finder, *fx.features, fx.device, nullptr, bc);
+  util::PhaseAccumulator phases;
+  util::Rng rng(2);
+  auto built = builder.build(fx.roots(2800, 20), 1, phases, rng);
+  const auto& hop = built.inputs.hops[0];
+  const float* dt = hop.delta_t.data();
+  const float* mask = hop.mask.data();
+  const double raw_span = fx.data.ts.back() - fx.data.ts.front();
+  for (std::int64_t i = 0; i < hop.targets * hop.width; ++i) {
+    if (mask[i] < 0.5f) {
+      EXPECT_FLOAT_EQ(dt[i], 0.f);
+      continue;
+    }
+    EXPECT_GT(dt[i], 0.f);
+    EXPECT_LT(dt[i], raw_span / 1000.0 + 1.0);  // scaled down by time_scale
+  }
+}
+
+TEST(Builder, AdaptivePathSelectsNFromM) {
+  BuilderFixture fx;
+  util::Rng init_rng(3);
+  EncoderConfig ec;
+  ec.node_feat_dim = 4;
+  ec.edge_feat_dim = 6;
+  ec.dim = 8;
+  ec.m = 9;
+  AdaptiveSampler sampler(ec, DecoderKind::kLinear, 8, init_rng);
+  BuilderConfig bc;
+  bc.n = 3;
+  bc.m = 9;
+  core::BatchBuilder builder(fx.data, *fx.finder, *fx.features, fx.device, &sampler, bc);
+  util::PhaseAccumulator phases;
+  util::Rng rng(4);
+  auto built = builder.build(fx.roots(2700, 12), 1, phases, rng);
+
+  ASSERT_EQ(built.selections.size(), 1u);
+  EXPECT_EQ(built.inputs.hops[0].width, 3);
+  EXPECT_EQ(built.selections[0].probs.shape(), (tensor::Shape{12, 9}));
+  EXPECT_EQ(built.selections[0].log_probs_selected.shape(), (tensor::Shape{12, 3}));
+  EXPECT_GT(phases.total(phase::kAS), 0.0);
+}
+
+TEST(Builder, SelectedFeaturesMatchCandidateRows) {
+  BuilderFixture fx;
+  util::Rng init_rng(5);
+  EncoderConfig ec;
+  ec.node_feat_dim = 4;
+  ec.edge_feat_dim = 6;
+  ec.dim = 8;
+  ec.m = 6;
+  AdaptiveSampler sampler(ec, DecoderKind::kTransformer, 8, init_rng);
+  BuilderConfig bc;
+  bc.n = 2;
+  bc.m = 6;
+  core::BatchBuilder builder(fx.data, *fx.finder, *fx.features, fx.device, &sampler, bc);
+  util::PhaseAccumulator phases;
+  util::Rng rng(6);
+  auto built = builder.build(fx.roots(2600, 8), 1, phases, rng);
+
+  // Every selected edge id must carry exactly its dataset feature row.
+  const auto& hop = built.inputs.hops[0];
+  const auto& sel = built.selections[0].selected;
+  const float* ef = hop.edge_feats.data();
+  for (std::int64_t i = 0; i < sel.num_targets; ++i)
+    for (std::int64_t j = 0; j < sel.count[static_cast<std::size_t>(i)]; ++j) {
+      const graph::EdgeId e = sel.eid[static_cast<std::size_t>(sel.slot(i, j))];
+      ASSERT_NE(e, graph::kInvalidEdge);
+      for (std::int64_t k = 0; k < 6; ++k)
+        ASSERT_FLOAT_EQ(ef[(i * 2 + j) * 6 + k], fx.data.edge_feat(e)[k]);
+    }
+}
+
+TEST(Builder, FrequencyAndIdentityConsistent) {
+  BuilderFixture fx;
+  util::Rng init_rng(7);
+  EncoderConfig ec;
+  ec.node_feat_dim = 4;
+  ec.edge_feat_dim = 6;
+  ec.dim = 8;
+  ec.m = 8;
+  AdaptiveSampler sampler(ec, DecoderKind::kLinear, 8, init_rng);
+  BuilderConfig bc;
+  bc.n = 3;
+  bc.m = 8;
+  core::BatchBuilder builder(fx.data, *fx.finder, *fx.features, fx.device, &sampler, bc);
+
+  // Rebuild the candidate set through a build call and verify freq/IE
+  // invariants on the *selection's* source data via the public pieces:
+  // run once and inspect the sampler-visible signals indirectly through
+  // selection masks (structural invariants).
+  util::PhaseAccumulator phases;
+  util::Rng rng(8);
+  auto built = builder.build(fx.roots(2900, 30), 1, phases, rng);
+  const auto& sel = built.selections[0];
+  for (std::int64_t i = 0; i < 30; ++i) {
+    std::int64_t picks = 0;
+    for (std::int64_t j = 0; j < 3; ++j)
+      picks += sel.selected_mask[static_cast<std::size_t>(i * 3 + j)] > 0.5f;
+    EXPECT_EQ(picks, sel.selected.count[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Builder, PhasesAccumulateAcrossHops) {
+  BuilderFixture fx;
+  BuilderConfig bc;
+  bc.n = 4;
+  core::BatchBuilder builder(fx.data, *fx.finder, *fx.features, fx.device, nullptr, bc);
+  util::PhaseAccumulator phases;
+  util::Rng rng(9);
+  builder.build(fx.roots(2500, 16), 2, phases, rng);
+  EXPECT_GT(phases.total(phase::kNF), 0.0);
+  EXPECT_GT(phases.total(phase::kNFSim), 0.0);  // GPU kernel time modeled
+  EXPECT_GT(phases.total(phase::kFSSim), 0.0);  // transfers modeled
+}
+
+TEST(Builder, RejectsNSmallerThanM) {
+  BuilderFixture fx;
+  util::Rng init_rng(10);
+  EncoderConfig ec;
+  ec.dim = 8;
+  ec.m = 4;
+  AdaptiveSampler sampler(ec, DecoderKind::kLinear, 8, init_rng);
+  BuilderConfig bc;
+  bc.n = 6;
+  bc.m = 4;  // m < n is a config error
+  EXPECT_THROW(core::BatchBuilder(fx.data, *fx.finder, *fx.features, fx.device, &sampler,
+                                  bc),
+               std::runtime_error);
+}
+
+}  // namespace

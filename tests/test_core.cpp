@@ -1,0 +1,307 @@
+// TASER core units: Fenwick-backed adaptive mini-batch selection (Eq. 11),
+// neighbor encoder (Eq. 12-15, 21), the four decoder heads (Eq. 17-20),
+// and adaptive selection (Gumbel top-k, gradient plumbing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/adaptive_sampler.h"
+#include "core/fenwick.h"
+#include "core/minibatch_selector.h"
+#include "tensor/ops.h"
+
+using namespace taser;
+using namespace taser::core;
+namespace tt = taser::tensor;
+
+namespace {
+
+TEST(Fenwick, BuildAndTotals) {
+  FenwickTree t(5, 2.0);
+  EXPECT_DOUBLE_EQ(t.total(), 10.0);
+  EXPECT_DOUBLE_EQ(t.get(3), 2.0);
+  t.set(3, 5.0);
+  EXPECT_DOUBLE_EQ(t.total(), 13.0);
+  EXPECT_DOUBLE_EQ(t.get(3), 5.0);
+}
+
+TEST(Fenwick, FindPrefixBoundaries) {
+  FenwickTree t(4, 0.0);
+  t.set(0, 1.0);
+  t.set(1, 2.0);
+  t.set(2, 0.0);
+  t.set(3, 3.0);
+  EXPECT_EQ(t.find_prefix(0.5), 0u);
+  EXPECT_EQ(t.find_prefix(1.5), 1u);
+  EXPECT_EQ(t.find_prefix(2.9), 1u);
+  EXPECT_EQ(t.find_prefix(3.1), 3u);  // element 2 has zero weight
+  EXPECT_EQ(t.find_prefix(5.9), 3u);
+}
+
+TEST(Fenwick, SampleFollowsWeights) {
+  FenwickTree t(3, 0.0);
+  t.set(0, 1.0);
+  t.set(1, 8.0);
+  t.set(2, 1.0);
+  util::Rng rng(1);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[t.sample(rng)];
+  EXPECT_NEAR(counts[1], 8000, 300);
+  EXPECT_NEAR(counts[0], 1000, 200);
+}
+
+TEST(Fenwick, WithoutReplacementDistinctAndRestored) {
+  FenwickTree t(10, 1.0);
+  util::Rng rng(2);
+  auto picks = t.sample_without_replacement(10, rng);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_DOUBLE_EQ(t.total(), 10.0);  // weights restored
+}
+
+TEST(Selector, InitialSamplingIsUniformish) {
+  MiniBatchSelector sel(100, 0.1f, 3);
+  std::vector<int> counts(100, 0);
+  for (int r = 0; r < 500; ++r)
+    for (auto e : sel.sample_batch(10)) ++counts[static_cast<std::size_t>(e)];
+  // 5000 draws over 100 edges -> ~50 each.
+  for (int c : counts) EXPECT_NEAR(c, 50, 35);
+}
+
+TEST(Selector, UpdateShiftsMassTowardConfidentPositives) {
+  MiniBatchSelector sel(50, 0.1f, 4);
+  // Edges 0..9 get high logits (clean), 10..49 very low (noise).
+  for (int e = 0; e < 50; ++e) sel.update(e, e < 10 ? 6.f : -6.f);
+  EXPECT_NEAR(sel.score(0), 1.0 + 0.1, 0.02);   // sigmoid(6)+γ
+  EXPECT_NEAR(sel.score(20), 0.0 + 0.1, 0.02);  // γ floor keeps exploration
+  std::vector<int> counts(50, 0);
+  for (int r = 0; r < 1000; ++r)
+    for (auto e : sel.sample_batch(5)) ++counts[static_cast<std::size_t>(e)];
+  std::int64_t clean = 0, noisy = 0;
+  for (int e = 0; e < 10; ++e) clean += counts[static_cast<std::size_t>(e)];
+  for (int e = 10; e < 50; ++e) noisy += counts[static_cast<std::size_t>(e)];
+  // Mass ratio ≈ (10*1.1) : (40*0.1) = 11 : 4.
+  EXPECT_GT(clean, noisy * 2);
+  EXPECT_GT(noisy, 0);  // γ keeps noisy edges alive
+}
+
+TEST(Selector, BatchIdsDistinctAndInRange) {
+  MiniBatchSelector sel(30, 0.1f, 5);
+  auto batch = sel.sample_batch(30);
+  std::set<std::int64_t> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto e : batch) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 30);
+  }
+}
+
+// ---- encoder ------------------------------------------------------------
+
+CandidateSet tiny_candidates(std::int64_t T, std::int64_t m, std::int64_t dv,
+                             std::int64_t de, util::Rng& rng) {
+  CandidateSet c;
+  c.targets = T;
+  c.m = m;
+  c.node_dim = dv;
+  c.edge_dim = de;
+  c.raw.resize(T, m);
+  c.node_feats.assign(static_cast<std::size_t>(T * m * dv), 0.f);
+  c.edge_feats.assign(static_cast<std::size_t>(T * m * de), 0.f);
+  c.delta_t.assign(static_cast<std::size_t>(T * m), 0.f);
+  c.freq.assign(static_cast<std::size_t>(T * m), 1.f);
+  c.identity.assign(static_cast<std::size_t>(T * m * m), 0.f);
+  c.mask.assign(static_cast<std::size_t>(T * m), 0.f);
+  c.target_feats.assign(static_cast<std::size_t>(T * dv), 0.f);
+  for (auto& x : c.node_feats) x = rng.next_normal();
+  for (auto& x : c.edge_feats) x = rng.next_normal();
+  for (std::int64_t i = 0; i < T; ++i) {
+    const std::int64_t valid = m - (i % 2);  // alternate full/partial rows
+    c.raw.count[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(valid);
+    for (std::int64_t j = 0; j < valid; ++j) {
+      c.mask[static_cast<std::size_t>(i * m + j)] = 1.f;
+      c.delta_t[static_cast<std::size_t>(i * m + j)] = static_cast<float>(j + 1);
+      c.raw.nbr[static_cast<std::size_t>(i * m + j)] = static_cast<graph::NodeId>(j);
+      c.raw.ts[static_cast<std::size_t>(i * m + j)] = 100.0 - j;
+      c.raw.eid[static_cast<std::size_t>(i * m + j)] = static_cast<graph::EdgeId>(i * m + j);
+      c.identity[static_cast<std::size_t>((i * m + j) * m + j)] = 1.f;
+    }
+  }
+  return c;
+}
+
+TEST(Encoder, OutputShapesMatchConfig) {
+  util::Rng rng(6);
+  EncoderConfig ec;
+  ec.node_feat_dim = 4;
+  ec.edge_feat_dim = 6;
+  ec.dim = 8;
+  ec.m = 5;
+  NeighborEncoder enc(ec, rng);
+  auto cands = tiny_candidates(3, 5, 4, 6, rng);
+  tt::Tensor z = enc.encode_candidates(cands);
+  EXPECT_EQ(z.shape(), (tt::Shape{3, 5, ec.neighbor_width()}));
+  EXPECT_EQ(ec.neighbor_width(), 8 + 8 + 8 + 8 + 5);
+  tt::Tensor zv = enc.encode_targets(cands);
+  EXPECT_EQ(zv.shape(), (tt::Shape{3, ec.target_width()}));
+  EXPECT_EQ(ec.target_width(), 8 + 8 + 8);
+}
+
+TEST(Encoder, FeaturelessGraphDropsProjections) {
+  util::Rng rng(7);
+  EncoderConfig ec;
+  ec.node_feat_dim = 0;
+  ec.edge_feat_dim = 0;
+  ec.dim = 8;
+  ec.m = 4;
+  NeighborEncoder enc(ec, rng);
+  EXPECT_EQ(ec.neighbor_width(), 8 + 8 + 4);
+  auto cands = tiny_candidates(2, 4, 0, 0, rng);
+  EXPECT_EQ(enc.encode_candidates(cands).shape(), (tt::Shape{2, 4, 20}));
+  EXPECT_EQ(enc.parameters().size(), 0u);  // purely fixed encodings
+}
+
+TEST(Encoder, TimeEncodingIsDeterministicInDeltaT) {
+  util::Rng rng(8);
+  EncoderConfig ec;
+  ec.dim = 8;
+  ec.m = 3;
+  NeighborEncoder enc(ec, rng);
+  auto c1 = tiny_candidates(1, 3, 0, 0, rng);
+  auto c2 = tiny_candidates(1, 3, 0, 0, rng);
+  c2.freq = c1.freq;
+  c2.identity = c1.identity;
+  c2.delta_t = c1.delta_t;
+  c2.mask = c1.mask;
+  c2.raw = c1.raw;
+  EXPECT_EQ(enc.encode_candidates(c1).to_vector(), enc.encode_candidates(c2).to_vector());
+}
+
+// ---- decoder -------------------------------------------------------------
+
+class DecoderHeads : public ::testing::TestWithParam<DecoderKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllHeads, DecoderHeads,
+                         ::testing::Values(DecoderKind::kLinear, DecoderKind::kGat,
+                                           DecoderKind::kGatV2,
+                                           DecoderKind::kTransformer),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST_P(DecoderHeads, ProbabilitiesValidAndMasked) {
+  util::Rng rng(9);
+  const std::int64_t T = 4, m = 6, in_dim = 12, tgt_dim = 7;
+  NeighborDecoder dec(GetParam(), m, in_dim, tgt_dim, 8, rng);
+  tt::Tensor z = tt::Tensor::randn({T, m, in_dim}, rng, 1.f, true);
+  tt::Tensor zv = tt::Tensor::randn({T, tgt_dim}, rng);
+  std::vector<float> mask_data(static_cast<std::size_t>(T * m), 1.f);
+  mask_data[3] = 0.f;  // row 0, slot 3 padded
+  tt::Tensor mask = tt::Tensor::from_vector({T, m}, std::move(mask_data));
+
+  tt::Tensor q = dec.forward(z, zv, mask);
+  EXPECT_EQ(q.shape(), (tt::Shape{T, m}));
+  for (std::int64_t i = 0; i < T; ++i) {
+    float sum = 0;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const float p = q.at({i, j});
+      EXPECT_GE(p, 0.f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-4f);
+  }
+  EXPECT_LT(q.at({0, 3}), 1e-4f);  // masked slot
+
+  // Gradients reach the decoder's parameters through the policy.
+  tt::Tensor loss = tt::sum_all(tt::square(q));
+  loss.backward();
+  bool any_grad = false;
+  for (auto& p : dec.parameters()) {
+    auto g = p.grad();
+    if (!g.defined()) continue;
+    for (float v : g.to_vector())
+      if (v != 0.f) any_grad = true;
+  }
+  EXPECT_TRUE(any_grad) << to_string(GetParam());
+}
+
+// ---- adaptive sampler ------------------------------------------------------
+
+TEST(AdaptiveSampler, SelectsValidSlotsWithoutReplacement) {
+  util::Rng rng(10);
+  EncoderConfig ec;
+  ec.node_feat_dim = 4;
+  ec.edge_feat_dim = 6;
+  ec.dim = 8;
+  ec.m = 6;
+  AdaptiveSampler sampler(ec, DecoderKind::kTransformer, 8, rng);
+  auto cands = tiny_candidates(5, 6, 4, 6, rng);
+  auto sel = sampler.select(cands, 3, rng);
+
+  EXPECT_EQ(sel.selected.num_targets, 5);
+  EXPECT_EQ(sel.selected.budget, 3);
+  EXPECT_EQ(sel.log_probs_selected.shape(), (tt::Shape{5, 3}));
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const std::int64_t c = sel.selected.count[static_cast<std::size_t>(i)];
+    EXPECT_EQ(c, std::min<std::int64_t>(3, cands.raw.count[static_cast<std::size_t>(i)]));
+    std::set<std::int64_t> slots;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const std::int64_t slot = sel.selected_slot[static_cast<std::size_t>(i * 3 + j)];
+      EXPECT_LT(slot, cands.raw.count[static_cast<std::size_t>(i)]);  // valid only
+      EXPECT_TRUE(slots.insert(slot).second);                         // no repeats
+    }
+  }
+}
+
+TEST(AdaptiveSampler, EvalModeIsDeterministicTopK) {
+  util::Rng rng(11);
+  EncoderConfig ec;
+  ec.dim = 8;
+  ec.m = 6;
+  AdaptiveSampler sampler(ec, DecoderKind::kLinear, 8, rng);
+  sampler.set_training(false);
+  auto cands = tiny_candidates(4, 6, 0, 0, rng);
+  util::Rng r1(1), r2(999);
+  auto a = sampler.select(cands, 2, r1);
+  auto b = sampler.select(cands, 2, r2);
+  EXPECT_EQ(a.selected.nbr, b.selected.nbr);  // rng-independent in eval
+}
+
+TEST(AdaptiveSampler, TrainingModeExplores) {
+  util::Rng rng(12);
+  EncoderConfig ec;
+  ec.dim = 8;
+  ec.m = 8;
+  AdaptiveSampler sampler(ec, DecoderKind::kLinear, 8, rng);
+  auto cands = tiny_candidates(1, 8, 0, 0, rng);
+  util::Rng r(3);
+  std::set<std::vector<graph::NodeId>> outcomes;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto sel = sampler.select(cands, 3, r);
+    outcomes.insert(sel.selected.nbr);
+  }
+  EXPECT_GT(outcomes.size(), 1u);  // Gumbel noise produces different picks
+}
+
+TEST(AdaptiveSampler, LogProbGradientsReachParameters) {
+  util::Rng rng(13);
+  EncoderConfig ec;
+  ec.node_feat_dim = 4;
+  ec.edge_feat_dim = 0;
+  ec.dim = 8;
+  ec.m = 5;
+  AdaptiveSampler sampler(ec, DecoderKind::kGatV2, 8, rng);
+  auto cands = tiny_candidates(3, 5, 4, 0, rng);
+  util::Rng r(4);
+  auto sel = sampler.select(cands, 2, r);
+  tt::Tensor loss = tt::sum_all(sel.log_probs_selected);
+  loss.backward();
+  double grad_norm = 0;
+  for (auto& p : sampler.parameters()) {
+    auto g = p.grad();
+    if (!g.defined()) continue;
+    for (float v : g.to_vector()) grad_norm += static_cast<double>(v) * v;
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+}  // namespace

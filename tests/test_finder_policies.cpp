@@ -1,0 +1,131 @@
+// Distributional properties of the static finder policies: the
+// inverse-timespan heuristic (TGAT's denoising baseline, §II-C) favours
+// recent neighbors; uniform does not; most-recent is a degenerate point
+// mass. Parameterized across neighbor budgets.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/dataset.h"
+#include "graph/tcsr.h"
+#include "sampling/orig_finder.h"
+
+using namespace taser;
+using namespace taser::sampling;
+
+namespace {
+
+/// Star graph: node 0 interacts with node i at time i (i = 1..40).
+graph::Dataset star40() {
+  graph::Dataset d;
+  d.num_nodes = 41;
+  for (int i = 1; i <= 40; ++i) {
+    d.src.push_back(0);
+    d.dst.push_back(static_cast<graph::NodeId>(i));
+    d.ts.push_back(static_cast<double>(i));
+  }
+  d.apply_chrono_split();
+  d.validate();
+  return d;
+}
+
+class PolicyBudgets : public ::testing::TestWithParam<std::int64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PolicyBudgets, ::testing::Values(1, 4, 8),
+                         [](const auto& info) {
+                           return "budget" + std::to_string(info.param);
+                         });
+
+TEST_P(PolicyBudgets, InverseTimespanFavoursRecent) {
+  auto data = star40();
+  graph::TCSR g(data);
+  OrigNeighborFinder finder(g, 7);
+  const std::int64_t budget = GetParam();
+
+  graph::TargetBatch batch;
+  batch.push(0, 41.0);
+  std::map<graph::NodeId, int> freq;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto r = finder.sample(batch, budget, FinderPolicy::kInverseTimespan);
+    for (std::int64_t j = 0; j < r.count[0]; ++j)
+      ++freq[r.nbr[static_cast<std::size_t>(r.slot(0, j))]];
+  }
+  // Node 40 (∆t = 1) must be drawn far more often than node 1 (∆t = 40):
+  // weights are 1/1 vs 1/40.
+  EXPECT_GT(freq[40], freq[1] * 4) << "freq40=" << freq[40] << " freq1=" << freq[1];
+  // And the most recent quartile dominates the oldest quartile.
+  int recent = 0, old = 0;
+  for (int i = 1; i <= 10; ++i) old += freq[static_cast<graph::NodeId>(i)];
+  for (int i = 31; i <= 40; ++i) recent += freq[static_cast<graph::NodeId>(i)];
+  EXPECT_GT(recent, old * 2);
+}
+
+TEST_P(PolicyBudgets, UniformHasNoRecencyBias) {
+  auto data = star40();
+  graph::TCSR g(data);
+  OrigNeighborFinder finder(g, 8);
+  const std::int64_t budget = GetParam();
+
+  graph::TargetBatch batch;
+  batch.push(0, 41.0);
+  std::map<graph::NodeId, int> freq;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto r = finder.sample(batch, budget, FinderPolicy::kUniform);
+    for (std::int64_t j = 0; j < r.count[0]; ++j)
+      ++freq[r.nbr[static_cast<std::size_t>(r.slot(0, j))]];
+  }
+  int recent = 0, old = 0;
+  for (int i = 1; i <= 10; ++i) old += freq[static_cast<graph::NodeId>(i)];
+  for (int i = 31; i <= 40; ++i) recent += freq[static_cast<graph::NodeId>(i)];
+  const double ratio = static_cast<double>(recent) / std::max(old, 1);
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 1.33);
+}
+
+TEST_P(PolicyBudgets, MostRecentIsDeterministicPointMass) {
+  auto data = star40();
+  graph::TCSR g(data);
+  OrigNeighborFinder finder(g, 9);
+  const std::int64_t budget = GetParam();
+
+  graph::TargetBatch batch;
+  batch.push(0, 41.0);
+  auto first = finder.sample(batch, budget, FinderPolicy::kMostRecent);
+  for (int t = 0; t < 5; ++t) {
+    auto r = finder.sample(batch, budget, FinderPolicy::kMostRecent);
+    EXPECT_EQ(r.nbr, first.nbr);
+  }
+  for (std::int64_t j = 0; j < first.count[0]; ++j)
+    EXPECT_EQ(first.nbr[static_cast<std::size_t>(first.slot(0, j))], 40 - j);
+}
+
+TEST(InverseTimespan, WithoutReplacementEvenUnderExtremeSkew) {
+  // One neighbor at ∆t=1e-6, the rest ancient: the recent one should be
+  // drawn once, not fill every slot.
+  graph::Dataset d;
+  d.num_nodes = 6;
+  for (int i = 1; i <= 4; ++i) {
+    d.src.push_back(0);
+    d.dst.push_back(static_cast<graph::NodeId>(i));
+    d.ts.push_back(static_cast<double>(i));
+  }
+  d.src.push_back(0);
+  d.dst.push_back(5);
+  d.ts.push_back(99.999999);
+  d.apply_chrono_split();
+  graph::TCSR g(d);
+  OrigNeighborFinder finder(g, 10);
+  graph::TargetBatch batch;
+  batch.push(0, 100.0);
+  auto r = finder.sample(batch, 3, FinderPolicy::kInverseTimespan);
+  ASSERT_EQ(r.count[0], 3);
+  std::set<graph::NodeId> picked;
+  for (int j = 0; j < 3; ++j)
+    EXPECT_TRUE(picked.insert(r.nbr[static_cast<std::size_t>(r.slot(0, j))]).second);
+  EXPECT_TRUE(picked.count(5));  // the hot neighbor is (almost surely) in
+}
+
+}  // namespace

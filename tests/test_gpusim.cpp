@@ -1,0 +1,141 @@
+// SIMT device simulator: functional execution semantics (blocks, phases,
+// shared memory, atomics, per-thread RNG) and the roofline performance
+// model (monotonicity, launch overhead, transfer accounting).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "gpusim/device.h"
+
+using namespace taser::gpusim;
+
+namespace {
+
+TEST(PerfModel, KernelTimeIncludesLaunchOverhead) {
+  PerfModel model(rtx6000ada());
+  KernelStats empty;
+  EXPECT_NEAR(model.kernel_time(empty).seconds, 5e-6, 1e-9);
+}
+
+TEST(PerfModel, KernelTimeMonotoneInWork) {
+  PerfModel model(rtx6000ada());
+  KernelStats small, big;
+  small.thread_instructions = 1000;
+  big.thread_instructions = 1000000000;
+  EXPECT_LT(model.kernel_time(small).seconds, model.kernel_time(big).seconds);
+
+  KernelStats mem_small, mem_big;
+  mem_small.global_read_bytes = 1 << 10;
+  mem_big.global_read_bytes = 1ull << 33;
+  EXPECT_LT(model.kernel_time(mem_small).seconds, model.kernel_time(mem_big).seconds);
+}
+
+TEST(PerfModel, RooflineTakesMaxOfComputeAndMemory) {
+  PerfModel model(rtx6000ada());
+  KernelStats compute_bound;
+  compute_bound.thread_instructions = 1ull << 40;
+  KernelStats both = compute_bound;
+  both.global_read_bytes = 1 << 10;  // negligible memory
+  EXPECT_NEAR(model.kernel_time(both).seconds, model.kernel_time(compute_bound).seconds,
+              1e-9);
+}
+
+TEST(PerfModel, ZeroCopySlowerPerByteThanBulk) {
+  PerfModel model(rtx6000ada());
+  const std::uint64_t bytes = 100ull << 20;
+  EXPECT_GT(model.zero_copy_time(bytes).seconds, model.h2d_time(bytes).seconds);
+  EXPECT_GT(model.h2d_time(bytes).seconds, model.vram_gather_time(bytes).seconds);
+}
+
+TEST(PerfModel, TailBoundsUnderfilledGrid) {
+  PerfModel model(rtx6000ada());
+  // One monster block: tail term dominates the throughput term.
+  KernelStats stats;
+  stats.thread_instructions = 1 << 20;
+  stats.max_block_instructions = 1 << 20;  // all in one block
+  const double t = model.kernel_time(stats).seconds;
+  KernelStats spread = stats;
+  spread.max_block_instructions = 1 << 8;
+  EXPECT_GT(t, model.kernel_time(spread).seconds);
+}
+
+TEST(Device, LaunchRunsEveryBlockOnce) {
+  Device dev;
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  dev.launch(64, 8, [&](BlockCtx& blk) { hits[static_cast<std::size_t>(blk.block_id())]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Device, ForEachThreadCoversBlockDim) {
+  Device dev;
+  std::vector<int> seen;
+  dev.launch(1, 5, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](int t) { seen.push_back(t); });
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Device, StatsMergedAcrossBlocks) {
+  Device dev;
+  auto result = dev.launch(10, 4, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](int) { blk.count_instr(3); });
+    blk.count_global_read(100);
+  });
+  EXPECT_EQ(result.stats.thread_instructions, 10u * 4u * 3u);
+  EXPECT_EQ(result.stats.global_read_bytes, 1000u);
+}
+
+TEST(Device, AtomicCasSemantics) {
+  Device dev;
+  int successes = 0;
+  dev.launch(1, 4, [&](BlockCtx& blk) {
+    std::uint32_t* w = blk.shared_words(1);
+    blk.for_each_thread([&](int) {
+      if (blk.atomic_cas(w, 0u, 1u)) ++successes;
+    });
+  });
+  EXPECT_EQ(successes, 1);  // only the first CAS wins
+}
+
+TEST(Device, ThreadRngDeterministicAndDistinct) {
+  Device a, b;
+  a.reseed(7);
+  b.reseed(7);
+  std::vector<std::uint64_t> va, vb;
+  a.launch(2, 2, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](int t) { va.push_back(blk.thread_rng(t).next_u64()); });
+  });
+  b.launch(2, 2, [&](BlockCtx& blk) {
+    blk.for_each_thread([&](int t) { vb.push_back(blk.thread_rng(t).next_u64()); });
+  });
+  std::set<std::uint64_t> unique_a(va.begin(), va.end());
+  EXPECT_EQ(unique_a.size(), va.size());  // streams differ across (block, thread)
+  // Same seed, same launch index -> same streams (order may differ across
+  // OpenMP schedules; compare as sets).
+  EXPECT_EQ(std::set<std::uint64_t>(va.begin(), va.end()),
+            std::set<std::uint64_t>(vb.begin(), vb.end()));
+}
+
+TEST(Device, ElapsedLedgerAccumulates) {
+  Device dev;
+  EXPECT_EQ(dev.elapsed().seconds, 0.0);
+  dev.launch(4, 4, [](BlockCtx& blk) { blk.count_instr(10); });
+  const double after_kernel = dev.elapsed().seconds;
+  EXPECT_GT(after_kernel, 0.0);
+  dev.account_h2d(1 << 20);
+  EXPECT_GT(dev.elapsed().seconds, after_kernel);
+  dev.reset_elapsed();
+  EXPECT_EQ(dev.elapsed().seconds, 0.0);
+}
+
+TEST(Device, TinyGpuSlowerThanBigGpu) {
+  Device big(rtx6000ada()), small(tiny_gpu());
+  KernelStats stats;
+  stats.thread_instructions = 1ull << 30;
+  EXPECT_LT(big.model().kernel_time(stats).seconds,
+            small.model().kernel_time(stats).seconds);
+}
+
+}  // namespace

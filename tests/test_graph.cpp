@@ -1,0 +1,240 @@
+// Temporal graph substrate: dataset invariants, T-CSR construction and
+// pivot search, synthetic generator properties (noise structure,
+// bipartiteness, skew), and Table II statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/stats.h"
+#include "graph/synthetic.h"
+#include "graph/tcsr.h"
+
+using namespace taser::graph;
+
+namespace {
+
+Dataset tiny_dataset() {
+  // 4 nodes, 5 chronological edges.
+  Dataset d;
+  d.name = "tiny";
+  d.num_nodes = 4;
+  d.src = {0, 1, 0, 2, 0};
+  d.dst = {1, 2, 2, 3, 1};
+  d.ts = {1.0, 2.0, 3.0, 4.0, 5.0};
+  d.edge_feat_dim = 0;
+  d.node_feat_dim = 0;
+  d.apply_chrono_split();
+  return d;
+}
+
+TEST(Dataset, ChronoSplitFractions) {
+  Dataset d = tiny_dataset();
+  d.apply_chrono_split(0.6, 0.2);
+  EXPECT_EQ(d.train_end, 3);
+  EXPECT_EQ(d.val_end, 4);
+  EXPECT_EQ(d.num_train(), 3);
+  EXPECT_EQ(d.num_val(), 1);
+  EXPECT_EQ(d.num_test(), 1);
+}
+
+TEST(Dataset, ValidateCatchesUnsortedTimestamps) {
+  Dataset d = tiny_dataset();
+  d.ts[2] = 0.5;
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(Dataset, ValidateCatchesOutOfRangeNode) {
+  Dataset d = tiny_dataset();
+  d.dst[0] = 7;
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(Dataset, TruncateToLatestKeepsSuffix) {
+  Dataset d = tiny_dataset();
+  d.truncate_to_latest(2);
+  EXPECT_EQ(d.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(d.ts[0], 4.0);
+  EXPECT_DOUBLE_EQ(d.ts[1], 5.0);
+  d.apply_chrono_split();
+  d.validate();
+}
+
+TEST(TCSR, DegreesCountBothDirections) {
+  Dataset d = tiny_dataset();
+  TCSR g(d);
+  // node0 participates in edges (0,1),(0,2),(0,1) → degree 3
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(3), 1);
+}
+
+TEST(TCSR, NeighborListsSortedByTime) {
+  SyntheticConfig cfg;
+  cfg.num_src = 50;
+  cfg.num_dst = 50;
+  cfg.num_edges = 2000;
+  cfg.edge_feat_dim = 0;
+  Dataset d = generate_synthetic(cfg);
+  TCSR g(d);
+  for (NodeId v = 0; v < d.num_nodes; ++v)
+    for (std::int64_t i = g.begin(v) + 1; i < g.end(v); ++i)
+      ASSERT_LE(g.ts_at(i - 1), g.ts_at(i)) << "node " << v;
+}
+
+TEST(TCSR, PivotRespectsStrictTimeRestriction) {
+  Dataset d = tiny_dataset();
+  TCSR g(d);
+  // node0 has neighbor timestamps {1,3,5}.
+  EXPECT_EQ(g.pivot(0, 0.5) - g.begin(0), 0);
+  EXPECT_EQ(g.pivot(0, 1.0) - g.begin(0), 0);  // strictly earlier only
+  EXPECT_EQ(g.pivot(0, 1.5) - g.begin(0), 1);
+  EXPECT_EQ(g.pivot(0, 5.0) - g.begin(0), 2);
+  EXPECT_EQ(g.pivot(0, 100.0) - g.begin(0), 3);
+}
+
+TEST(TCSR, EdgeIdsMapBackToDatasetRows) {
+  Dataset d = tiny_dataset();
+  TCSR g(d);
+  for (NodeId v = 0; v < d.num_nodes; ++v)
+    for (std::int64_t i = g.begin(v); i < g.end(v); ++i) {
+      const EdgeId e = g.eid_at(i);
+      ASSERT_GE(e, 0);
+      ASSERT_LT(e, d.num_edges());
+      EXPECT_DOUBLE_EQ(d.ts[e], g.ts_at(i));
+      EXPECT_TRUE(d.src[e] == v || d.dst[e] == v);
+    }
+}
+
+TEST(Synthetic, BasicShapeAndValidation) {
+  SyntheticConfig cfg;
+  cfg.num_src = 100;
+  cfg.num_dst = 40;
+  cfg.num_edges = 5000;
+  cfg.edge_feat_dim = 16;
+  cfg.node_feat_dim = 8;
+  Dataset d = generate_synthetic(cfg);
+  EXPECT_EQ(d.num_nodes, 140);
+  EXPECT_EQ(d.num_edges(), 5000);
+  EXPECT_EQ(static_cast<std::int64_t>(d.edge_feats.size()), 5000 * 16);
+  EXPECT_EQ(static_cast<std::int64_t>(d.node_feats.size()), 140 * 8);
+  d.validate();  // sorted, in-range
+}
+
+TEST(Synthetic, BipartiteEdgesRespectParts) {
+  SyntheticConfig cfg;
+  cfg.num_src = 64;
+  cfg.num_dst = 32;
+  cfg.num_edges = 3000;
+  cfg.edge_feat_dim = 0;
+  Dataset d = generate_synthetic(cfg);
+  for (std::int64_t i = 0; i < d.num_edges(); ++i) {
+    EXPECT_LT(d.src[i], 64);
+    EXPECT_GE(d.dst[i], 64);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  SyntheticConfig cfg;
+  cfg.num_src = 30;
+  cfg.num_dst = 30;
+  cfg.num_edges = 1000;
+  Dataset a = generate_synthetic(cfg);
+  Dataset b = generate_synthetic(cfg);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  EXPECT_EQ(a.edge_feats, b.edge_feats);
+  cfg.seed = 43;
+  Dataset c = generate_synthetic(cfg);
+  EXPECT_NE(a.dst, c.dst);
+}
+
+TEST(Synthetic, MetaCoversAllEdgesAndKinds) {
+  SyntheticConfig cfg;
+  cfg.num_src = 100;
+  cfg.num_dst = 100;
+  cfg.num_edges = 20000;
+  cfg.relocation_prob = 0.6;
+  cfg.noise_edge_prob = 0.15;
+  SyntheticMeta meta;
+  Dataset d = generate_synthetic(cfg, &meta);
+  ASSERT_EQ(meta.edge_kind.size(), static_cast<std::size_t>(d.num_edges()));
+
+  std::int64_t counts[4] = {0, 0, 0, 0};
+  for (auto k : meta.edge_kind) {
+    ASSERT_LT(k, 4);
+    ++counts[k];
+  }
+  // All four kinds occur: fresh, repeat, pure-noise, deprecated.
+  EXPECT_GT(counts[SyntheticMeta::kFresh], 0);
+  EXPECT_GT(counts[SyntheticMeta::kRepeat], 0);
+  EXPECT_GT(counts[SyntheticMeta::kNoise], 0);
+  EXPECT_GT(counts[SyntheticMeta::kDeprecated], 0);
+  // Noise covers at least the primary random-destination draws plus the
+  // repeats of random partners, but must not dominate the stream.
+  const double noise_frac =
+      static_cast<double>(counts[SyntheticMeta::kNoise]) / static_cast<double>(d.num_edges());
+  EXPECT_GE(noise_frac, 0.13);
+  EXPECT_LE(noise_frac, 0.35);
+}
+
+TEST(Synthetic, DeprecatedLinksOnlyAfterRelocation) {
+  SyntheticConfig cfg;
+  cfg.num_src = 60;
+  cfg.num_dst = 60;
+  cfg.num_edges = 8000;
+  cfg.relocation_prob = 0.8;
+  SyntheticMeta meta;
+  Dataset d = generate_synthetic(cfg, &meta);
+  for (std::int64_t i = 0; i < d.num_edges(); ++i) {
+    if (meta.edge_kind[static_cast<std::size_t>(i)] == SyntheticMeta::kDeprecated) {
+      // A deprecated repeat requires the source to have relocated already,
+      // or the repeat to cross archetypes some other way — at minimum the
+      // source must have a finite relocation time.
+      EXPECT_TRUE(std::isfinite(meta.relocation_time[static_cast<std::size_t>(d.src[i])]))
+          << "edge " << i;
+    }
+  }
+}
+
+TEST(Synthetic, ActivityIsSkewed) {
+  SyntheticConfig cfg;
+  cfg.num_src = 200;
+  cfg.num_dst = 200;
+  cfg.num_edges = 20000;
+  cfg.zipf_activity = 1.1;
+  Dataset d = generate_synthetic(cfg);
+  std::vector<std::int64_t> counts(200, 0);
+  for (auto u : d.src) ++counts[static_cast<std::size_t>(u)];
+  std::sort(counts.rbegin(), counts.rend());
+  std::int64_t top10 = 0;
+  for (int i = 0; i < 20; ++i) top10 += counts[static_cast<std::size_t>(i)];
+  // Top 10% of sources produce far more than 10% of events.
+  EXPECT_GT(static_cast<double>(top10) / 20000.0, 0.3);
+}
+
+TEST(Synthetic, PaperPresetsScaleSanely) {
+  for (const auto& cfg : all_paper_presets(0.02, 16)) {
+    SCOPED_TRACE(cfg.name);
+    Dataset d = generate_synthetic(cfg);
+    d.validate();
+    EXPECT_GT(d.num_edges(), 100);
+    if (cfg.edge_feat_dim > 0) {
+      EXPECT_EQ(d.edge_feat_dim, 16);
+    }
+  }
+}
+
+TEST(Stats, TableIIStatisticsShape) {
+  SyntheticConfig cfg = wikipedia_like(0.05, 16);
+  Dataset d = generate_synthetic(cfg);
+  DatasetStats s = compute_stats(d);
+  EXPECT_EQ(s.num_edges, d.num_edges());
+  EXPECT_EQ(s.num_train + s.num_val + s.num_test, s.num_edges);
+  EXPECT_GT(s.max_degree, s.mean_degree);
+  // Wikipedia-like has heavy repeat structure.
+  EXPECT_GT(s.repeat_edge_frac, 0.2);
+}
+
+}  // namespace

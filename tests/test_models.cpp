@@ -1,0 +1,252 @@
+// Backbone models: shapes, masking semantics, aggregation records, and
+// the sample-loss construction (Eq. 25/26) against the autograd graph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sample_loss.h"
+#include "models/edge_predictor.h"
+#include "models/graphmixer.h"
+#include "models/tgat.h"
+#include "tensor/ops.h"
+
+using namespace taser;
+using namespace taser::models;
+namespace tt = taser::tensor;
+using tt::Tensor;
+
+namespace {
+
+HopInputs make_hop(std::int64_t T, std::int64_t n, std::int64_t dv, std::int64_t de,
+                   util::Rng& rng, std::int64_t valid_per_target = -1) {
+  HopInputs hop;
+  hop.targets = T;
+  hop.width = n;
+  if (dv > 0) hop.nbr_node_feats = Tensor::randn({T, n, dv}, rng);
+  if (de > 0) hop.edge_feats = Tensor::randn({T, n, de}, rng);
+  std::vector<float> dt(static_cast<std::size_t>(T * n));
+  std::vector<float> mask(static_cast<std::size_t>(T * n), 0.f);
+  const std::int64_t valid = valid_per_target < 0 ? n : valid_per_target;
+  for (std::int64_t i = 0; i < T; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      dt[static_cast<std::size_t>(i * n + j)] = rng.next_uniform(0.1f, 3.f);
+      if (j < valid) mask[static_cast<std::size_t>(i * n + j)] = 1.f;
+    }
+  hop.delta_t = Tensor::from_vector({T, n}, std::move(dt));
+  hop.mask = Tensor::from_vector({T, n}, std::move(mask));
+  return hop;
+}
+
+ModelConfig small_config(std::int64_t dv, std::int64_t de) {
+  ModelConfig mc;
+  mc.node_feat_dim = dv;
+  mc.edge_feat_dim = de;
+  mc.hidden_dim = 12;
+  mc.time_dim = 8;
+  mc.num_neighbors = 4;
+  return mc;
+}
+
+TEST(Tgat, OutputShapeAndRecords) {
+  util::Rng rng(1);
+  auto mc = small_config(0, 6);
+  TgatModel model(mc, rng);
+  BatchInputs inputs;
+  inputs.num_roots = 5;
+  inputs.hops.push_back(make_hop(5, 4, 0, 6, rng));
+  inputs.hops.push_back(make_hop(20, 4, 0, 6, rng));
+  Tensor h = model.compute_embeddings(inputs);
+  EXPECT_EQ(h.shape(), (tt::Shape{5, 12}));
+  ASSERT_EQ(model.records().size(), 3u);
+  EXPECT_EQ(model.records()[0].hop, 1);  // frontier layer couples to hop-2 sampler
+  EXPECT_EQ(model.records()[1].hop, 0);
+  EXPECT_EQ(model.records()[2].hop, 0);
+  for (const auto& rec : model.records()) {
+    EXPECT_EQ(rec.kind, AggregationRecord::Kind::kAttention);
+    ASSERT_TRUE(rec.attention.defined());
+    // attention rows sum to 1
+    for (std::int64_t i = 0; i < rec.attention.size(0); ++i) {
+      float sum = 0;
+      for (std::int64_t j = 0; j < rec.attention.size(1); ++j)
+        sum += rec.attention.at({i, j});
+      EXPECT_NEAR(sum, 1.f, 1e-4f);
+    }
+  }
+}
+
+TEST(Tgat, MaskedSlotsGetNoAttention) {
+  util::Rng rng(2);
+  auto mc = small_config(0, 6);
+  TgatModel model(mc, rng);
+  BatchInputs inputs;
+  inputs.num_roots = 3;
+  inputs.hops.push_back(make_hop(3, 4, 0, 6, rng, /*valid=*/2));
+  inputs.hops.push_back(make_hop(12, 4, 0, 6, rng, /*valid=*/2));
+  model.compute_embeddings(inputs);
+  const auto& rec = model.records()[1];  // layer-1 over roots
+  for (std::int64_t i = 0; i < rec.attention.size(0); ++i) {
+    EXPECT_LT(rec.attention.at({i, 2}), 1e-3f);
+    EXPECT_LT(rec.attention.at({i, 3}), 1e-3f);
+  }
+}
+
+TEST(Tgat, GradientsFlowToAllParameters) {
+  util::Rng rng(3);
+  auto mc = small_config(4, 6);
+  TgatModel model(mc, rng);
+  BatchInputs inputs;
+  inputs.num_roots = 4;
+  inputs.root_feats = Tensor::randn({4, 4}, rng);
+  inputs.hops.push_back(make_hop(4, 4, 4, 6, rng));
+  inputs.hops.push_back(make_hop(16, 4, 4, 6, rng));
+  Tensor h = model.compute_embeddings(inputs);
+  tt::sum_all(tt::square(h)).backward();
+  std::size_t with_grad = 0, total = 0;
+  for (auto& [name, p] : model.named_parameters()) {
+    ++total;
+    auto g = p.grad();
+    if (!g.defined()) continue;
+    for (float v : g.to_vector())
+      if (v != 0.f) {
+        ++with_grad;
+        break;
+      }
+  }
+  // Nearly all parameters should receive gradient (bias of unused parts
+  // may not).
+  EXPECT_GE(with_grad, total - 2) << with_grad << "/" << total;
+}
+
+TEST(GraphMixer, OutputShapeAndMixerRecord) {
+  util::Rng rng(4);
+  auto mc = small_config(0, 6);
+  GraphMixerModel model(mc, rng);
+  BatchInputs inputs;
+  inputs.num_roots = 6;
+  inputs.hops.push_back(make_hop(6, 4, 0, 6, rng));
+  Tensor h = model.compute_embeddings(inputs);
+  EXPECT_EQ(h.shape(), (tt::Shape{6, 12}));
+  ASSERT_EQ(model.records().size(), 1u);
+  EXPECT_EQ(model.records()[0].kind, AggregationRecord::Kind::kMixer);
+  EXPECT_EQ(model.records()[0].tokens.shape(), (tt::Shape{6, 4, 12}));
+}
+
+TEST(GraphMixer, PaddingContractIsZeroFill) {
+  // Padded slots still traverse the token-mixing MLP (which mixes across
+  // tokens *before* the masked mean), so the model's contract is that the
+  // batch builder zero-fills padding. This test documents both halves:
+  // (a) identical zero-filled inputs are deterministic, and (b) garbage
+  // in a padded slot WOULD leak — which is why the builder must zero-fill.
+  util::Rng rng(5);
+  auto mc = small_config(0, 6);
+  GraphMixerModel model(mc, rng);
+
+  BatchInputs a;
+  a.num_roots = 1;
+  HopInputs hop = make_hop(1, 4, 0, 6, rng, /*valid=*/2);
+  float* ef = hop.edge_feats.data();
+  float* dt = hop.delta_t.data();
+  for (std::int64_t j = 2; j < 4; ++j) {
+    dt[j] = 0.f;
+    for (std::int64_t k = 0; k < 6; ++k) ef[j * 6 + k] = 0.f;  // builder contract
+  }
+  a.hops.push_back(hop);
+  std::vector<float> h1 = model.compute_embeddings(a).to_vector();
+  std::vector<float> h2 = model.compute_embeddings(a).to_vector();
+  EXPECT_EQ(h1, h2);  // deterministic under the zero-fill contract
+
+  // Poison one padded slot: the output shifts (token mixing leaks pads),
+  // demonstrating why zero-fill is load-bearing.
+  for (std::int64_t k = 0; k < 6; ++k) ef[3 * 6 + k] = 99.f;
+  std::vector<float> h3 = model.compute_embeddings(a).to_vector();
+  EXPECT_NE(h1, h3);
+}
+
+TEST(EdgePredictor, ScoresPairsSymmetricallyInBatch) {
+  util::Rng rng(6);
+  EdgePredictor pred(8, rng);
+  Tensor a = Tensor::randn({3, 8}, rng);
+  Tensor b = Tensor::randn({3, 8}, rng);
+  Tensor logits = pred.forward(a, b);
+  EXPECT_EQ(logits.shape(), (tt::Shape{3}));
+  // Deterministic: same inputs, same logits.
+  Tensor logits2 = pred.forward(a, b);
+  EXPECT_EQ(logits.to_vector(), logits2.to_vector());
+}
+
+// ---- sample loss ------------------------------------------------------------
+
+TEST(SampleLoss, UndefinedWhenNoGradientReached) {
+  util::Rng rng(7);
+  auto mc = small_config(0, 6);
+  GraphMixerModel model(mc, rng);
+  BatchInputs inputs;
+  inputs.num_roots = 2;
+  inputs.hops.push_back(make_hop(2, 4, 0, 6, rng));
+  model.compute_embeddings(inputs);  // no backward -> no grads on outputs
+
+  core::SelectionResult sel;
+  sel.log_probs_selected = Tensor::zeros({2, 4}, true);
+  sel.selected_mask.assign(8, 1.f);
+  std::vector<core::SelectionResult> selections;
+  selections.push_back(std::move(sel));
+  Tensor loss = core::build_sample_loss(model.records(), selections);
+  EXPECT_FALSE(loss.defined());
+}
+
+TEST(SampleLoss, ProducesGradientForMixerRecords) {
+  util::Rng rng(8);
+  auto mc = small_config(0, 6);
+  GraphMixerModel model(mc, rng);
+  BatchInputs inputs;
+  inputs.num_roots = 3;
+  inputs.hops.push_back(make_hop(3, 4, 0, 6, rng));
+  Tensor h = model.compute_embeddings(inputs);
+  tt::sum_all(tt::square(h)).backward();  // populates record.output.grad
+
+  core::SelectionResult sel;
+  Tensor theta = Tensor::randn({3, 4}, rng, 0.5f, /*requires_grad=*/true);
+  sel.log_probs_selected = tt::log_softmax_lastdim(theta);
+  sel.selected_mask.assign(12, 1.f);
+  std::vector<core::SelectionResult> selections;
+  selections.push_back(std::move(sel));
+
+  Tensor loss = core::build_sample_loss(model.records(), selections);
+  ASSERT_TRUE(loss.defined());
+  loss.backward();
+  auto g = theta.grad();
+  ASSERT_TRUE(g.defined());
+  double norm = 0;
+  for (float v : g.to_vector()) norm += std::abs(v);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(SampleLoss, CenteringZerosConstantCoefficients) {
+  // With advantage centering, a record whose coefficients are identical
+  // across neighbors contributes (numerically) nothing.
+  util::Rng rng(9);
+  AggregationRecord rec;
+  rec.kind = AggregationRecord::Kind::kMixer;
+  rec.hop = 0;
+  rec.tokens = Tensor::ones({1, 3, 2});
+  rec.mask = Tensor::ones({1, 3});
+  rec.output = Tensor::ones({1, 2}, true);
+  rec.output.node().ensure_grad();
+  rec.output.node().grad = {1.f, 1.f};
+
+  core::SelectionResult sel;
+  Tensor theta = Tensor::randn({1, 3}, rng, 0.5f, true);
+  sel.log_probs_selected = tt::log_softmax_lastdim(theta);
+  sel.selected_mask.assign(3, 1.f);
+  std::vector<core::SelectionResult> selections;
+  selections.push_back(std::move(sel));
+
+  std::vector<AggregationRecord> records = {rec};
+  core::SampleLossConfig cfg;
+  cfg.center_advantage = true;
+  Tensor loss = core::build_sample_loss(records, selections, cfg);
+  ASSERT_TRUE(loss.defined());
+  EXPECT_NEAR(loss.item(), 0.f, 1e-6f);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// NN layer semantics: module registry, Linear/LayerNorm/MLP/MixerBlock
+// shapes and gradients, time/frequency encodings (Eq. 3, 8, 12), Adam
+// convergence and gradient clipping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/mixer.h"
+#include "nn/mlp.h"
+#include "nn/time_encoding.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+using namespace taser;
+using namespace taser::nn;
+namespace tt = taser::tensor;
+using tt::Tensor;
+
+namespace {
+
+TEST(ModuleRegistry, ParametersFlattenSubtree) {
+  util::Rng rng(1);
+  Mlp mlp(4, 8, 2, rng);
+  // fc1: W+b, fc2: W+b.
+  EXPECT_EQ(mlp.parameters().size(), 4u);
+  EXPECT_EQ(mlp.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+  auto named = mlp.named_parameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[3].first, "fc2.bias");
+  for (auto& [name, p] : named) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(ModuleRegistry, SetTrainingPropagates) {
+  util::Rng rng(2);
+  Mlp mlp(2, 4, 2, rng);
+  EXPECT_TRUE(mlp.training());
+  mlp.set_training(false);
+  EXPECT_FALSE(mlp.training());
+}
+
+TEST(LinearLayer, ForwardMatchesManualGemm) {
+  util::Rng rng(3);
+  Linear lin(3, 2, rng);
+  Tensor x = Tensor::from_vector({1, 3}, {1, 2, 3});
+  Tensor y = lin.forward(x);
+  const float* w = lin.weight().data();
+  const float* b = lin.bias().data();
+  for (int j = 0; j < 2; ++j) {
+    const float expect = 1 * w[0 * 2 + j] + 2 * w[1 * 2 + j] + 3 * w[2 * 2 + j] + b[j];
+    EXPECT_NEAR(y.data()[j], expect, 1e-5f);
+  }
+}
+
+TEST(LinearLayer, NoBiasVariant) {
+  util::Rng rng(4);
+  Linear lin(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(lin.parameters().size(), 1u);
+  Tensor y = lin.forward(Tensor::zeros({2, 3}));
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y.data()[i], 0.f);
+}
+
+TEST(MixerBlock, PreservesShapeAndMixesTokens) {
+  util::Rng rng(5);
+  MixerBlock mixer(4, 6, rng);
+  Tensor x = Tensor::randn({3, 4, 6}, rng, 1.f, true);
+  Tensor y = mixer.forward(x);
+  EXPECT_EQ(y.shape(), (tt::Shape{3, 4, 6}));
+
+  // Token mixing means token 0's output depends on token 3's input.
+  Tensor x2 = x.clone();
+  x2.data()[3 * 6 + 0] += 1.f;  // batch 0, token 3, channel 0
+  Tensor y2 = mixer.forward(x2);
+  float delta_token0 = 0;
+  for (int c = 0; c < 6; ++c) delta_token0 += std::abs(y2.at({0, 0, c}) - y.at({0, 0, c}));
+  EXPECT_GT(delta_token0, 1e-6f);
+}
+
+TEST(MixerBlock, RejectsWrongTokenCount) {
+  util::Rng rng(6);
+  MixerBlock mixer(4, 6, rng);
+  EXPECT_THROW(mixer.forward(Tensor::zeros({2, 5, 6})), std::runtime_error);
+}
+
+TEST(MixerBlock, GradCheck) {
+  util::Rng rng(7);
+  MixerBlock mixer(3, 4, rng);
+  Tensor x = Tensor::randn({2, 3, 4}, rng, 0.5f, true);
+  auto res = tt::grad_check(
+      [&] { return tt::mean_all(tt::square(mixer.forward(x))); }, {x}, 1e-2f, 3e-2f,
+      8e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(TimeEncoding, LearnableMatchesCosForm) {
+  util::Rng rng(8);
+  LearnableTimeEncoding enc(6, rng);
+  Tensor dt = Tensor::from_vector({2}, {0.f, 1.5f});
+  Tensor phi = enc.forward(dt);
+  EXPECT_EQ(phi.shape(), (tt::Shape{2, 6}));
+  // Φ(0) = cos(b); with b initialised to zero, Φ(0) = 1.
+  for (int k = 0; k < 6; ++k) EXPECT_NEAR(phi.at({0, k}), 1.f, 1e-5f);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_LE(phi.at({1, k}), 1.f + 1e-5f);
+    EXPECT_GE(phi.at({1, k}), -1.f - 1e-5f);
+  }
+}
+
+TEST(TimeEncoding, LearnableIsTrainable) {
+  util::Rng rng(9);
+  LearnableTimeEncoding enc(4, rng);
+  EXPECT_EQ(enc.parameters().size(), 2u);
+  Tensor dt = Tensor::from_vector({3}, {0.5f, 1.f, 2.f});
+  Tensor loss = tt::sum_all(tt::square(enc.forward(dt)));
+  loss.backward();
+  bool any = false;
+  for (auto& p : enc.parameters()) {
+    auto g = p.grad();
+    if (g.defined())
+      for (float v : g.to_vector())
+        if (v != 0.f) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(TimeEncoding, FixedSpansMultipleTimescales) {
+  FixedTimeEncoding enc(8);
+  std::vector<float> small(8), large(8);
+  enc.encode(0.01f, small.data());
+  enc.encode(100.f, large.data());
+  // Tiny ∆t: every band still reads ~cos(0) = 1.
+  for (int i = 0; i < 8; ++i) EXPECT_NEAR(small[i], 1.f, 0.02f);
+  // Large ∆t: the bands de-cohere (geometric frequency ladder, Eq. 8),
+  // so the response is no longer the constant-1 vector.
+  float spread = 0.f;
+  for (int i = 0; i < 8; ++i) spread = std::max(spread, std::abs(large[i] - 1.f));
+  EXPECT_GT(spread, 0.5f);
+  // Frequencies decay monotonically: ω_0 > ω_7.
+  FixedTimeEncoding probe(8);
+  std::vector<float> quarter(8);
+  probe.encode(1.57f, quarter.data());  // ~π/2 for ω=1
+  EXPECT_LT(quarter[0], quarter[7]);    // fast band has rotated further
+}
+
+TEST(FrequencyEncoding, DistinguishesCounts) {
+  FrequencyEncoding enc(8);
+  std::vector<float> f1(8), f5(8), f5b(8);
+  enc.encode(1.f, f1.data());
+  enc.encode(5.f, f5.data());
+  enc.encode(5.f, f5b.data());
+  EXPECT_EQ(f5, f5b);  // deterministic
+  float diff = 0;
+  for (int i = 0; i < 8; ++i) diff += std::abs(f1[i] - f5[i]);
+  EXPECT_GT(diff, 0.1f);
+}
+
+TEST(AdamOptimizer, ConvergesOnQuadratic) {
+  // minimise ||x - target||^2
+  Tensor x = Tensor::from_vector({3}, {5.f, -3.f, 2.f}, true);
+  Tensor target = Tensor::from_vector({3}, {1.f, 1.f, 1.f});
+  Adam opt({x}, 0.1f);
+  for (int step = 0; step < 300; ++step) {
+    opt.zero_grad();
+    Tensor loss = tt::sum_all(tt::square(tt::sub(x, target)));
+    loss.backward();
+    opt.step();
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x.data()[i], 1.f, 0.05f);
+  EXPECT_EQ(opt.steps_taken(), 300);
+}
+
+TEST(AdamOptimizer, SkipsParamsWithoutGrad) {
+  Tensor a = Tensor::ones({2}, true);
+  Tensor b = Tensor::ones({2}, true);
+  Adam opt({a, b}, 0.5f);
+  Tensor loss = tt::sum_all(tt::square(a));
+  loss.backward();
+  opt.step();
+  EXPECT_NE(a.data()[0], 1.f);
+  EXPECT_FLOAT_EQ(b.data()[0], 1.f);  // untouched
+}
+
+TEST(GradClip, ScalesDownLargeGradients) {
+  Tensor x = Tensor::from_vector({2}, {3.f, 4.f}, true);
+  Tensor loss = tt::sum_all(tt::mul(x, x));  // grad = 2x = (6, 8), norm 10
+  loss.backward();
+  const float pre = clip_grad_norm({x}, 1.f);
+  EXPECT_NEAR(pre, 10.f, 1e-4f);
+  auto g = x.grad().to_vector();
+  EXPECT_NEAR(std::sqrt(g[0] * g[0] + g[1] * g[1]), 1.f, 1e-4f);
+}
+
+TEST(GradClip, LeavesSmallGradientsAlone) {
+  Tensor x = Tensor::from_vector({2}, {0.01f, 0.02f}, true);
+  tt::sum_all(tt::mul(x, x)).backward();
+  auto before = x.grad().to_vector();
+  clip_grad_norm({x}, 1.f);
+  EXPECT_EQ(x.grad().to_vector(), before);
+}
+
+}  // namespace

@@ -1,0 +1,300 @@
+// Forward-value tests for the tensor library: shapes, broadcasting rules,
+// and numeric results checked against hand-computed expectations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace tt = taser::tensor;
+using tt::Tensor;
+
+namespace {
+
+void expect_all_close(const Tensor& t, const std::vector<float>& expect,
+                      float tol = 1e-5f) {
+  ASSERT_EQ(t.numel(), static_cast<std::int64_t>(expect.size()));
+  const float* d = t.data();
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_NEAR(d[i], expect[i], tol) << "at index " << i;
+}
+
+TEST(TensorBasics, ConstructorsAndMetadata) {
+  Tensor z = Tensor::zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.dim(), 2);
+  EXPECT_EQ(z.size(0), 2);
+  EXPECT_EQ(z.size(1), 3);
+  EXPECT_EQ(z.size(-1), 3);
+  expect_all_close(z, {0, 0, 0, 0, 0, 0});
+
+  Tensor f = Tensor::full({2}, 3.5f);
+  expect_all_close(f, {3.5f, 3.5f});
+
+  Tensor s = Tensor::scalar(2.f);
+  EXPECT_EQ(s.dim(), 0);
+  EXPECT_FLOAT_EQ(s.item(), 2.f);
+}
+
+TEST(TensorBasics, FromVectorShapeMismatchThrows) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1.f, 2.f, 3.f}), std::runtime_error);
+}
+
+TEST(TensorBasics, AtIndexing) {
+  Tensor t = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.at({0, 0}), 1.f);
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 6.f);
+  EXPECT_FLOAT_EQ(t.at({0, 2}), 3.f);
+}
+
+TEST(TensorBasics, CloneIsDeep) {
+  Tensor a = Tensor::from_vector({2}, {1, 2});
+  Tensor b = a.clone();
+  b.data()[0] = 9.f;
+  EXPECT_FLOAT_EQ(a.data()[0], 1.f);
+}
+
+TEST(TensorBasics, DetachSharesNoGraph) {
+  Tensor a = Tensor::from_vector({2}, {1, 2}, /*requires_grad=*/true);
+  Tensor b = tt::mul_scalar(a, 2.f);
+  Tensor d = b.detach();
+  EXPECT_FALSE(d.requires_grad());
+  expect_all_close(d, {2, 4});
+}
+
+TEST(Elementwise, AddSameShape) {
+  Tensor a = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({2, 2}, {10, 20, 30, 40});
+  expect_all_close(tt::add(a, b), {11, 22, 33, 44});
+  expect_all_close(tt::sub(a, b), {-9, -18, -27, -36});
+  expect_all_close(tt::mul(a, b), {10, 40, 90, 160});
+  expect_all_close(tt::div(b, a), {10, 10, 10, 10});
+}
+
+TEST(Elementwise, BroadcastRowVector) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3}, {10, 20, 30});
+  expect_all_close(tt::add(a, b), {11, 22, 33, 14, 25, 36});
+}
+
+TEST(Elementwise, BroadcastColumnAgainstMatrix) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({2, 1}, {10, 100});
+  expect_all_close(tt::mul(a, b), {10, 20, 30, 400, 500, 600});
+}
+
+TEST(Elementwise, Broadcast3dMiddleDim) {
+  // [2,2,2] * [2,1,2]
+  Tensor a = Tensor::from_vector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor b = Tensor::from_vector({2, 1, 2}, {1, 10, 100, 1000});
+  expect_all_close(tt::mul(a, b), {1, 20, 3, 40, 500, 6000, 700, 8000});
+}
+
+TEST(Elementwise, IncompatibleBroadcastThrows) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({2, 4});
+  EXPECT_THROW(tt::add(a, b), std::runtime_error);
+}
+
+TEST(Elementwise, UnaryValues) {
+  Tensor x = Tensor::from_vector({4}, {-2.f, -0.5f, 0.f, 1.5f});
+  expect_all_close(tt::relu(x), {0, 0, 0, 1.5f});
+  expect_all_close(tt::leaky_relu(x, 0.1f), {-0.2f, -0.05f, 0, 1.5f});
+  expect_all_close(tt::neg(x), {2.f, 0.5f, 0.f, -1.5f});
+  expect_all_close(tt::square(x), {4.f, 0.25f, 0.f, 2.25f});
+  expect_all_close(tt::sigmoid(Tensor::from_vector({1}, {0.f})), {0.5f});
+  expect_all_close(tt::exp_t(Tensor::from_vector({2}, {0.f, 1.f})),
+                   {1.f, std::exp(1.f)}, 1e-4f);
+  expect_all_close(tt::cos_t(Tensor::from_vector({2}, {0.f, 3.14159265f})),
+                   {1.f, -1.f}, 1e-4f);
+}
+
+TEST(Elementwise, SigmoidExtremeLogitsStable) {
+  Tensor x = Tensor::from_vector({2}, {-80.f, 80.f});
+  Tensor y = tt::sigmoid(x);
+  EXPECT_GE(y.data()[0], 0.f);
+  EXPECT_LE(y.data()[1], 1.f);
+  EXPECT_NEAR(y.data()[0], 0.f, 1e-6f);
+  EXPECT_NEAR(y.data()[1], 1.f, 1e-6f);
+}
+
+TEST(MatMul, Values2d) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  expect_all_close(tt::matmul(a, b), {58, 64, 139, 154});
+}
+
+TEST(MatMul, InnerDimMismatchThrows) {
+  EXPECT_THROW(tt::matmul(Tensor::zeros({2, 3}), Tensor::zeros({4, 2})),
+               std::runtime_error);
+}
+
+TEST(MatMul, BatchedValues) {
+  Tensor a = Tensor::from_vector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({2, 2, 1}, {5, 6, 7, 8});
+  expect_all_close(tt::bmm(a, b), {17, 53});
+}
+
+TEST(MatMul, LinearMatchesManual) {
+  Tensor x = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor w = Tensor::from_vector({2, 3}, {1, 0, 2, 0, 1, 1});
+  Tensor b = Tensor::from_vector({3}, {0.5f, -0.5f, 0.f});
+  // row0: [1*1+2*0, 1*0+2*1, 1*2+2*1] + b = [1.5, 1.5, 4]
+  expect_all_close(tt::linear(x, w, b), {1.5f, 1.5f, 4.f, 3.5f, 3.5f, 10.f});
+}
+
+TEST(MatMul, LinearOn3dInput) {
+  Tensor x = Tensor::ones({2, 3, 4});
+  taser::util::Rng rng(1);
+  Tensor w = Tensor::randn({4, 5}, rng);
+  Tensor out = tt::linear(x, w, Tensor());
+  EXPECT_EQ(out.shape(), (tt::Shape{2, 3, 5}));
+}
+
+TEST(Reduce, SumAndMean) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(tt::sum_all(a).item(), 21.f);
+  EXPECT_FLOAT_EQ(tt::mean_all(a).item(), 3.5f);
+  expect_all_close(tt::sum_dim(a, 0), {5, 7, 9});
+  expect_all_close(tt::sum_dim(a, 1), {6, 15});
+  expect_all_close(tt::mean_dim(a, 1), {2, 5});
+  expect_all_close(tt::sum_dim(a, -1), {6, 15});
+}
+
+TEST(Reduce, SumDimKeepdim) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = tt::sum_dim(a, 1, /*keepdim=*/true);
+  EXPECT_EQ(s.shape(), (tt::Shape{2, 1}));
+}
+
+TEST(Reduce, SumMiddleDimOf3d) {
+  Tensor a = Tensor::from_vector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  expect_all_close(tt::sum_dim(a, 1), {4, 6, 12, 14});
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, -1, 0, 5});
+  Tensor s = tt::softmax_lastdim(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) sum += s.at({r, c});
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+  EXPECT_LT(s.at({0, 0}), s.at({0, 2}));
+}
+
+TEST(Softmax, LargeLogitsStable) {
+  Tensor a = Tensor::from_vector({1, 3}, {1000.f, 1000.f, 1000.f});
+  Tensor s = tt::softmax_lastdim(a);
+  expect_all_close(s, {1.f / 3, 1.f / 3, 1.f / 3});
+}
+
+TEST(Softmax, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = Tensor::from_vector({1, 4}, {0.1f, -2.f, 3.f, 0.f});
+  Tensor ls = tt::log_softmax_lastdim(a);
+  Tensor s = tt::softmax_lastdim(a);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(ls.at({0, i}), std::log(s.at({0, i})), 1e-5f);
+}
+
+TEST(LayerNorm, NormalisesRows) {
+  Tensor x = Tensor::from_vector({2, 4}, {1, 2, 3, 4, -10, 0, 10, 20});
+  Tensor gamma = Tensor::ones({4});
+  Tensor beta = Tensor::zeros({4});
+  Tensor y = tt::layer_norm_lastdim(x, gamma, beta);
+  for (int r = 0; r < 2; ++r) {
+    float mean = 0, var = 0;
+    for (int c = 0; c < 4; ++c) mean += y.at({r, c});
+    mean /= 4;
+    for (int c = 0; c < 4; ++c) var += (y.at({r, c}) - mean) * (y.at({r, c}) - mean);
+    var /= 4;
+    EXPECT_NEAR(mean, 0.f, 1e-4f);
+    EXPECT_NEAR(var, 1.f, 1e-2f);
+  }
+}
+
+TEST(ShapeOps, ReshapeAndWildcard) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = tt::reshape(a, {3, -1});
+  EXPECT_EQ(r.shape(), (tt::Shape{3, 2}));
+  expect_all_close(r, {1, 2, 3, 4, 5, 6});
+  EXPECT_THROW(tt::reshape(a, {4, 2}), std::runtime_error);
+}
+
+TEST(ShapeOps, Transpose2d) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  expect_all_close(tt::transpose2d(a), {1, 4, 2, 5, 3, 6});
+}
+
+TEST(ShapeOps, Permute021) {
+  Tensor a = Tensor::from_vector({2, 2, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  Tensor p = tt::permute_021(a);
+  EXPECT_EQ(p.shape(), (tt::Shape{2, 3, 2}));
+  expect_all_close(p, {1, 4, 2, 5, 3, 6, 7, 10, 8, 11, 9, 12});
+}
+
+TEST(ShapeOps, ConcatLastdim) {
+  Tensor a = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({2, 1}, {9, 10});
+  expect_all_close(tt::concat_lastdim({a, b}), {1, 2, 9, 3, 4, 10});
+}
+
+TEST(ShapeOps, ConcatDim0) {
+  Tensor a = Tensor::from_vector({1, 2}, {1, 2});
+  Tensor b = Tensor::from_vector({2, 2}, {3, 4, 5, 6});
+  Tensor c = tt::concat_dim0({a, b});
+  EXPECT_EQ(c.shape(), (tt::Shape{3, 2}));
+  expect_all_close(c, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(ShapeOps, SliceLastdim) {
+  Tensor a = Tensor::from_vector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  expect_all_close(tt::slice_lastdim(a, 1, 2), {2, 3, 6, 7});
+  EXPECT_THROW(tt::slice_lastdim(a, 3, 2), std::runtime_error);
+}
+
+TEST(ShapeOps, IndexSelect0) {
+  Tensor a = Tensor::from_vector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = tt::index_select0(a, {2, 0, 2});
+  expect_all_close(g, {5, 6, 1, 2, 5, 6});
+  EXPECT_THROW(tt::index_select0(a, {3}), std::runtime_error);
+}
+
+TEST(Loss, BceWithLogitsMatchesManual) {
+  Tensor z = Tensor::from_vector({2}, {0.f, 2.f});
+  Tensor y = Tensor::from_vector({2}, {1.f, 0.f});
+  // loss0 = log(2); loss1 = 2 + log(1+e^-2)
+  const float expect = (std::log(2.f) + 2.f + std::log1p(std::exp(-2.f))) / 2.f;
+  EXPECT_NEAR(tt::bce_with_logits_mean(z, y).item(), expect, 1e-5f);
+}
+
+TEST(Loss, BceExtremeLogitsFinite) {
+  Tensor z = Tensor::from_vector({2}, {-100.f, 100.f});
+  Tensor y = Tensor::from_vector({2}, {0.f, 1.f});
+  const float v = tt::bce_with_logits_mean(z, y).item();
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(v, 0.f, 1e-5f);
+}
+
+TEST(Dropout, EvalModeIsIdentityTrainModeScales) {
+  taser::util::Rng rng(7);
+  Tensor x = Tensor::ones({1000});
+  Tensor eval_out = tt::dropout(x, 0.5f, /*training=*/false, rng);
+  expect_all_close(eval_out, std::vector<float>(1000, 1.f));
+
+  Tensor train_out = tt::dropout(x, 0.5f, /*training=*/true, rng);
+  int zeros = 0;
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const float v = train_out.data()[i];
+    EXPECT_TRUE(v == 0.f || std::abs(v - 2.f) < 1e-6f);
+    zeros += v == 0.f;
+    sum += v;
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 600);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);
+}
+
+}  // namespace
