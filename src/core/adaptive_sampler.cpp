@@ -1,5 +1,7 @@
 #include "core/adaptive_sampler.h"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 
@@ -35,39 +37,59 @@ SelectionResult AdaptiveSampler::select(const CandidateSet& cands, std::int64_t 
   result.selected_slot.assign(static_cast<std::size_t>(T * n), 0);
 
   const float* p = probs.data();
-  std::vector<std::pair<float, std::int64_t>> keys;
-  keys.reserve(static_cast<std::size_t>(m));
-  for (std::int64_t i = 0; i < T; ++i) {
-    const std::int64_t avail = cands.raw.count[static_cast<std::size_t>(i)];
-    const std::int64_t take = std::min<std::int64_t>(n, avail);
-    if (take == 0) continue;
-
-    keys.clear();
-    for (std::int64_t j = 0; j < avail; ++j) {
-      const float pj = std::max(p[i * m + j], 1e-12f);
-      float key;
-      if (training()) {
-        // Gumbel top-k: key = log p + G. Top-n keys ~ PL sampling w/o repl.
-        const float u = std::max(rng.next_float(), 1e-12f);
-        key = std::log(pj) - std::log(-std::log(u));
-      } else {
-        key = pj;  // eval: deterministic top-n
-      }
-      keys.emplace_back(key, j);
+  // Draw the Gumbel uniforms serially (single-stream order is part of the
+  // reproducibility contract), then run the per-target top-k in parallel
+  // — threads write disjoint targets, so results are bit-identical to the
+  // serial loop.
+  if (training()) {
+    if (gumbel_u_.size() < static_cast<std::size_t>(T * m))
+      gumbel_u_.resize(static_cast<std::size_t>(T * m));
+    for (std::int64_t i = 0; i < T; ++i) {
+      const std::int64_t avail = cands.raw.count[static_cast<std::size_t>(i)];
+      if (std::min<std::int64_t>(n, avail) == 0) continue;
+      for (std::int64_t j = 0; j < avail; ++j)
+        gumbel_u_[static_cast<std::size_t>(i * m + j)] = rng.next_float();
     }
-    std::partial_sort(keys.begin(), keys.begin() + take, keys.end(),
-                      [](const auto& a, const auto& b) { return a.first > b.first; });
+  }
+  const auto max_threads = static_cast<std::size_t>(omp_get_max_threads());
+  if (keys_tls_.size() < max_threads) keys_tls_.resize(max_threads);
 
-    result.selected.count[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(take);
-    for (std::int64_t k = 0; k < take; ++k) {
-      const std::int64_t j = keys[static_cast<std::size_t>(k)].second;
-      const auto dst = static_cast<std::size_t>(i * n + k);
-      const auto src = static_cast<std::size_t>(cands.raw.slot(i, j));
-      result.selected.nbr[dst] = cands.raw.nbr[src];
-      result.selected.ts[dst] = cands.raw.ts[src];
-      result.selected.eid[dst] = cands.raw.eid[src];
-      result.selected_mask[dst] = 1.f;
-      result.selected_slot[dst] = j;
+#pragma omp parallel if (T > 32)
+  {
+    auto& keys = keys_tls_[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+    for (std::int64_t i = 0; i < T; ++i) {
+      const std::int64_t avail = cands.raw.count[static_cast<std::size_t>(i)];
+      const std::int64_t take = std::min<std::int64_t>(n, avail);
+      if (take == 0) continue;
+
+      keys.clear();
+      for (std::int64_t j = 0; j < avail; ++j) {
+        const float pj = std::max(p[i * m + j], 1e-12f);
+        float key;
+        if (training()) {
+          // Gumbel top-k: key = log p + G. Top-n keys ~ PL sampling w/o repl.
+          const float u = std::max(gumbel_u_[static_cast<std::size_t>(i * m + j)], 1e-12f);
+          key = std::log(pj) - std::log(-std::log(u));
+        } else {
+          key = pj;  // eval: deterministic top-n
+        }
+        keys.emplace_back(key, j);
+      }
+      std::partial_sort(keys.begin(), keys.begin() + take, keys.end(),
+                        [](const auto& a, const auto& b) { return a.first > b.first; });
+
+      result.selected.count[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(take);
+      for (std::int64_t k = 0; k < take; ++k) {
+        const std::int64_t j = keys[static_cast<std::size_t>(k)].second;
+        const auto dst = static_cast<std::size_t>(i * n + k);
+        const auto src = static_cast<std::size_t>(cands.raw.slot(i, j));
+        result.selected.nbr[dst] = cands.raw.nbr[src];
+        result.selected.ts[dst] = cands.raw.ts[src];
+        result.selected.eid[dst] = cands.raw.eid[src];
+        result.selected_mask[dst] = 1.f;
+        result.selected_slot[dst] = j;
+      }
     }
   }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/decoder.h"
 #include "core/encoder.h"
@@ -37,6 +39,12 @@ class AdaptiveSampler : public nn::Module {
  private:
   NeighborEncoder encoder_;
   NeighborDecoder decoder_;
+  /// select() scratch, recycled across calls. Gumbel uniforms are drawn
+  /// serially into `gumbel_u_` (preserving the single-stream draw order)
+  /// so the per-target top-k can run OpenMP-parallel with bit-identical
+  /// results; `keys_tls_` is one sort buffer per OpenMP thread.
+  std::vector<float> gumbel_u_;
+  std::vector<std::vector<std::pair<float, std::int64_t>>> keys_tls_;
 };
 
 }  // namespace taser::core

@@ -4,6 +4,7 @@
 
 #include "cache/feature_source.h"
 #include "core/adaptive_sampler.h"
+#include "core/builder_workspace.h"
 #include "models/batch_inputs.h"
 #include "util/timer.h"
 
@@ -39,6 +40,18 @@ struct BuilderConfig {
 /// FeatureSource, and the encoder-side auxiliary signals (∆t, frequency,
 /// identity). When no AdaptiveSampler is supplied, the finder samples n
 /// directly (the baseline path).
+///
+/// The hot path is built for throughput: all intermediate state lives in
+/// a BuilderWorkspace arena (zero steady-state heap allocations once
+/// batch shapes stabilise), per-target work — recency sort, freq/identity
+/// encoding, hop-input slicing — is OpenMP-parallel across targets with
+/// bit-identical results to the serial order (threads write disjoint
+/// ranges), and the frequency/identity encoding runs in expected O(m)
+/// per target via a small open-addressing node map instead of the
+/// O(m²) pairwise scan.
+///
+/// A BatchBuilder is *not* re-entrant: at most one build() may run at a
+/// time (the prefetch pipeline serialises builds on its worker thread).
 class BatchBuilder {
  public:
   BatchBuilder(const graph::Dataset& data, sampling::NeighborFinder& finder,
@@ -58,14 +71,22 @@ class BatchBuilder {
   const BuilderConfig& config() const { return config_; }
   bool adaptive() const { return sampler_ != nullptr; }
 
+  /// Arena allocation-event counter (benches/tests assert it goes flat
+  /// after the first batch of a fixed shape).
+  std::uint64_t workspace_alloc_events() const { return ws_.alloc_events(); }
+
  private:
   /// Sorts each target's valid candidates by timestamp descending (the
-  /// recency order Eq. 13's identity encoding is defined on).
-  static void sort_by_recency(sampling::SampledNeighbors& s);
+  /// recency order Eq. 13's identity encoding is defined on). Parallel
+  /// across targets; ties break on the original slot index, which makes
+  /// the result identical to a serial stable sort.
+  void sort_by_recency(sampling::SampledNeighbors& s);
 
-  CandidateSet make_candidate_set(const graph::TargetBatch& frontier,
-                                  sampling::SampledNeighbors raw,
-                                  util::PhaseAccumulator& phases);
+  /// Fills ws_.cands in place from ws_.cands.raw (already sampled and
+  /// recency-sorted): feature slicing plus the ∆t / mask / freq /
+  /// identity signals.
+  void fill_candidate_set(const graph::TargetBatch& frontier,
+                          util::PhaseAccumulator& phases);
 
   models::HopInputs hop_inputs_from(const CandidateSet& cands,
                                     const sampling::SampledNeighbors& chosen,
@@ -77,6 +98,7 @@ class BatchBuilder {
   gpusim::Device& device_;
   AdaptiveSampler* sampler_;
   BuilderConfig config_;
+  BuilderWorkspace ws_;
 };
 
 }  // namespace taser::core

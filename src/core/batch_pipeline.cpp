@@ -1,0 +1,111 @@
+#include "core/batch_pipeline.h"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "tensor/counters.h"
+#include "util/check.h"
+
+namespace taser::core {
+
+BatchPipeline::BatchPipeline(BatchBuilder& builder, int num_hops, bool async)
+    : builder_(builder), num_hops_(num_hops), async_(async) {
+  if (async_) worker_ = std::thread([this] { worker_loop(); });
+}
+
+BatchPipeline::~BatchPipeline() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    job_ready_.notify_all();
+    worker_.join();
+  }
+}
+
+BatchPipeline::Prepared BatchPipeline::run(Job job) {
+  Prepared prep;
+  tensor::ThreadOpCounterSnapshot snap;
+  util::WallTimer timer;
+  prep.built = builder_.build(job.roots, num_hops_, prep.phases, job.rng);
+  prep.build_wall = timer.seconds();
+  prep.sampler_flops = snap.flops();
+  prep.sampler_launches = snap.launches();
+  return prep;
+}
+
+void BatchPipeline::worker_loop() {
+  // The main thread's model compute runs full-size OpenMP teams
+  // concurrently with our builds. Cap only the worker's teams at half:
+  // propagation is the critical path and keeps its full team (at the
+  // cost of ~1.5x oversubscription while a build overlaps), while the
+  // build — usually the shorter stage — yields. (Per-thread ICV: affects
+  // only the worker's parallel regions; results are thread-count
+  // independent.)
+  omp_set_num_threads(std::max(1, omp_get_max_threads() / 2));
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop requested and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    Prepared prep;
+    std::exception_ptr err = nullptr;
+    try {
+      prep = run(std::move(job));
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      results_.push_back(std::move(prep));
+      errors_.push_back(err);
+    }
+    result_ready_.notify_all();
+  }
+}
+
+void BatchPipeline::submit(graph::TargetBatch roots, util::Rng rng) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(Job{std::move(roots), rng});
+    ++pending_;
+  }
+  if (async_) job_ready_.notify_one();
+}
+
+BatchPipeline::Prepared BatchPipeline::next() {
+  if (!async_) {
+    Job job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TASER_CHECK_MSG(!jobs_.empty(), "BatchPipeline::next() with nothing submitted");
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      --pending_;
+    }
+    return run(std::move(job));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  TASER_CHECK_MSG(pending_ > 0, "BatchPipeline::next() with nothing submitted");
+  result_ready_.wait(lock, [this] { return !results_.empty(); });
+  Prepared prep = std::move(results_.front());
+  results_.pop_front();
+  std::exception_ptr err = errors_.front();
+  errors_.pop_front();
+  --pending_;
+  if (err) std::rethrow_exception(err);
+  return prep;
+}
+
+std::size_t BatchPipeline::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace taser::core

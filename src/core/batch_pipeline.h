@@ -1,0 +1,87 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/batch_builder.h"
+
+namespace taser::core {
+
+/// Double-buffered mini-batch prefetcher: builds batch k+1 on a
+/// background worker thread while the caller trains on batch k (the CPU
+/// is otherwise idle while the real system's GPU runs propagation — the
+/// overlap GNNFlow-style samplers exploit).
+///
+/// Determinism contract: batches are submitted, built, and consumed in
+/// the same total order in both modes, and every submit() carries its own
+/// forked Rng (the hand-off). Since a build touches no state outside the
+/// builder/finder/feature-source it owns, async and sync runs are
+/// bit-identical. Callers must NOT overlap a build with anything that
+/// mutates builder-visible state (sampler parameter updates, re-ordered
+/// batch selection) — the Trainer degrades to sync mode in those cases.
+///
+/// Phase accounting: the worker measures its own NF/AS/FS wall and
+/// simulated time into the Prepared record, plus the sampler's tensor
+/// work via thread-local op counters (the global counters would mix in
+/// the main thread's concurrent propagation work).
+class BatchPipeline {
+ public:
+  struct Prepared {
+    BatchBuilder::Built built;
+    util::PhaseAccumulator phases;      ///< NF/AS/FS (wall + sim), worker-measured
+    std::uint64_t sampler_flops = 0;    ///< tensor work issued inside build()
+    std::uint64_t sampler_launches = 0;
+    double build_wall = 0;              ///< total build() wall seconds
+  };
+
+  /// async=false degrades to a synchronous pipeline with identical
+  /// numerics: submit() enqueues, next() builds inline.
+  BatchPipeline(BatchBuilder& builder, int num_hops, bool async);
+  ~BatchPipeline();
+
+  BatchPipeline(const BatchPipeline&) = delete;
+  BatchPipeline& operator=(const BatchPipeline&) = delete;
+
+  bool async() const { return async_; }
+
+  /// Enqueues the next batch in submission order. `rng` is the per-batch
+  /// stream forked by the caller — the deterministic RNG hand-off.
+  void submit(graph::TargetBatch roots, util::Rng rng);
+
+  /// Returns the oldest submitted batch, blocking until the worker has
+  /// built it (async) or building it inline (sync). Rethrows any
+  /// exception the build raised.
+  Prepared next();
+
+  /// Batches submitted but not yet consumed.
+  std::size_t pending() const;
+
+ private:
+  struct Job {
+    graph::TargetBatch roots;
+    util::Rng rng;
+  };
+
+  Prepared run(Job job);
+  void worker_loop();
+
+  BatchBuilder& builder_;
+  int num_hops_;
+  bool async_;
+
+  mutable std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::condition_variable result_ready_;
+  std::deque<Job> jobs_;
+  std::deque<Prepared> results_;
+  std::deque<std::exception_ptr> errors_;  // parallel to results_ (null = ok)
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace taser::core

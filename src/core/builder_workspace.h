@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_set.h"
+#include "graph/types.h"
+
+namespace taser::core {
+
+/// Reusable scratch arena for BatchBuilder's hot path. Every buffer the
+/// builder needs between batches lives here and is re-shaped with
+/// `ensure`, which counts capacity growths: once shapes stabilise (same
+/// batch size every iteration), `alloc_events()` stops moving and the
+/// steady-state build loop performs zero heap allocations inside the
+/// arena. The only allocations left per batch are the tensors handed to
+/// the model, whose buffers transfer ownership into the autograd graph
+/// and therefore cannot be pooled here.
+///
+/// Not thread-safe: one workspace belongs to one builder, and at most one
+/// build() runs at a time (the prefetch pipeline serialises builds on its
+/// worker thread). The per-thread scratch below is for OpenMP parallelism
+/// *inside* one build, where threads work on disjoint targets.
+class BuilderWorkspace {
+ public:
+  /// Resizes `v` to `n` elements, recording an allocation event when the
+  /// resize had to grow capacity.
+  template <typename T>
+  void ensure(std::vector<T>& v, std::size_t n) {
+    if (n > v.capacity()) alloc_events_.fetch_add(1, std::memory_order_relaxed);
+    v.resize(n);
+  }
+
+  /// Capacity-growth events since construction. Flat across batches ⇔
+  /// the arena is in its zero-allocation steady state. (Atomic: ensure is
+  /// also called from inside OpenMP regions for per-thread scratch.)
+  std::uint64_t alloc_events() const {
+    return alloc_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-OpenMP-thread scratch for recency sorting and the freq/identity
+  /// encoding (open-addressing node map + per-node slot chains).
+  struct ThreadScratch {
+    // sort_by_recency: (timestamp, original slot) keys + permute buffers.
+    std::vector<std::pair<graph::Time, std::int32_t>> sort_keys;
+    std::vector<graph::NodeId> perm_nbr;
+    std::vector<graph::Time> perm_ts;
+    std::vector<graph::EdgeId> perm_eid;
+
+    // Versioned open-addressing map NodeId -> group id (O(1) reset by
+    // bumping `stamp`; capacity is a power of two >= 2m).
+    std::vector<graph::NodeId> map_key;
+    std::vector<std::int32_t> map_val;
+    std::vector<std::uint32_t> map_stamp;
+    std::uint32_t stamp = 0;
+
+    // Per-target grouping of candidate slots by neighbor id.
+    std::vector<std::int32_t> group_of;    ///< slot -> group id
+    std::vector<std::int32_t> group_cnt;   ///< group -> member count
+    std::vector<std::int32_t> group_head;  ///< group -> most recent member slot
+    std::vector<std::int32_t> slot_next;   ///< slot -> next member of its group
+    std::vector<float> identity_row;       ///< shared IE row of one group [m]
+  };
+
+  /// Grows the per-thread scratch pool to `n` entries (an alloc event the
+  /// first time each size is seen, free afterwards).
+  void prepare_threads(int n) {
+    if (static_cast<std::size_t>(n) > tls_.size()) {
+      alloc_events_.fetch_add(1, std::memory_order_relaxed);
+      tls_.resize(static_cast<std::size_t>(n));
+    }
+  }
+  ThreadScratch& tls(int thread) { return tls_[static_cast<std::size_t>(thread)]; }
+
+  // --- builder-owned recycled state ----------------------------------------
+  CandidateSet cands;               ///< candidate hop under construction
+  graph::TargetBatch frontier;      ///< current hop's targets
+  graph::TargetBatch next_frontier; ///< assembled while cands is consumed
+
+ private:
+  std::vector<ThreadScratch> tls_;
+  std::atomic<std::uint64_t> alloc_events_{0};
+};
+
+}  // namespace taser::core

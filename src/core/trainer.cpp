@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+
+#include "core/batch_pipeline.h"
 
 #include "tensor/counters.h"
 #include "tensor/ops.h"
@@ -150,8 +153,20 @@ EpochStats Trainer::train_epoch() {
     iters = std::min(iters, config_.max_iters_per_epoch);
   double loss_sum = 0;
 
-  for (std::int64_t it = 0; it < iters; ++it) {
-    // --- mini-batch selection (§III-A or chronological baseline) -------
+  // Prefetch requires batch k+1's construction to be independent of batch
+  // k's training step: the adaptive selector re-weights the next batch
+  // from this batch's logits, and the adaptive sampler's θ update changes
+  // the very policy the next build samples from. Both force sync mode
+  // (bit-exactness over stale-parameter overlap).
+  const bool async = config_.prefetch && !selector_ && !sampler_;
+  BatchPipeline pipeline(*builder_, model_->num_hops(), async);
+  std::deque<std::vector<std::int64_t>> pending_edges;
+  std::int64_t prefetched = 0;
+
+  // Submission draws from rng_ (root negatives, then the per-batch fork)
+  // in batch order in both modes — the deterministic RNG hand-off that
+  // keeps prefetch-on and prefetch-off runs bit-identical.
+  auto submit_iter = [&](std::int64_t it) {
     std::vector<std::int64_t> edge_ids;
     if (selector_) {
       edge_ids = selector_->sample_batch(B);
@@ -162,14 +177,31 @@ EpochStats Trainer::train_epoch() {
       for (std::int64_t k = lo; k < hi; ++k)
         edge_ids[static_cast<std::size_t>(k - lo)] = k;
     }
+    // Sequence the two rng_ draws explicitly: negatives first, then the
+    // per-batch fork (as arguments their order would be compiler-defined,
+    // breaking cross-toolchain reproducibility).
+    graph::TargetBatch roots = make_roots(edge_ids);
+    pipeline.submit(std::move(roots), rng_.split());
+    pending_edges.push_back(std::move(edge_ids));
+  };
+
+  if (iters > 0) submit_iter(0);
+  for (std::int64_t it = 0; it < iters; ++it) {
+    // Queue batch k+1 before consuming batch k so the worker builds it
+    // while this thread trains (double buffering).
+    if (async && it + 1 < iters) submit_iter(it + 1);
+
+    BatchPipeline::Prepared prep = pipeline.next();
+    if (async && it > 0) ++prefetched;
+    std::vector<std::int64_t> edge_ids = std::move(pending_edges.front());
+    pending_edges.pop_front();
     const auto b = static_cast<std::int64_t>(edge_ids.size());
 
-    graph::TargetBatch roots = make_roots(edge_ids);
-    tensor::OpCounterSnapshot as_snap;  // sampler tensor work happens in build()
-    auto built = builder_->build(roots, model_->num_hops(), phases, rng_);
+    auto built = std::move(prep.built);
     last_selections_ = std::move(built.selections);
+    phases.merge(prep.phases);
     phases.add(phase::kASSim,
-               device_.model().nn_time(as_snap.flops(), as_snap.launches()).seconds);
+               device_.model().nn_time(prep.sampler_flops, prep.sampler_launches).seconds);
 
     util::WallTimer pp_timer;
     tensor::OpCounterSnapshot pp_snap;
@@ -232,6 +264,10 @@ EpochStats Trainer::train_epoch() {
                  device_.model().nn_time(loss_snap.flops(), loss_snap.launches()).seconds);
     }
     opt_model_->zero_grad();
+
+    // Sync mode: only now is it safe to assemble batch k+1 (selector and
+    // sampler state reflect this batch's update).
+    if (!async && it + 1 < iters) submit_iter(it + 1);
   }
 
   features_->end_epoch();
@@ -250,6 +286,7 @@ EpochStats Trainer::train_epoch() {
   // not of the pipeline; only its modeled time counts.
   if (config_.finder == FinderKind::kGpu) stats.nf_wall = 0;
   stats.iterations = iters;
+  stats.prefetched_batches = prefetched;
   stats.mean_loss = iters > 0 ? loss_sum / static_cast<double>(iters) : 0;
   return stats;
 }

@@ -34,6 +34,14 @@ struct TrainerConfig {
   bool ada_batch = false;     ///< temporal adaptive mini-batch selection (§III-A)
   bool ada_neighbor = false;  ///< temporal adaptive neighbor sampling (§III-B)
 
+  /// Overlap batch construction with model compute: batch k+1 is built on
+  /// a background thread while batch k trains (double-buffered prefetch).
+  /// Results are bit-identical to the serial path. Automatically degrades
+  /// to synchronous building when ada_batch or ada_neighbor is on — both
+  /// feed batch-k training results back into batch-k+1 construction, so
+  /// the build cannot start before the step finishes.
+  bool prefetch = true;
+
   std::int64_t batch_size = 600;
   std::int64_t n_neighbors = 10;   ///< n
   std::int64_t m_candidates = 25;  ///< m
@@ -87,6 +95,9 @@ struct EpochStats {
   double pp_wall = 0, pp_sim = 0;
   double mean_loss = 0;
   std::int64_t iterations = 0;
+  /// Batches whose construction overlapped the previous batch's training
+  /// (0 when the prefetch pipeline ran synchronously).
+  std::int64_t prefetched_batches = 0;
 
   double nf() const { return nf_wall + nf_sim; }
   double as() const { return as_sim; }

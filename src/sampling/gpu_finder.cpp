@@ -6,16 +6,15 @@
 
 namespace taser::sampling {
 
-SampledNeighbors GpuNeighborFinder::sample(const TargetBatch& targets,
-                                           std::int64_t budget, FinderPolicy policy) {
+void GpuNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t budget,
+                                    FinderPolicy policy, SampledNeighbors& out) {
   TASER_CHECK(budget > 0);
   TASER_CHECK_MSG(policy != FinderPolicy::kInverseTimespan,
                   "GPU finder implements uniform and most-recent policies (Algorithm 2)");
-  SampledNeighbors out;
   out.resize(static_cast<std::int64_t>(targets.size()), budget);
   if (targets.size() == 0) {
     last_kernel_time_ = {};
-    return out;
+    return;
   }
 
   const auto& indptr = graph_.indptr();
@@ -106,7 +105,6 @@ SampledNeighbors GpuNeighborFinder::sample(const TargetBatch& targets,
   const auto result =
       device_.launch(static_cast<int>(targets.size()), static_cast<int>(budget), kernel);
   last_kernel_time_ = result.time;
-  return out;
 }
 
 }  // namespace taser::sampling

@@ -24,8 +24,8 @@ class GpuNeighborFinder : public NeighborFinder {
   GpuNeighborFinder(const graph::TCSR& graph, gpusim::Device& device)
       : graph_(graph), device_(device) {}
 
-  SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
-                          FinderPolicy policy) override;
+  void sample_into(const TargetBatch& targets, std::int64_t budget, FinderPolicy policy,
+                   SampledNeighbors& out) override;
 
   std::string name() const override { return "taser-gpu"; }
 

@@ -31,6 +31,10 @@ struct SampledNeighbors {
   std::vector<EdgeId> eid;
   std::vector<std::int32_t> count;  ///< valid entries per target
 
+  /// Re-shapes and re-initialises the block (all slots invalid, counts
+  /// zero). Reuses existing capacity: in steady state (same targets ×
+  /// budget every batch) this performs no heap allocation, which is what
+  /// lets callers recycle one SampledNeighbors across batches.
   void resize(std::int64_t targets, std::int64_t budget_per_target);
 
   std::int64_t slot(std::int64_t target, std::int64_t j) const {
@@ -57,8 +61,20 @@ class NeighborFinder {
   /// it. Trainers call this once per mini-batch before sampling hops.
   virtual void begin_batch(Time batch_time) { (void)batch_time; }
 
-  virtual SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
-                                  FinderPolicy policy) = 0;
+  /// Samples into a caller-provided block. `out` is resized (capacity-
+  /// reusing) by the implementation; recycling the same `out` across
+  /// batches keeps the hot loop allocation-free for finders that need no
+  /// per-query scratch.
+  virtual void sample_into(const TargetBatch& targets, std::int64_t budget,
+                           FinderPolicy policy, SampledNeighbors& out) = 0;
+
+  /// Convenience wrapper returning a fresh block.
+  SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
+                          FinderPolicy policy) {
+    SampledNeighbors out;
+    sample_into(targets, budget, policy, out);
+    return out;
+  }
 
   virtual std::string name() const = 0;
 

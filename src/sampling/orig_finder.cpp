@@ -6,10 +6,9 @@
 
 namespace taser::sampling {
 
-SampledNeighbors OrigNeighborFinder::sample(const TargetBatch& targets,
-                                            std::int64_t budget, FinderPolicy policy) {
+void OrigNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t budget,
+                                     FinderPolicy policy, SampledNeighbors& out) {
   TASER_CHECK(budget > 0);
-  SampledNeighbors out;
   out.resize(static_cast<std::int64_t>(targets.size()), budget);
   std::uint64_t visited = 0;
 
@@ -88,7 +87,6 @@ SampledNeighbors OrigNeighborFinder::sample(const TargetBatch& targets,
     device_->account({static_cast<double>(targets.size()) * kInterpPerQueryUs * 1e-6 +
                       static_cast<double>(visited) * kInterpPerNeighborNs * 1e-9});
   }
-  return out;
 }
 
 }  // namespace taser::sampling

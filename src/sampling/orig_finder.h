@@ -25,8 +25,8 @@ class OrigNeighborFinder : public NeighborFinder {
                               gpusim::Device* device = nullptr)
       : graph_(graph), rng_(seed), device_(device) {}
 
-  SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
-                          FinderPolicy policy) override;
+  void sample_into(const TargetBatch& targets, std::int64_t budget, FinderPolicy policy,
+                   SampledNeighbors& out) override;
 
   std::string name() const override { return "orig-cpu"; }
 

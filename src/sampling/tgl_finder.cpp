@@ -26,14 +26,13 @@ void TglNeighborFinder::begin_batch(Time batch_time) {
   snapshot_time_ = std::max(snapshot_time_, batch_time);
 }
 
-SampledNeighbors TglNeighborFinder::sample(const TargetBatch& targets,
-                                           std::int64_t budget, FinderPolicy policy) {
+void TglNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t budget,
+                                    FinderPolicy policy, SampledNeighbors& out) {
   TASER_CHECK(budget > 0);
   TASER_CHECK_MSG(policy != FinderPolicy::kInverseTimespan,
                   "TGL finder implements uniform and most-recent policies only");
-  SampledNeighbors out;
   out.resize(static_cast<std::int64_t>(targets.size()), budget);
-  if (targets.size() == 0) return out;
+  if (targets.size() == 0) return;
 
   Time batch_max = targets.times[0];
   for (Time t : targets.times) batch_max = std::max(batch_max, t);
@@ -103,7 +102,6 @@ SampledNeighbors TglNeighborFinder::sample(const TargetBatch& targets,
         emit(j, lo + chosen[static_cast<std::size_t>(j)]);
     }
   }
-  return out;
 }
 
 }  // namespace taser::sampling

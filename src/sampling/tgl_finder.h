@@ -29,8 +29,8 @@ class TglNeighborFinder : public NeighborFinder {
   /// Samples within the current snapshot. For convenience, auto-begins a
   /// batch at the targets' max time when it is ahead of the snapshot
   /// (so chronological workloads can omit begin_batch).
-  SampledNeighbors sample(const TargetBatch& targets, std::int64_t budget,
-                          FinderPolicy policy) override;
+  void sample_into(const TargetBatch& targets, std::int64_t budget, FinderPolicy policy,
+                   SampledNeighbors& out) override;
 
   std::string name() const override { return "tgl-cpu"; }
   bool chronological_only() const override { return true; }

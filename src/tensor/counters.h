@@ -15,16 +15,27 @@ class OpCounters {
  public:
   static void add_flops(std::uint64_t n) {
     flops_.fetch_add(n, std::memory_order_relaxed);
+    tl_flops_ += n;
   }
   static void add_launches(std::uint64_t n = 1) {
     launches_.fetch_add(n, std::memory_order_relaxed);
+    tl_launches_ += n;
   }
   static std::uint64_t flops() { return flops_.load(std::memory_order_relaxed); }
   static std::uint64_t launches() { return launches_.load(std::memory_order_relaxed); }
 
+  /// Work recorded *by the calling thread* (ops count on the thread that
+  /// issues them, before any OpenMP fan-out). Lets a prefetch worker
+  /// attribute its sampler tensor work while the main thread concurrently
+  /// runs model propagation — the global counters would mix the two.
+  static std::uint64_t thread_flops() { return tl_flops_; }
+  static std::uint64_t thread_launches() { return tl_launches_; }
+
  private:
   static inline std::atomic<std::uint64_t> flops_{0};
   static inline std::atomic<std::uint64_t> launches_{0};
+  static inline thread_local std::uint64_t tl_flops_ = 0;
+  static inline thread_local std::uint64_t tl_launches_ = 0;
 };
 
 /// Snapshot helper: measures the flop/launch delta over a scope.
@@ -33,6 +44,15 @@ struct OpCounterSnapshot {
   std::uint64_t launches0 = OpCounters::launches();
   std::uint64_t flops() const { return OpCounters::flops() - flops0; }
   std::uint64_t launches() const { return OpCounters::launches() - launches0; }
+};
+
+/// Like OpCounterSnapshot but over the calling thread's own counters;
+/// immune to concurrent work on other threads.
+struct ThreadOpCounterSnapshot {
+  std::uint64_t flops0 = OpCounters::thread_flops();
+  std::uint64_t launches0 = OpCounters::thread_launches();
+  std::uint64_t flops() const { return OpCounters::thread_flops() - flops0; }
+  std::uint64_t launches() const { return OpCounters::thread_launches() - launches0; }
 };
 
 }  // namespace taser::tensor

@@ -9,7 +9,10 @@ namespace {
 
 /// C[m,n] += A[m,k] · B[k,n]. ikj loop order keeps the inner loop
 /// unit-stride on both B and C; OpenMP over rows when the work is large
-/// enough to amortise the fork.
+/// enough to amortise the fork. The k dimension is processed four rows of
+/// B at a time with the zero test hoisted to block granularity, so the
+/// inner j loop is branch-free and vectorizes; fully-zero blocks (masked
+/// rows, one-hot identity columns) are still skipped wholesale.
 void gemm_acc(const float* A, const float* B, float* C, std::int64_t m,
               std::int64_t k, std::int64_t n) {
   OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
@@ -18,7 +21,18 @@ void gemm_acc(const float* A, const float* B, float* C, std::int64_t m,
   for (std::int64_t i = 0; i < m; ++i) {
     float* c_row = C + i * n;
     const float* a_row = A + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
+    std::int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const float a0 = a_row[p], a1 = a_row[p + 1], a2 = a_row[p + 2], a3 = a_row[p + 3];
+      if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
+      const float* b0 = B + p * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      for (std::int64_t j = 0; j < n; ++j)
+        c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+    }
+    for (; p < k; ++p) {
       const float a = a_row[p];
       if (a == 0.f) continue;
       const float* b_row = B + p * n;
@@ -27,7 +41,9 @@ void gemm_acc(const float* A, const float* B, float* C, std::int64_t m,
   }
 }
 
-/// C[m,n] += A^T[m,k] · B[k,n] where A is stored [k,m].
+/// C[m,n] += A^T[m,k] · B[k,n] where A is stored [k,m]. Same 4-wide
+/// blocking as gemm_acc (A's column is strided, but the inner loop over j
+/// stays unit-stride and branch-free).
 void gemm_at_b_acc(const float* A, const float* B, float* C, std::int64_t m,
                    std::int64_t k, std::int64_t n) {
   OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
@@ -35,7 +51,19 @@ void gemm_at_b_acc(const float* A, const float* B, float* C, std::int64_t m,
 #pragma omp parallel for schedule(static) if (par)
   for (std::int64_t i = 0; i < m; ++i) {
     float* c_row = C + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
+    std::int64_t p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const float a0 = A[p * m + i], a1 = A[(p + 1) * m + i], a2 = A[(p + 2) * m + i],
+                  a3 = A[(p + 3) * m + i];
+      if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
+      const float* b0 = B + p * n;
+      const float* b1 = b0 + n;
+      const float* b2 = b1 + n;
+      const float* b3 = b2 + n;
+      for (std::int64_t j = 0; j < n; ++j)
+        c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+    }
+    for (; p < k; ++p) {
       const float a = A[p * m + i];
       if (a == 0.f) continue;
       const float* b_row = B + p * n;
@@ -44,7 +72,9 @@ void gemm_at_b_acc(const float* A, const float* B, float* C, std::int64_t m,
   }
 }
 
-/// C[m,n] += A[m,k] · B^T[k,n] where B is stored [n,k].
+/// C[m,n] += A[m,k] · B^T[k,n] where B is stored [n,k]. Four independent
+/// accumulators break the loop-carried dependence of the dot product so
+/// the compiler can use SIMD/ILP without reassociating a single chain.
 void gemm_a_bt_acc(const float* A, const float* B, float* C, std::int64_t m,
                    std::int64_t k, std::int64_t n) {
   OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
@@ -55,8 +85,16 @@ void gemm_a_bt_acc(const float* A, const float* B, float* C, std::int64_t m,
     float* c_row = C + i * n;
     for (std::int64_t j = 0; j < n; ++j) {
       const float* b_row = B + j * k;
-      float acc = 0.f;
-      for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+      std::int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        acc0 += a_row[p] * b_row[p];
+        acc1 += a_row[p + 1] * b_row[p + 1];
+        acc2 += a_row[p + 2] * b_row[p + 2];
+        acc3 += a_row[p + 3] * b_row[p + 3];
+      }
+      float acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; p < k; ++p) acc += a_row[p] * b_row[p];
       c_row[j] += acc;
     }
   }

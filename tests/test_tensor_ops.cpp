@@ -4,8 +4,10 @@
 
 #include <cmath>
 
+#include "tensor/counters.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
+#include "util/rng.h"
 
 namespace tt = taser::tensor;
 using tt::Tensor;
@@ -295,6 +297,63 @@ TEST(Dropout, EvalModeIsIdentityTrainModeScales) {
   EXPECT_GT(zeros, 400);
   EXPECT_LT(zeros, 600);
   EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);
+}
+
+// The gemm kernels are unrolled 4-wide with the zero-skip hoisted to
+// block granularity; the FLOP ledger must stay the dense 2·m·k·n count
+// regardless of how much work the skip elides (the modeled GPU executes
+// the dense kernel either way).
+TEST(OpCounters, MatmulFlopAccountingIsDense) {
+  Tensor a = Tensor::from_vector({3, 5}, std::vector<float>(15, 0.5f));
+  Tensor b = Tensor::from_vector({5, 7}, std::vector<float>(35, 0.25f));
+  taser::tensor::OpCounterSnapshot snap;
+  Tensor c = tt::matmul(a, b);
+  EXPECT_EQ(snap.flops(), static_cast<std::uint64_t>(2 * 3 * 5 * 7));
+
+  // Sparse input: zero rows are skipped computationally but not in the
+  // ledger.
+  std::vector<float> az(15, 0.f);
+  az[0] = 1.f;
+  Tensor a2 = Tensor::from_vector({3, 5}, std::move(az));
+  taser::tensor::OpCounterSnapshot snap2;
+  Tensor c2 = tt::matmul(a2, b);
+  EXPECT_EQ(snap2.flops(), static_cast<std::uint64_t>(2 * 3 * 5 * 7));
+}
+
+TEST(OpCounters, MatmulBackwardFlopAccountingIsDense) {
+  Tensor a = Tensor::from_vector({4, 6}, std::vector<float>(24, 0.1f), true);
+  Tensor b = Tensor::from_vector({6, 3}, std::vector<float>(18, 0.2f), true);
+  Tensor c = tt::matmul(a, b);
+  taser::tensor::OpCounterSnapshot snap;
+  tt::sum_all(c).backward();
+  // dA = g·Bᵀ (2·4·3·6) + dB = Aᵀ·g (2·6·4·3), plus the reduction's own
+  // accounting; the gemm share must be present exactly.
+  EXPECT_GE(snap.flops(), static_cast<std::uint64_t>(2 * 4 * 3 * 6 + 2 * 6 * 4 * 3));
+}
+
+TEST(OpCounters, UnrolledGemmMatchesNaiveReference) {
+  // k = 11 exercises the 4-wide main loop plus a 3-wide tail; a zero
+  // block exercises the hoisted skip.
+  const std::int64_t m = 5, k = 11, n = 7;
+  taser::util::Rng rng(41);
+  std::vector<float> av(static_cast<std::size_t>(m * k)), bv(static_cast<std::size_t>(k * n));
+  for (auto& x : av) x = rng.next_uniform(-1.f, 1.f);
+  for (auto& x : bv) x = rng.next_uniform(-1.f, 1.f);
+  for (std::int64_t p = 4; p < 8; ++p) av[static_cast<std::size_t>(p)] = 0.f;  // row 0 block
+
+  std::vector<float> expect(static_cast<std::size_t>(m * n), 0.f);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(av[static_cast<std::size_t>(i * k + p)]) *
+               static_cast<double>(bv[static_cast<std::size_t>(p * n + j)]);
+      expect[static_cast<std::size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+
+  Tensor c = tt::matmul(Tensor::from_vector({m, k}, std::move(av)),
+                        Tensor::from_vector({k, n}, std::move(bv)));
+  expect_all_close(c, expect, 1e-4f);
 }
 
 }  // namespace
