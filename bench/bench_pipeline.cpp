@@ -10,7 +10,18 @@
 // where the consumer "trains" for a simulated device latency (the CPU is
 // idle while the real system's GPU runs propagation), with the
 // double-buffered prefetch pipeline on vs off, across train:build ratios.
+//
+// Part 3 — stale-θ overlap on the *adaptive* path: same producer-consumer
+// shape, but every batch's construction depends on the sampler θ, which
+// the consumer updates after each step. The sync path must serialise
+// (update → build → train); stale-θ builds batch k+1 from a snapshot of θ
+// taken at submit time and overlaps it with batch k's train latency.
+//
+// Part 4 — the ROADMAP's "benchmark accuracy cost before enabling" gate:
+// short TASER training runs (ada_batch + ada_neighbor), synchronous vs
+// stale-θ, reporting end-of-training loss and validation MRR deltas.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <thread>
 
@@ -141,5 +152,164 @@ int main() {
   std::printf("\n");
   bench::print_shape("double-buffered prefetch raises batches/sec over serial",
                      prefetch_wins);
+
+  // --- Part 3: stale-θ overlap on the adaptive path -------------------------
+  // The consumer updates θ after every batch (as sampler co-training
+  // does), so the sync pipeline must wait for the step before building
+  // the next batch. Stale-θ submits batch k+1 against a frozen copy of θ
+  // and overlaps its construction with batch k's train latency.
+  std::printf("\n== Part 3: stale-θ prefetch, adaptive (ada_neighbor) path ==\n");
+  // Smaller root set than part 1 (the sampler forward dominates wall time
+  // here); its build cost is measured fresh below.
+  const std::int64_t T3 = 64;
+  graph::TargetBatch roots3 = make_roots(data, data.num_edges() / 2, T3);
+  double stale_build_ms = 0;
+  {
+    core::BuilderConfig bc;
+    bc.n = n;
+    bc.m = m;
+    core::BatchBuilder probe(data, finder, features, device, &sampler, bc);
+    util::PhaseAccumulator scratch;
+    util::Rng rng(23);
+    sampler.set_training(true);
+    probe.build(roots3, hops, scratch, rng);  // arena warm-up
+    util::WallTimer t;
+    for (int k = 0; k < 3; ++k) probe.build(roots3, hops, scratch, rng);
+    stale_build_ms = t.seconds() / 3 * 1e3;
+  }
+  std::printf("(train latency simulated as ratio x %.2f ms adaptive build time at "
+              "T=%lld; θ perturbed after every batch)\n", stale_build_ms,
+              static_cast<long long>(T3));
+  util::Rng snap_rng_a(41), snap_rng_b(43);
+  core::AdaptiveSampler snap_a(ec, core::DecoderKind::kLinear, 16, snap_rng_a);
+  core::AdaptiveSampler snap_b(ec, core::DecoderKind::kLinear, 16, snap_rng_b);
+  core::AdaptiveSampler* snaps[2] = {&snap_a, &snap_b};
+  auto perturb_theta = [&]() {
+    // Stand-in for the Adam step: nudge every live parameter, so each
+    // build sees a genuinely different policy (snapshots must be re-taken
+    // per batch, exactly like the trainer's stale path).
+    for (auto& p : sampler.parameters()) {
+      float* x = p.data();
+      const std::int64_t np = p.numel();
+      for (std::int64_t i = 0; i < np; ++i)
+        x[i] += 1e-4f * (i % 2 == 0 ? 1.f : -1.f);
+    }
+  };
+  util::Table stale_tbl(
+      {"train:build", "sync batches/s", "stale-θ batches/s", "speedup"});
+  double speedup_at_parity = 0;
+  for (double ratio : {0.5, 1.0, 2.0}) {
+    const auto train_latency =
+        std::chrono::duration<double, std::milli>(ratio * stale_build_ms);
+    double rates[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool stale = mode == 1;
+      core::BuilderConfig bc;
+      bc.n = n;
+      bc.m = m;
+      core::BatchBuilder builder(data, finder, features, device, &sampler, bc);
+      core::BatchPipeline pipeline(builder, hops, /*async=*/stale);
+      util::Rng master(17);
+      const int batches = 8;
+      int seq = 0;
+      auto submit = [&]() {
+        core::AdaptiveSampler* snapshot = nullptr;
+        if (stale) {
+          snapshot = snaps[seq % 2];
+          snapshot->copy_parameters_from(sampler);
+          snapshot->set_training(true);
+        }
+        ++seq;
+        pipeline.submit(roots3, master.split(), snapshot);
+      };
+      sampler.set_training(true);
+      submit();  // arena warm-up batch
+      (void)pipeline.next();
+      util::WallTimer t;
+      submit();
+      for (int k = 0; k < batches; ++k) {
+        if (stale && k + 1 < batches) submit();
+        (void)pipeline.next();
+        std::this_thread::sleep_for(train_latency);  // modeled GPU propagation
+        perturb_theta();
+        // Sync: only after the θ update may the next batch be built.
+        if (!stale && k + 1 < batches) submit();
+      }
+      rates[mode] = batches / t.seconds();
+    }
+    const double speedup = rates[1] / rates[0];
+    if (ratio == 1.0) speedup_at_parity = speedup;
+    stale_tbl.add_row({util::Table::fmt(ratio, 1), util::Table::fmt(rates[0], 1),
+                       util::Table::fmt(rates[1], 1), util::Table::fmt(speedup, 2)});
+  }
+  stale_tbl.print();
+  std::printf("\n");
+  bench::print_shape(
+      "stale-θ prefetch >= 1.3x batches/sec over sync on the adaptive path",
+      speedup_at_parity >= 1.3);
+
+  // --- Part 4: stale-θ accuracy gate ----------------------------------------
+  // ROADMAP: "benchmark accuracy cost before enabling". Short TASER runs
+  // (ada_batch + ada_neighbor), identical seeds, sync vs stale-θ; the
+  // numbers below are the gate's answer.
+  std::printf("\n== Part 4: stale-θ accuracy gate (TASER config, sync vs stale-θ) ==\n");
+  {
+    graph::SyntheticConfig acfg;
+    acfg.num_src = 60;
+    acfg.num_dst = 30;
+    acfg.num_edges = static_cast<std::int64_t>(2000 * bench::bench_scale());
+    if (acfg.num_edges < 800) acfg.num_edges = 800;
+    acfg.edge_feat_dim = 8;
+    acfg.node_feat_dim = 4;
+    acfg.seed = 19;
+    graph::Dataset adata = generate_synthetic(acfg);
+
+    core::TrainerConfig tc;
+    tc.backbone = core::BackboneKind::kTgat;
+    tc.finder = core::FinderKind::kGpu;
+    tc.ada_batch = true;
+    tc.ada_neighbor = true;
+    tc.batch_size = 128;
+    tc.n_neighbors = 4;
+    tc.m_candidates = 10;
+    tc.hidden_dim = 16;
+    tc.time_dim = 8;
+    tc.sampler_dim = 8;
+    tc.decoder_hidden = 8;
+    tc.max_eval_edges = 120;
+    tc.seed = 3;
+    const int epochs = std::max(2, static_cast<int>(4 * bench::bench_scale()));
+
+    double final_loss[2] = {0, 0}, val_mrr[2] = {0, 0}, wall_s[2] = {0, 0};
+    std::int64_t stale_builds[2] = {0, 0};
+    util::Table acc({"mode", "final loss", "val MRR %", "s/epoch", "stale builds"});
+    for (int mode = 0; mode < 2; ++mode) {
+      core::TrainerConfig cfg = tc;
+      cfg.prefetch_mode = mode == 0 ? core::PrefetchMode::kSyncOnly
+                                    : core::PrefetchMode::kStaleTheta;
+      core::Trainer trainer(adata, cfg);
+      util::WallTimer t;
+      core::EpochStats last;
+      for (int e = 0; e < epochs; ++e) {
+        last = trainer.train_epoch();
+        stale_builds[mode] += last.stale_builds;
+      }
+      wall_s[mode] = t.seconds() / epochs;
+      final_loss[mode] = last.mean_loss;
+      val_mrr[mode] = trainer.evaluate_val_mrr();
+      acc.add_row({mode == 0 ? "sync" : "stale-θ", util::Table::fmt(final_loss[mode], 4),
+                   util::Table::fmt(100 * val_mrr[mode], 2),
+                   util::Table::fmt(wall_s[mode], 2),
+                   std::to_string(stale_builds[mode])});
+    }
+    acc.print();
+    const double loss_delta = final_loss[1] - final_loss[0];
+    const double mrr_delta = 100 * (val_mrr[1] - val_mrr[0]);
+    std::printf("\nstale-θ vs sync after %d epochs: loss %+.4f (%+.1f%%), "
+                "val MRR %+.2f points\n", epochs, loss_delta,
+                100 * loss_delta / std::max(1e-9, final_loss[0]), mrr_delta);
+    bench::print_shape("stale-θ end-of-training loss within 10% of sync",
+                       std::fabs(loss_delta) <= 0.10 * final_loss[0]);
+  }
   return 0;
 }

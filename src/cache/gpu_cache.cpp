@@ -64,14 +64,24 @@ void GpuFeatureCache::install(const std::vector<EdgeId>& edges) {
 
 void GpuFeatureCache::gather_edge_feats(const std::vector<EdgeId>& ids, float* out) {
   const std::int64_t d = data_.edge_feat_dim;
+  const auto count = static_cast<std::int64_t>(ids.size());
   std::uint64_t hit_rows = 0, miss_rows = 0;
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    float* dst = out + static_cast<std::int64_t>(i) * d;
-    const EdgeId e = ids[i];
+  // Rows are disjoint per index, so the copy loop parallelises cleanly.
+  // The stateful pieces stay exact: hit/miss counts go through OpenMP's
+  // per-thread reduction copies (merged after the loop), and the
+  // access-frequency increments are atomic — both order-independent, so
+  // statistics are bit-identical to the serial gather at any thread count
+  // (test_cache asserts).
+#pragma omp parallel for schedule(static) reduction(+ : hit_rows, miss_rows) \
+    if (count > 64)
+  for (std::int64_t i = 0; i < count; ++i) {
+    float* dst = out + i * d;
+    const EdgeId e = ids[static_cast<std::size_t>(i)];
     if (e == graph::kInvalidEdge) {
       std::memset(dst, 0, static_cast<std::size_t>(d) * sizeof(float));
       continue;
     }
+#pragma omp atomic
     ++freq_[static_cast<std::size_t>(e)];
     const std::int32_t slot = slot_of_[static_cast<std::size_t>(e)];
     if (slot >= 0) {

@@ -43,6 +43,9 @@ class GpuFeatureCache {
 
   /// Slices edge-feature rows into `out` ([ids.size() x edge_dim]),
   /// serving from cache where possible. Invalid ids zero-fill for free.
+  /// OpenMP-parallel across rows; hit/miss statistics and the access
+  /// counters Q match the serial gather exactly at any thread count
+  /// (per-thread counter reduction + atomic Q increments).
   void gather_edge_feats(const std::vector<EdgeId>& ids, float* out);
 
   /// Algorithm 3 epoch boundary: maybe replace the cached set, then

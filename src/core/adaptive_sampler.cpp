@@ -20,6 +20,34 @@ AdaptiveSampler::AdaptiveSampler(EncoderConfig enc_config, DecoderKind decoder_k
   register_module("decoder", decoder_);
 }
 
+void AdaptiveSampler::copy_parameters_from(const AdaptiveSampler& src) {
+  auto dst_params = parameters();
+  auto src_params = src.parameters();
+  TASER_CHECK_MSG(dst_params.size() == src_params.size(),
+                  "snapshot/live sampler architecture mismatch");
+  for (std::size_t i = 0; i < dst_params.size(); ++i) {
+    auto& d = dst_params[i].node();
+    const auto& s = src_params[i].node();
+    TASER_CHECK(d.shape == s.shape);
+    // Same-size vector copy: reuses the existing buffer, so steady-state
+    // snapshots allocate nothing.
+    std::copy(s.data.begin(), s.data.end(), d.data.begin());
+  }
+}
+
+void AdaptiveSampler::absorb_gradients_from(AdaptiveSampler& snapshot) {
+  auto dst_params = parameters();
+  auto src_params = snapshot.parameters();
+  TASER_CHECK_MSG(dst_params.size() == src_params.size(),
+                  "snapshot/live sampler architecture mismatch");
+  for (std::size_t i = 0; i < dst_params.size(); ++i) {
+    auto& s = src_params[i].node();
+    if (s.grad.size() != s.data.size()) continue;  // never received grad
+    dst_params[i].node().accumulate_grad(s.grad.data(), s.numel());
+    std::fill(s.grad.begin(), s.grad.end(), 0.f);
+  }
+}
+
 SelectionResult AdaptiveSampler::select(const CandidateSet& cands, std::int64_t n,
                                         util::Rng& rng) {
   const std::int64_t T = cands.targets;

@@ -33,6 +33,20 @@ class AdaptiveSampler : public nn::Module {
   /// Picks n supporting neighbors from each target's m candidates.
   SelectionResult select(const CandidateSet& cands, std::int64_t n, util::Rng& rng);
 
+  /// Stale-θ prefetch support (copy-on-snapshot): overwrites this
+  /// sampler's parameter *values* with `src`'s. Architectures must match
+  /// (same EncoderConfig / decoder shape); gradients and optimizer state
+  /// are untouched. The prefetch worker only ever reads a snapshot built
+  /// this way — θ updates land in the live copy exclusively.
+  void copy_parameters_from(const AdaptiveSampler& src);
+
+  /// Folds the parameter gradients a sample-loss backward left on
+  /// `snapshot` into this (live) sampler's grad buffers, then clears the
+  /// snapshot's. Mirrors the synchronous path exactly: parameters whose
+  /// snapshot grad buffer was never touched stay untouched here too, so
+  /// Adam's skip-if-never-grad behavior is bit-identical.
+  void absorb_gradients_from(AdaptiveSampler& snapshot);
+
   const NeighborEncoder& encoder() const { return encoder_; }
   const NeighborDecoder& decoder() const { return decoder_; }
 

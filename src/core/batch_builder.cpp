@@ -267,8 +267,12 @@ models::HopInputs BatchBuilder::hop_inputs_from(const CandidateSet& cands,
 }
 
 BatchBuilder::Built BatchBuilder::build(const graph::TargetBatch& roots, int num_hops,
-                                        util::PhaseAccumulator& phases, util::Rng& rng) {
+                                        util::PhaseAccumulator& phases, util::Rng& rng,
+                                        AdaptiveSampler* sampler_override) {
   TASER_CHECK(num_hops >= 1);
+  TASER_CHECK_MSG(sampler_override == nullptr || sampler_ != nullptr,
+                  "sampler override on a non-adaptive builder");
+  AdaptiveSampler* sampler = sampler_override ? sampler_override : sampler_;
   Built built;
   built.inputs.num_roots = static_cast<std::int64_t>(roots.size());
 
@@ -307,9 +311,9 @@ BatchBuilder::Built BatchBuilder::build(const graph::TargetBatch& roots, int num
 
     const sampling::SampledNeighbors* next_src = nullptr;
     models::HopInputs hop_inputs;
-    if (sampler_) {
+    if (sampler) {
       PhaseScope as(phases, device_, phase::kAS, nullptr);
-      SelectionResult sel = sampler_->select(cands, config_.n, rng);
+      SelectionResult sel = sampler->select(cands, config_.n, rng);
       hop_inputs = hop_inputs_from(cands, sel.selected, &sel.selected_slot);
       built.selections.push_back(std::move(sel));
       // Next frontier comes from the *selected* supporting neighbors.

@@ -65,8 +65,15 @@ class BatchBuilder {
     std::vector<SelectionResult> selections;
   };
 
+  /// `sampler_override`, when non-null, is used for this build's adaptive
+  /// selection in place of the constructor-supplied sampler — the stale-θ
+  /// prefetch hand-off: the pipeline worker builds against a parameter
+  /// snapshot while θ updates land in the live copy. Only valid on a
+  /// builder constructed with a sampler (the adaptive path), and the
+  /// override must share that sampler's architecture.
   Built build(const graph::TargetBatch& roots, int num_hops,
-              util::PhaseAccumulator& phases, util::Rng& rng);
+              util::PhaseAccumulator& phases, util::Rng& rng,
+              AdaptiveSampler* sampler_override = nullptr);
 
   const BuilderConfig& config() const { return config_; }
   bool adaptive() const { return sampler_ != nullptr; }

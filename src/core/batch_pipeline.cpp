@@ -29,7 +29,8 @@ BatchPipeline::Prepared BatchPipeline::run(Job job) {
   Prepared prep;
   tensor::ThreadOpCounterSnapshot snap;
   util::WallTimer timer;
-  prep.built = builder_.build(job.roots, num_hops_, prep.phases, job.rng);
+  prep.built = builder_.build(job.roots, num_hops_, prep.phases, job.rng,
+                              job.sampler_snapshot);
   prep.build_wall = timer.seconds();
   prep.sampler_flops = snap.flops();
   prep.sampler_launches = snap.launches();
@@ -70,10 +71,11 @@ void BatchPipeline::worker_loop() {
   }
 }
 
-void BatchPipeline::submit(graph::TargetBatch roots, util::Rng rng) {
+void BatchPipeline::submit(graph::TargetBatch roots, util::Rng rng,
+                           AdaptiveSampler* sampler_snapshot) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    jobs_.push_back(Job{std::move(roots), rng});
+    jobs_.push_back(Job{std::move(roots), rng, sampler_snapshot});
     ++pending_;
   }
   if (async_) job_ready_.notify_one();

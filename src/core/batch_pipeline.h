@@ -22,7 +22,13 @@ namespace taser::core {
 /// builder/finder/feature-source it owns, async and sync runs are
 /// bit-identical. Callers must NOT overlap a build with anything that
 /// mutates builder-visible state (sampler parameter updates, re-ordered
-/// batch selection) — the Trainer degrades to sync mode in those cases.
+/// batch selection). Adaptive runs satisfy that in one of two ways: the
+/// Trainer degrades to sync mode (kSyncOnly), or — stale-θ prefetch
+/// (kStaleTheta) — each submit() additionally carries a *snapshot* of the
+/// sampler parameters taken at submit time, which is the only sampler the
+/// worker reads for that job; the live sampler is then free to take θ
+/// updates while the build runs, at the cost of the build seeing
+/// parameters exactly one step stale.
 ///
 /// Phase accounting: the worker measures its own NF/AS/FS wall and
 /// simulated time into the Prepared record, plus the sampler's tensor
@@ -50,7 +56,11 @@ class BatchPipeline {
 
   /// Enqueues the next batch in submission order. `rng` is the per-batch
   /// stream forked by the caller — the deterministic RNG hand-off.
-  void submit(graph::TargetBatch roots, util::Rng rng);
+  /// `sampler_snapshot`, when non-null, is the frozen-θ sampler this
+  /// job's build must select with (stale-θ prefetch); it must stay alive
+  /// and unmutated until the job's next() returns.
+  void submit(graph::TargetBatch roots, util::Rng rng,
+              AdaptiveSampler* sampler_snapshot = nullptr);
 
   /// Returns the oldest submitted batch, blocking until the worker has
   /// built it (async) or building it inline (sync). Rethrows any
@@ -64,6 +74,7 @@ class BatchPipeline {
   struct Job {
     graph::TargetBatch roots;
     util::Rng rng;
+    AdaptiveSampler* sampler_snapshot = nullptr;  ///< stale-θ hand-off (may be null)
   };
 
   Prepared run(Job job);

@@ -26,6 +26,7 @@ void MiniBatchSelector::update(std::int64_t edge_index, float positive_logit) {
                       ? 1.f / (1.f + std::exp(-positive_logit))
                       : std::exp(positive_logit) / (1.f + std::exp(positive_logit));
   scores_.set(static_cast<std::size_t>(edge_index), static_cast<double>(s) + gamma_);
+  ++num_updates_;
 }
 
 }  // namespace taser::core

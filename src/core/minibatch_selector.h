@@ -14,6 +14,13 @@ namespace taser::core {
 ///   P(e) = sigmoid(ŷ_e) + γ            (Eq. 11)
 /// High-confidence (clean) positives are re-visited more; suspected-noise
 /// positives decay towards the γ floor, which keeps exploration alive.
+///
+/// Staleness contract (stale-θ prefetch): all calls happen on the trainer
+/// thread, so sample/update interleaving is a pure ordering question. The
+/// synchronous path samples batch k+1 *after* batch k's updates; the
+/// stale-θ path samples it at submit time, i.e. re-weighted only by
+/// logits up to batch k-1 (previous-but-one). Both orderings are
+/// deterministic — `num_updates()` tells either story for accounting.
 class MiniBatchSelector {
  public:
   /// `num_train_edges` — size of E_train; edge index 0 is the first
@@ -32,11 +39,14 @@ class MiniBatchSelector {
   }
   std::int64_t num_edges() const { return static_cast<std::int64_t>(scores_.size()); }
   float gamma() const { return gamma_; }
+  /// Eq. 11 updates applied so far (staleness accounting).
+  std::int64_t num_updates() const { return num_updates_; }
 
  private:
   FenwickTree scores_;
   float gamma_;
   util::Rng rng_;
+  std::int64_t num_updates_ = 0;
 };
 
 }  // namespace taser::core

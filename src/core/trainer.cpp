@@ -29,10 +29,27 @@ const char* to_string(FinderKind kind) {
   return "?";
 }
 
+const char* to_string(PrefetchMode mode) {
+  switch (mode) {
+    case PrefetchMode::kOff:
+      return "off";
+    case PrefetchMode::kSyncOnly:
+      return "sync-only";
+    case PrefetchMode::kStaleTheta:
+      return "stale-theta";
+  }
+  return "?";
+}
+
 Trainer::Trainer(const graph::Dataset& data, TrainerConfig config)
     : data_(data), config_(config), device_(config.device_spec), tcsr_(data),
       rng_(config.seed) {
   TASER_CHECK(data_.num_train() > 0);
+  if (config_.prefetch_mode == PrefetchMode::kStaleTheta) {
+    TASER_CHECK_MSG(config_.staleness >= 0 && config_.staleness <= 1,
+                    "stale-θ contract caps staleness at one step (got "
+                        << config_.staleness << ")");
+  }
   dst_begin_ = data_.dst_end > data_.dst_begin ? data_.dst_begin : 0;
   dst_end_ = data_.dst_end > data_.dst_begin ? data_.dst_end
                                              : static_cast<graph::NodeId>(data_.num_nodes);
@@ -89,6 +106,15 @@ Trainer::Trainer(const graph::Dataset& data, TrainerConfig config)
                                                  config_.decoder_hidden, init_rng);
     auto sampler_params = sampler_->parameters();
     opt_sampler_ = std::make_unique<nn::Adam>(sampler_params, config_.sampler_lr);
+    if (config_.prefetch_mode == PrefetchMode::kStaleTheta) {
+      for (auto& snap : stale_snapshots_) {
+        // Init values are irrelevant: every submit overwrites them with a
+        // copy of the live θ.
+        util::Rng snap_rng(config_.seed ^ 0x57a1e7ULL);
+        snap = std::make_unique<AdaptiveSampler>(ec, config_.decoder,
+                                                 config_.decoder_hidden, snap_rng);
+      }
+    }
   }
   if (config_.ada_batch) {
     selector_ = std::make_unique<MiniBatchSelector>(data_.num_train(), config_.gamma,
@@ -156,16 +182,40 @@ EpochStats Trainer::train_epoch() {
   // Prefetch requires batch k+1's construction to be independent of batch
   // k's training step: the adaptive selector re-weights the next batch
   // from this batch's logits, and the adaptive sampler's θ update changes
-  // the very policy the next build samples from. Both force sync mode
-  // (bit-exactness over stale-parameter overlap).
-  const bool async = config_.prefetch && !selector_ && !sampler_;
+  // the very policy the next build samples from. kSyncOnly therefore
+  // degrades to the synchronous path for adaptive runs. kStaleTheta
+  // instead overlaps them by snapshotting θ (and sampling the selector)
+  // at submit time, so batch k+1 is built from parameters exactly one
+  // step stale; the sample-loss gradient that batch produces lands on its
+  // snapshot and is folded back into the live θ before the optimizer step
+  // (stale-gradient descent). staleness=0 defers submission until after
+  // the step — same machinery, zero staleness, bit-identical to sync.
+  const bool adaptive_feedback = selector_ != nullptr || sampler_ != nullptr;
+  const bool stale =
+      config_.prefetch_mode == PrefetchMode::kStaleTheta && adaptive_feedback;
+  const bool async = config_.prefetch_mode == PrefetchMode::kStaleTheta ||
+                     (config_.prefetch_mode == PrefetchMode::kSyncOnly &&
+                      !adaptive_feedback);
+  const bool overlap = async && (!stale || config_.staleness >= 1);
   BatchPipeline pipeline(*builder_, model_->num_hops(), async);
-  std::deque<std::vector<std::int64_t>> pending_edges;
-  std::int64_t prefetched = 0;
+  // Per-batch metadata travelling alongside the pipeline's job queue, in
+  // the same submission order (one struct so the entries cannot
+  // desynchronize).
+  struct PendingBatch {
+    std::vector<std::int64_t> edge_ids;
+    AdaptiveSampler* snapshot = nullptr;   ///< frozen θ this batch builds from
+    std::int64_t theta_at_submit = 0;      ///< θ updates applied at submit time
+  };
+  std::deque<PendingBatch> pending;
+  std::int64_t prefetched = 0, stale_builds = 0;
+  std::int64_t theta_updates = 0, submit_seq = 0;
 
   // Submission draws from rng_ (root negatives, then the per-batch fork)
   // in batch order in both modes — the deterministic RNG hand-off that
-  // keeps prefetch-on and prefetch-off runs bit-identical.
+  // keeps prefetch-on and prefetch-off runs bit-identical. Stale mode
+  // additionally freezes θ here: copy-on-snapshot into one of two
+  // alternating buffers (batch k's snapshot stays referenced by its
+  // autograd graph while k+1's is written).
   auto submit_iter = [&](std::int64_t it) {
     std::vector<std::int64_t> edge_ids;
     if (selector_) {
@@ -177,24 +227,34 @@ EpochStats Trainer::train_epoch() {
       for (std::int64_t k = lo; k < hi; ++k)
         edge_ids[static_cast<std::size_t>(k - lo)] = k;
     }
+    AdaptiveSampler* snapshot = nullptr;
+    if (stale && sampler_) {
+      snapshot = stale_snapshots_[submit_seq % 2].get();
+      snapshot->copy_parameters_from(*sampler_);
+      snapshot->set_training(sampler_->training());
+    }
+    ++submit_seq;
     // Sequence the two rng_ draws explicitly: negatives first, then the
     // per-batch fork (as arguments their order would be compiler-defined,
     // breaking cross-toolchain reproducibility).
     graph::TargetBatch roots = make_roots(edge_ids);
-    pipeline.submit(std::move(roots), rng_.split());
-    pending_edges.push_back(std::move(edge_ids));
+    pipeline.submit(std::move(roots), rng_.split(), snapshot);
+    pending.push_back(PendingBatch{std::move(edge_ids), snapshot, theta_updates});
   };
 
   if (iters > 0) submit_iter(0);
   for (std::int64_t it = 0; it < iters; ++it) {
     // Queue batch k+1 before consuming batch k so the worker builds it
     // while this thread trains (double buffering).
-    if (async && it + 1 < iters) submit_iter(it + 1);
+    if (overlap && it + 1 < iters) submit_iter(it + 1);
 
     BatchPipeline::Prepared prep = pipeline.next();
-    if (async && it > 0) ++prefetched;
-    std::vector<std::int64_t> edge_ids = std::move(pending_edges.front());
-    pending_edges.pop_front();
+    if (overlap && it > 0) ++prefetched;
+    PendingBatch batch = std::move(pending.front());
+    pending.pop_front();
+    const std::vector<std::int64_t>& edge_ids = batch.edge_ids;
+    AdaptiveSampler* used_snapshot = batch.snapshot;
+    if (theta_updates > batch.theta_at_submit) ++stale_builds;
     const auto b = static_cast<std::int64_t>(edge_ids.size());
 
     auto built = std::move(prep.built);
@@ -204,7 +264,11 @@ EpochStats Trainer::train_epoch() {
                device_.model().nn_time(prep.sampler_flops, prep.sampler_launches).seconds);
 
     util::WallTimer pp_timer;
-    tensor::OpCounterSnapshot pp_snap;
+    // Thread-local snapshot: in stale-θ mode the prefetch worker issues
+    // the next batch's sampler forward concurrently, and its flops must
+    // not bleed into this batch's propagation accounting (they arrive
+    // separately via prep.sampler_flops).
+    tensor::ThreadOpCounterSnapshot pp_snap;
     Tensor h = model_->compute_embeddings(built.inputs);
     std::vector<std::int64_t> src_idx(static_cast<std::size_t>(b)),
         dst_idx(static_cast<std::size_t>(b)), neg_idx(static_cast<std::size_t>(b));
@@ -250,24 +314,31 @@ EpochStats Trainer::train_epoch() {
     // --- sampler co-training (Eq. 25/26) --------------------------------
     if (sampler_) {
       util::ScopedPhase as(phases, phase::kAS);
-      tensor::OpCounterSnapshot loss_snap;
+      tensor::ThreadOpCounterSnapshot loss_snap;  // see pp_snap
       Tensor sample_loss =
           build_sample_loss(model_->records(), last_selections_, config_.sample_loss);
       if (sample_loss.defined()) {
         sample_loss.backward();
+        // Stale mode: backward() just left ∇θ on the frozen snapshot this
+        // batch was built from (its selections' autograd graph roots
+        // there). Fold it into the live parameters — gradient computed at
+        // θ_{k-1}, applied at θ_k — before clipping and stepping.
+        if (used_snapshot) sampler_->absorb_gradients_from(*used_snapshot);
         auto sp = sampler_->parameters();
         nn::clip_grad_norm(sp, config_.grad_clip);
         opt_sampler_->step();
         opt_sampler_->zero_grad();
+        ++theta_updates;
       }
       phases.add(phase::kASSim,
                  device_.model().nn_time(loss_snap.flops(), loss_snap.launches()).seconds);
     }
     opt_model_->zero_grad();
 
-    // Sync mode: only now is it safe to assemble batch k+1 (selector and
-    // sampler state reflect this batch's update).
-    if (!async && it + 1 < iters) submit_iter(it + 1);
+    // Non-overlapped modes: only now is it safe to assemble batch k+1
+    // (selector and sampler state reflect this batch's update; with
+    // staleness=0 the snapshot taken here equals the live θ).
+    if (!overlap && it + 1 < iters) submit_iter(it + 1);
   }
 
   features_->end_epoch();
@@ -287,6 +358,7 @@ EpochStats Trainer::train_epoch() {
   if (config_.finder == FinderKind::kGpu) stats.nf_wall = 0;
   stats.iterations = iters;
   stats.prefetched_batches = prefetched;
+  stats.stale_builds = stale_builds;
   stats.mean_loss = iters > 0 ? loss_sum / static_cast<double>(iters) : 0;
   return stats;
 }

@@ -19,8 +19,23 @@ namespace taser::core {
 enum class BackboneKind { kTgat, kGraphMixer };
 enum class FinderKind { kOrig, kTgl, kGpu };
 
+/// How batch k+1's construction relates to batch k's training step.
+///  - kOff: every batch is built inline — the fully synchronous baseline.
+///  - kSyncOnly: overlap build and train when construction is independent
+///    of the step (non-adaptive runs); degrade to the synchronous path as
+///    soon as `ada_batch` / `ada_neighbor` feed training results back
+///    into construction.
+///  - kStaleTheta: overlap adaptive runs too, by building batch k+1 from
+///    a snapshot of the sampler parameters θ and the selector scores
+///    taken at submit time — exactly `staleness` (≤1) steps old. The
+///    policy the build samples from lags the live policy by one update,
+///    the standard bounded-staleness pipelining of decoupled
+///    sampler/trainer designs (TGN, NLB).
+enum class PrefetchMode { kOff, kSyncOnly, kStaleTheta };
+
 const char* to_string(BackboneKind kind);
 const char* to_string(FinderKind kind);
+const char* to_string(PrefetchMode mode);
 
 /// Full experiment configuration. Paper defaults (§IV-A): batch 600,
 /// n = 10, m = 25, hidden/time/encoding dims 100, lr 1e-4, γ = 0.1,
@@ -36,11 +51,18 @@ struct TrainerConfig {
 
   /// Overlap batch construction with model compute: batch k+1 is built on
   /// a background thread while batch k trains (double-buffered prefetch).
-  /// Results are bit-identical to the serial path. Automatically degrades
-  /// to synchronous building when ada_batch or ada_neighbor is on — both
-  /// feed batch-k training results back into batch-k+1 construction, so
-  /// the build cannot start before the step finishes.
-  bool prefetch = true;
+  /// kSyncOnly keeps non-adaptive overlap bit-identical to the serial
+  /// path and degrades to synchronous building when ada_batch /
+  /// ada_neighbor is on; kStaleTheta overlaps adaptive runs against a
+  /// one-step-stale parameter snapshot (see PrefetchMode).
+  PrefetchMode prefetch_mode = PrefetchMode::kSyncOnly;
+  /// kStaleTheta only: maximum parameter age (in training steps) a build
+  /// may observe. 1 = overlapped stale-θ pipelining. 0 = the conformance
+  /// anchor: the snapshot machinery runs (worker build, frozen-θ
+  /// hand-off, deferred gradient fold-back) but submission waits for the
+  /// step, so the run must be bit-identical to the synchronous path —
+  /// asserted by test_pipeline.
+  int staleness = 1;
 
   std::int64_t batch_size = 600;
   std::int64_t n_neighbors = 10;   ///< n
@@ -98,6 +120,10 @@ struct EpochStats {
   /// Batches whose construction overlapped the previous batch's training
   /// (0 when the prefetch pipeline ran synchronously).
   std::int64_t prefetched_batches = 0;
+  /// Staleness accounting (kStaleTheta): batches built from a sampler-θ
+  /// snapshot at least one update older than the live parameters at
+  /// consumption time. 0 in sync modes and with staleness=0.
+  std::int64_t stale_builds = 0;
 
   double nf() const { return nf_wall + nf_sim; }
   double as() const { return as_sim; }
@@ -151,6 +177,11 @@ class Trainer {
   std::unique_ptr<models::TgnnModel> model_;
   std::unique_ptr<models::EdgePredictor> predictor_;
   std::unique_ptr<AdaptiveSampler> sampler_;
+  /// Double-buffered frozen-θ copies for stale-θ prefetch: snapshot k can
+  /// still be referenced by batch k's in-flight autograd graph while
+  /// snapshot k+1 is being written, so two alternate. Only allocated in
+  /// kStaleTheta mode with ada_neighbor.
+  std::unique_ptr<AdaptiveSampler> stale_snapshots_[2];
   std::unique_ptr<MiniBatchSelector> selector_;
   std::unique_ptr<BatchBuilder> builder_;
   std::unique_ptr<nn::Adam> opt_model_;

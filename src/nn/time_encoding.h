@@ -79,13 +79,22 @@ class FixedTimeEncoding {
 /// the *appearance count* of a neighbor within a temporal neighborhood.
 class FrequencyEncoding {
  public:
-  explicit FrequencyEncoding(std::int64_t dim) : dim_(dim) {}
+  explicit FrequencyEncoding(std::int64_t dim) : dim_(dim) {
+    // Pairs (sin, cos) as in Vaswani et al.; exponent uses the pair index.
+    // Precomputed once (like FixedTimeEncoding's ω bank) so the per-call
+    // hot loop is a divide + sin/cos instead of a std::pow per element;
+    // dividing by the same denominator keeps results bit-identical to the
+    // old inline-pow path (test_nn asserts).
+    denom_.resize(static_cast<std::size_t>(dim));
+    for (std::int64_t i = 0; i < dim; ++i) {
+      const float expo = static_cast<float>(2 * ((i / 2) + 1)) / static_cast<float>(dim);
+      denom_[static_cast<std::size_t>(i)] = std::pow(10000.f, expo);
+    }
+  }
 
   void encode(float freq, float* out) const {
     for (std::int64_t i = 0; i < dim_; ++i) {
-      // Pairs (sin, cos) as in Vaswani et al.; exponent uses the pair index.
-      const float expo = static_cast<float>(2 * ((i / 2) + 1)) / static_cast<float>(dim_);
-      const float denom = std::pow(10000.f, expo);
+      const float denom = denom_[static_cast<std::size_t>(i)];
       out[static_cast<std::size_t>(i)] =
           (i % 2 == 0) ? std::sin(freq / denom) : std::cos(freq / denom);
     }
@@ -103,6 +112,7 @@ class FrequencyEncoding {
 
  private:
   std::int64_t dim_;
+  std::vector<float> denom_;  ///< per-dim 10000^expo, precomputed
 };
 
 }  // namespace taser::nn

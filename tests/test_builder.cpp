@@ -1,7 +1,12 @@
 // BatchBuilder: hop assembly, recency sorting, ∆t normalisation,
-// frequency/identity signals, adaptive vs baseline paths, and phase
-// accounting.
+// frequency/identity signals, adaptive vs baseline paths, phase
+// accounting, and thread-count invariance of the parallel per-target
+// loops.
 #include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <cstring>
 
 #include "cache/feature_source.h"
 #include "core/batch_builder.h"
@@ -180,6 +185,66 @@ TEST(Builder, PhasesAccumulateAcrossHops) {
   EXPECT_GT(phases.total(phase::kNF), 0.0);
   EXPECT_GT(phases.total(phase::kNFSim), 0.0);  // GPU kernel time modeled
   EXPECT_GT(phases.total(phase::kFSSim), 0.0);  // transfers modeled
+}
+
+TEST(Builder, ThreadCountInvariantBitIdentical) {
+  // The ROADMAP's "disjoint writes ⇒ thread-count independent" claim as
+  // an executable check: the same build at 1 and at 4 OpenMP threads must
+  // produce bit-identical hop inputs and selections. 40 roots exceed the
+  // per-target loops' T>32 parallelisation threshold.
+  struct OmpThreadGuard {  // restore even when an ASSERT aborts the test
+    int saved = omp_get_max_threads();
+    ~OmpThreadGuard() { omp_set_num_threads(saved); }
+  } guard;
+  for (bool adaptive : {false, true}) {
+    auto build_with_threads = [&](int threads) {
+      omp_set_num_threads(threads);
+      BuilderFixture fx;
+      std::unique_ptr<AdaptiveSampler> sampler;
+      BuilderConfig bc;
+      bc.n = 3;
+      if (adaptive) {
+        bc.m = 8;
+        util::Rng init_rng(13);
+        EncoderConfig ec;
+        ec.node_feat_dim = 4;
+        ec.edge_feat_dim = 6;
+        ec.dim = 8;
+        ec.m = 8;
+        sampler = std::make_unique<AdaptiveSampler>(ec, DecoderKind::kLinear, 8, init_rng);
+        sampler->set_training(true);
+      }
+      core::BatchBuilder builder(fx.data, *fx.finder, *fx.features, fx.device,
+                                 sampler.get(), bc);
+      util::PhaseAccumulator phases;
+      util::Rng rng(42);
+      return builder.build(fx.roots(2400, 40), 2, phases, rng);
+    };
+
+    auto one = build_with_threads(1);
+    auto four = build_with_threads(4);
+    ASSERT_EQ(one.inputs.hops.size(), four.inputs.hops.size());
+    for (std::size_t h = 0; h < one.inputs.hops.size(); ++h) {
+      for (auto pick : {&models::HopInputs::nbr_node_feats, &models::HopInputs::edge_feats,
+                        &models::HopInputs::delta_t, &models::HopInputs::mask}) {
+        const Tensor& a = one.inputs.hops[h].*pick;
+        const Tensor& b = four.inputs.hops[h].*pick;
+        ASSERT_EQ(a.defined(), b.defined());
+        if (!a.defined()) continue;
+        ASSERT_EQ(a.shape(), b.shape());
+        ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                                 static_cast<std::size_t>(a.numel()) * sizeof(float)))
+            << (adaptive ? "adaptive" : "baseline") << " hop " << h;
+      }
+    }
+    ASSERT_EQ(one.selections.size(), four.selections.size());
+    for (std::size_t h = 0; h < one.selections.size(); ++h) {
+      EXPECT_EQ(one.selections[h].selected.nbr, four.selections[h].selected.nbr);
+      EXPECT_EQ(one.selections[h].selected.ts, four.selections[h].selected.ts);
+      EXPECT_EQ(one.selections[h].selected.eid, four.selections[h].selected.eid);
+      EXPECT_EQ(one.selections[h].selected_slot, four.selections[h].selected_slot);
+    }
+  }
 }
 
 TEST(Builder, RejectsNSmallerThanM) {

@@ -3,11 +3,15 @@
 // under stationary access patterns), and the Oracle upper bound.
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
+#include <cstring>
 #include <numeric>
 
 #include "cache/feature_store.h"
 #include "cache/gpu_cache.h"
 #include "graph/synthetic.h"
+#include "util/rng.h"
 
 using namespace taser;
 using namespace taser::cache;
@@ -142,6 +146,48 @@ TEST(GpuCache, NoReplacementWhenOverlapAboveThreshold) {
   cache.end_epoch();
   EXPECT_EQ(cache.replacements(), 0);
   EXPECT_FALSE(cache.history()[0].replaced);
+}
+
+TEST(GpuCache, ParallelGatherMatchesSerialExactly) {
+  // The gather is OpenMP-parallel with per-thread hit/miss counters
+  // merged after the loop and atomic access-count increments; rows, all
+  // statistics, and the end-of-epoch replacement decision must match the
+  // serial (1-thread) gather bit-for-bit.
+  const int saved_threads = omp_get_max_threads();
+  auto data = make_data(800, 8);
+  // Repeats (so freq counts go above 1), invalid ids, and a skewed head.
+  std::vector<graph::EdgeId> ids;
+  util::Rng rng(123);
+  for (int i = 0; i < 600; ++i) {
+    if (i % 37 == 0) {
+      ids.push_back(graph::kInvalidEdge);
+    } else {
+      ids.push_back(static_cast<graph::EdgeId>(rng.next_below(i % 3 == 0 ? 50 : 800)));
+    }
+  }
+
+  gpusim::Device dev1, dev4;
+  GpuFeatureCache serial(data, dev1, 0.25);
+  GpuFeatureCache parallel(data, dev4, 0.25);
+  std::vector<float> out1(ids.size() * 8), out4(ids.size() * 8);
+
+  omp_set_num_threads(1);
+  serial.gather_edge_feats(ids, out1.data());
+  omp_set_num_threads(4);
+  parallel.gather_edge_feats(ids, out4.data());
+  omp_set_num_threads(saved_threads);
+
+  EXPECT_EQ(0, std::memcmp(out1.data(), out4.data(), out1.size() * sizeof(float)));
+  EXPECT_EQ(serial.current_epoch().hits, parallel.current_epoch().hits);
+  EXPECT_EQ(serial.current_epoch().misses, parallel.current_epoch().misses);
+  EXPECT_EQ(dev1.elapsed().seconds, dev4.elapsed().seconds);  // same bytes accounted
+
+  // Same access counts ⇒ same top-k ⇒ identical replacement outcome.
+  serial.end_epoch();
+  parallel.end_epoch();
+  EXPECT_EQ(serial.history()[0].replaced, parallel.history()[0].replaced);
+  for (graph::EdgeId e = 0; e < 800; ++e)
+    ASSERT_EQ(serial.is_cached(e), parallel.is_cached(e)) << "edge " << e;
 }
 
 TEST(GpuCache, MissesCostMoreSimTimeThanHits) {

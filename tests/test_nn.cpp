@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "nn/adam.h"
 #include "nn/layer_norm.h"
@@ -143,6 +144,32 @@ TEST(TimeEncoding, FixedSpansMultipleTimescales) {
   std::vector<float> quarter(8);
   probe.encode(1.57f, quarter.data());  // ~π/2 for ω=1
   EXPECT_LT(quarter[0], quarter[7]);    // fast band has rotated further
+}
+
+TEST(FrequencyEncoding, PrecomputedDenominatorsBitwiseMatchPowPerElement) {
+  // The constructor precomputes the per-dim 10000^expo denominators; the
+  // hot loop must stay bitwise-equivalent to the seed's inline
+  // std::pow-per-element formulation across dims (odd ones included) and
+  // a grid of appearance counts.
+  for (std::int64_t dim : {2, 5, 8, 16, 100}) {
+    FrequencyEncoding enc(dim);
+    std::vector<float> fast(static_cast<std::size_t>(dim)),
+        ref(static_cast<std::size_t>(dim));
+    for (float freq : {0.f, 1.f, 2.f, 3.f, 7.f, 25.f, 1000.f, 0.5f}) {
+      enc.encode(freq, fast.data());
+      for (std::int64_t i = 0; i < dim; ++i) {
+        // Old path, verbatim.
+        const float expo =
+            static_cast<float>(2 * ((i / 2) + 1)) / static_cast<float>(dim);
+        const float denom = std::pow(10000.f, expo);
+        ref[static_cast<std::size_t>(i)] =
+            (i % 2 == 0) ? std::sin(freq / denom) : std::cos(freq / denom);
+      }
+      ASSERT_EQ(0, std::memcmp(fast.data(), ref.data(),
+                               static_cast<std::size_t>(dim) * sizeof(float)))
+          << "dim=" << dim << " freq=" << freq;
+    }
+  }
 }
 
 TEST(FrequencyEncoding, DistinguishesCounts) {

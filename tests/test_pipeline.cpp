@@ -1,7 +1,11 @@
 // Batch-construction pipeline: double-buffered prefetch vs serial
-// bit-identity, deterministic RNG hand-off, and the workspace arena's
-// zero-allocation steady state.
+// bit-identity, deterministic RNG hand-off, the workspace arena's
+// zero-allocation steady state, thread-count invariance, and the stale-θ
+// prefetch regression suite (staleness=0 ≡ sync conformance anchor,
+// repeat-level reproducibility, step-0 equivalence).
 #include <gtest/gtest.h>
+
+#include <omp.h>
 
 #include <cstring>
 
@@ -196,7 +200,7 @@ TEST(Pipeline, TrainerPrefetchOnOffBitIdentical) {
   tc.max_iters_per_epoch = 4;
 
   TrainerConfig tc_serial = tc;
-  tc_serial.prefetch = false;
+  tc_serial.prefetch_mode = core::PrefetchMode::kOff;
 
   Trainer fast(data, tc);
   Trainer slow(data, tc_serial);
@@ -244,6 +248,202 @@ TEST(Pipeline, AdaptiveTrainerDegradesToSyncAndStaysDeterministic) {
   EXPECT_EQ(sa.prefetched_batches, 0);
   // ...and two identically-seeded runs stay bit-identical.
   EXPECT_EQ(sa.mean_loss, sb.mean_loss);
+}
+
+// ---- thread-count invariance ----------------------------------------------
+
+/// Restores the caller's OpenMP team size on scope exit so thread-count
+/// experiments cannot leak into later tests.
+struct OmpThreadGuard {
+  int saved = omp_get_max_threads();
+  ~OmpThreadGuard() { omp_set_num_threads(saved); }
+};
+
+TEST(Pipeline, ThreadCountInvariantBitIdentical) {
+  // ROADMAP claim made executable: every parallel per-target loop writes
+  // disjoint ranges, so builds are bit-identical regardless of team size.
+  // Three team sizes are compared: a 1-thread and a 4-thread serial build
+  // (both forced on this thread — omp_set_num_threads only affects the
+  // calling thread's ICV, so this is the genuine 1-vs-4 comparison in
+  // every OMP_NUM_THREADS environment), plus the async pipeline, whose
+  // worker thread picks its own (env-derived, halved) team size.
+  graph::Dataset data = small_data();
+  for (bool adaptive : {false, true}) {
+    OmpThreadGuard guard;
+    Stack one(data, adaptive);
+    Stack four(data, adaptive);
+    Stack piped(data, adaptive);
+
+    const int kBatches = 3;
+    util::PhaseAccumulator scratch;
+    // 40 roots > the builder's T>32 parallelisation threshold.
+    auto serial_builds = [&](Stack& st, int threads) {
+      omp_set_num_threads(threads);
+      util::Rng master(31);
+      std::vector<BatchBuilder::Built> out;
+      for (int k = 0; k < kBatches; ++k) {
+        util::Rng batch_rng = master.split();
+        out.push_back(st.builder->build(batch_roots(data, 1500 + 50 * k, 40), 2,
+                                        scratch, batch_rng));
+      }
+      return out;
+    };
+    auto ref = serial_builds(one, 1);
+    auto wide = serial_builds(four, 4);
+    for (int k = 0; k < kBatches; ++k)
+      expect_built_eq(ref[static_cast<std::size_t>(k)],
+                      wide[static_cast<std::size_t>(k)]);
+
+    util::Rng master_b(31);
+    BatchPipeline pipeline(*piped.builder, 2, /*async=*/true);
+    for (int k = 0; k < kBatches; ++k)
+      pipeline.submit(batch_roots(data, 1500 + 50 * k, 40), master_b.split());
+    for (int k = 0; k < kBatches; ++k)
+      expect_built_eq(ref[static_cast<std::size_t>(k)], pipeline.next().built);
+  }
+}
+
+// ---- stale-θ prefetch regression suite -------------------------------------
+
+TrainerConfig stale_suite_config() {
+  TrainerConfig tc;
+  tc.backbone = BackboneKind::kTgat;
+  tc.finder = FinderKind::kGpu;
+  tc.ada_batch = true;
+  tc.ada_neighbor = true;
+  tc.batch_size = 96;
+  tc.n_neighbors = 3;
+  tc.m_candidates = 8;
+  tc.hidden_dim = 12;
+  tc.time_dim = 8;
+  tc.sampler_dim = 8;
+  tc.decoder_hidden = 8;
+  tc.max_eval_edges = 60;
+  tc.seed = 5;
+  tc.max_iters_per_epoch = 3;
+  return tc;
+}
+
+graph::Dataset stale_suite_data(std::uint64_t seed) {
+  graph::SyntheticConfig cfg;
+  cfg.num_src = 50;
+  cfg.num_dst = 25;
+  cfg.num_edges = 1500;
+  cfg.edge_feat_dim = 6;
+  cfg.node_feat_dim = 4;
+  cfg.seed = seed;
+  return generate_synthetic(cfg);
+}
+
+TEST(StaleTheta, SnapshotBuildBitIdenticalToLiveSampler) {
+  // Builder/pipeline-level staleness=0 anchor: a frozen copy of θ handed
+  // through the pipeline Job must reproduce the live sampler's builds
+  // bit-for-bit (no update happened in between).
+  graph::Dataset data = small_data();
+  Stack serial(data, /*adaptive=*/true);
+  Stack piped(data, /*adaptive=*/true);
+
+  // Deliberately different init: only copy_parameters_from may make the
+  // snapshot agree with the live sampler.
+  util::Rng snap_init(12345);
+  EncoderConfig ec;
+  ec.node_feat_dim = data.node_feat_dim;
+  ec.edge_feat_dim = data.edge_feat_dim;
+  ec.dim = 8;
+  ec.m = 9;
+  AdaptiveSampler snapshot(ec, DecoderKind::kLinear, 8, snap_init);
+  snapshot.copy_parameters_from(*piped.sampler);
+  snapshot.set_training(true);
+
+  const int kBatches = 3;
+  util::Rng master_a(77);
+  util::PhaseAccumulator scratch;
+  std::vector<BatchBuilder::Built> ref;
+  for (int k = 0; k < kBatches; ++k) {
+    util::Rng batch_rng = master_a.split();
+    ref.push_back(serial.builder->build(batch_roots(data, 1900 + 30 * k, 12), 2,
+                                        scratch, batch_rng));
+  }
+
+  util::Rng master_b(77);
+  BatchPipeline pipeline(*piped.builder, 2, /*async=*/true);
+  for (int k = 0; k < kBatches; ++k)
+    pipeline.submit(batch_roots(data, 1900 + 30 * k, 12), master_b.split(), &snapshot);
+  for (int k = 0; k < kBatches; ++k)
+    expect_built_eq(ref[static_cast<std::size_t>(k)], pipeline.next().built);
+}
+
+TEST(StaleTheta, ZeroStalenessBitIdenticalToSync) {
+  // The conformance anchor: staleness=0 runs the full snapshot machinery
+  // (worker builds, frozen-θ hand-off, deferred gradient fold-back) with
+  // submission sequenced after the step — the run must be bit-identical
+  // to the fully synchronous path, at trainer level, across epochs.
+  graph::Dataset data = stale_suite_data(29);
+  TrainerConfig tc_sync = stale_suite_config();
+  tc_sync.prefetch_mode = PrefetchMode::kOff;
+  TrainerConfig tc_anchor = stale_suite_config();
+  tc_anchor.prefetch_mode = PrefetchMode::kStaleTheta;
+  tc_anchor.staleness = 0;
+
+  Trainer sync(data, tc_sync);
+  Trainer anchor(data, tc_anchor);
+  for (int e = 0; e < 2; ++e) {
+    const auto ss = sync.train_epoch();
+    const auto sa = anchor.train_epoch();
+    EXPECT_EQ(ss.mean_loss, sa.mean_loss) << "epoch " << e;
+    EXPECT_EQ(sa.stale_builds, 0);
+    EXPECT_EQ(sa.prefetched_batches, 0);
+  }
+  EXPECT_EQ(sync.evaluate_val_mrr(), anchor.evaluate_val_mrr());
+}
+
+TEST(StaleTheta, ReproducibleAcrossRepeats) {
+  // With the fixed staleness schedule (one step), two identically-seeded
+  // stale-θ runs are bit-identical — and the overlap actually happens.
+  graph::Dataset data = stale_suite_data(31);
+  TrainerConfig tc = stale_suite_config();
+  tc.prefetch_mode = PrefetchMode::kStaleTheta;
+  tc.staleness = 1;
+
+  Trainer a(data, tc);
+  Trainer b(data, tc);
+  for (int e = 0; e < 2; ++e) {
+    const auto sa = a.train_epoch();
+    const auto sb = b.train_epoch();
+    EXPECT_EQ(sa.mean_loss, sb.mean_loss) << "epoch " << e;
+    EXPECT_EQ(sa.stale_builds, sb.stale_builds);
+    EXPECT_GT(sa.prefetched_batches, 0) << "stale-θ run did not overlap";
+    EXPECT_GT(sa.stale_builds, 0) << "no build ever saw a stale θ";
+  }
+  EXPECT_EQ(a.evaluate_val_mrr(), b.evaluate_val_mrr());
+  // Selector staleness accounting: both runs applied the same Eq. 11
+  // update sequence (one per positive edge per batch).
+  ASSERT_NE(a.selector(), nullptr);
+  EXPECT_EQ(a.selector()->num_updates(), b.selector()->num_updates());
+  EXPECT_EQ(a.selector()->num_updates(),
+            2 * tc.max_iters_per_epoch * tc.batch_size);
+}
+
+TEST(StaleTheta, FirstBatchMatchesSync) {
+  // At step 0 no staleness exists yet: with one iteration per epoch the
+  // stale-θ run must match the synchronous path exactly (every batch is
+  // a "first batch" — submitted after all prior updates).
+  graph::Dataset data = stale_suite_data(37);
+  TrainerConfig tc_sync = stale_suite_config();
+  tc_sync.prefetch_mode = PrefetchMode::kOff;
+  tc_sync.max_iters_per_epoch = 1;
+  TrainerConfig tc_stale = tc_sync;
+  tc_stale.prefetch_mode = PrefetchMode::kStaleTheta;
+  tc_stale.staleness = 1;
+
+  Trainer sync(data, tc_sync);
+  Trainer stale(data, tc_stale);
+  for (int e = 0; e < 2; ++e) {
+    const auto ss = sync.train_epoch();
+    const auto st = stale.train_epoch();
+    EXPECT_EQ(ss.mean_loss, st.mean_loss) << "epoch " << e;
+    EXPECT_EQ(st.stale_builds, 0);
+  }
 }
 
 }  // namespace
