@@ -1,0 +1,5 @@
+// try_run probe: exits 0 iff the *build host* can execute AVX2+FMA code.
+// Used to decide whether the GEMM backend may be compiled -march=x86-64-v3.
+int main() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") ? 0 : 1;
+}

@@ -26,12 +26,12 @@ Tensor NeighborEncoder::encode_candidates(const CandidateSet& cands) const {
   if (w_node_) {
     Tensor x = Tensor::from_vector({T, m, config_.node_feat_dim},
                                    std::vector<float>(cands.node_feats));
-    parts.push_back(tt::gelu(w_node_->forward(x)));  // h(u), Eq. 14
+    parts.push_back(w_node_->forward_gelu(x));  // h(u), Eq. 14
   }
   if (w_edge_) {
     Tensor x = Tensor::from_vector({T, m, config_.edge_feat_dim},
                                    std::vector<float>(cands.edge_feats));
-    parts.push_back(tt::gelu(w_edge_->forward(x)));  // h(v,u,t), Eq. 14
+    parts.push_back(w_edge_->forward_gelu(x));  // h(v,u,t), Eq. 14
   }
   // TE(∆t) — fixed (Eq. 8), so computed straight into a constant tensor.
   parts.push_back(tt::reshape(time_enc_.forward(cands.delta_t), {T, m, config_.dim}));
@@ -51,7 +51,7 @@ Tensor NeighborEncoder::encode_targets(const CandidateSet& cands) const {
   if (w_node_) {
     Tensor x = Tensor::from_vector({T, config_.node_feat_dim},
                                    std::vector<float>(cands.target_feats));
-    parts.push_back(tt::gelu(w_node_->forward(x)));
+    parts.push_back(w_node_->forward_gelu(x));
   }
   // TE(0) and FE(1), per Eq. 21.
   parts.push_back(time_enc_.forward(std::vector<float>(static_cast<std::size_t>(T), 0.f)));

@@ -37,9 +37,10 @@ class MixerBlock : public Module {
     TASER_CHECK_MSG(x.dim() == 3 && x.size(1) == tokens_ && x.size(2) == channels_,
                     "MixerBlock expects [B," << tokens_ << "," << channels_ << "], got "
                                              << tensor::shape_str(x.shape()));
-    // Token mixing: transpose to [B, channels, tokens], MLP over tokens.
-    Tensor t = tensor::permute_021(ln_token_.forward(x));
-    t = token_mlp_.forward(t);
+    // Token mixing: the MLP consumes the [B, channels, tokens] view of
+    // the normed input directly — the GEMM packing reads the strided
+    // permute_021 view, so no transpose is materialized on the way in.
+    Tensor t = token_mlp_.forward_from_021(ln_token_.forward(x));
     Tensor x1 = tensor::add(x, tensor::permute_021(t));
     // Channel mixing.
     Tensor c = channel_mlp_.forward(ln_channel_.forward(x1));

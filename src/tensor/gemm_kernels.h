@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+
+namespace taser::tensor::gemm {
+
+// Packed, cache-blocked GEMM backend shared by every dense op
+// (matmul/bmm/linear and the fused linear epilogues).
+//
+// Contract (see ROADMAP "GEMM kernel contract"):
+//  - One register-blocked kMR x kNR micro-kernel serves all transpose
+//    variants: operands are described by a strided `MatView` and
+//    canonicalized into tile-major panels by the packing step, so
+//    A, A^T, B, B^T and the batched permute_021 view all hit the same
+//    inner loop.
+//  - The summation order over k is fixed per output element (k ascending,
+//    blocked by kKC) and never depends on the thread count: OpenMP only
+//    partitions disjoint row panels. Results are bit-identical for any
+//    OMP_NUM_THREADS — the repo's executable invariant.
+//  - All-zero A chunks (kMR rows x kKC cols of the packed panel) are
+//    skipped wholesale; skipping only elides exact-zero contributions, so
+//    values are unchanged and the FLOP ledger stays dense. The backend
+//    itself records no OpCounters — callers account at op granularity.
+//  - Kernels never open a nested OpenMP region: when invoked from inside
+//    an active parallel region (e.g. bmm's batch loop) they run serially
+//    on the calling thread.
+
+/// Register tile: kMR x kNR accumulators (6x16 = 12 YMM under AVX2).
+inline constexpr std::int64_t kMR = 6;
+inline constexpr std::int64_t kNR = 16;
+/// k-dimension block: packed A chunks of kMR*kKC floats stay L1-resident.
+inline constexpr std::int64_t kKC = 256;
+/// Budget for packing B in one piece (regime P, epilogue-capable). Larger
+/// packed-B sizes fall back to kKC-blocked streaming over k (regime S).
+inline constexpr std::int64_t kPackAllBytes = std::int64_t(1) << 21;
+
+/// A strided matrix operand: element (i, j) lives at data[i*rs + j*cs].
+/// Covers row-major, transposed, and batch-sliced permute views alike.
+struct MatView {
+  const float* data;
+  std::int64_t rs;
+  std::int64_t cs;
+};
+
+inline MatView row_major(const float* d, std::int64_t ld) { return {d, ld, 1}; }
+/// The transpose of a row-major [r, c] matrix with leading dim `ld` = c.
+inline MatView transposed(const float* d, std::int64_t ld) { return {d, 1, ld}; }
+
+/// Fused tail applied while the C tile is register/cache hot, after the
+/// full k reduction: u = C[i,j] + acc[i,j] (+ bias[j]); optionally store
+/// u into `preact` (needed by the fused backward), then write
+/// C[i,j] = gelu(u) or u. With everything null/false this is the plain
+/// accumulate C += acc.
+struct Epilogue {
+  const float* bias = nullptr;  ///< [n], broadcast over rows
+  float* preact = nullptr;      ///< [m, n] row-major (per batch in batched)
+  bool gelu = false;            ///< tanh-GELU on the stored output
+  /// C is known to be fresh zeros (a just-allocated output): skip reading
+  /// it and store acc(+bias) directly. Pure traffic optimization — the
+  /// value is bit-identical to accumulating into zeros. Ignored by the
+  /// streamed big-k regime, which must accumulate across k blocks.
+  bool beta_zero = false;
+  bool empty() const { return bias == nullptr && preact == nullptr && !gelu; }
+};
+
+/// C[m,n] (row-major, contiguous) += op(A)[m,k] · op(B)[k,n], epilogue
+/// applied after the reduction. C must be initialized by the caller
+/// (zeros from a fresh tensor, or running gradients to accumulate into).
+void gemm_acc(MatView A, MatView B, float* C, std::int64_t m, std::int64_t k,
+              std::int64_t n, const Epilogue& ep = {});
+
+/// Batched variant with one shared B, packed once: for each batch b,
+/// C + b*c_stride += op(A_b) · op(B) where A_b = A0 shifted by
+/// b*a_stride. Used by the token-mixing path, which feeds the
+/// permute_021 view of [B, tokens, channels] without materializing it.
+/// ep.preact, when set, is per-batch at preact + b*m*n.
+void gemm_batched_acc(MatView A0, std::int64_t a_stride, std::int64_t batches,
+                      MatView B, float* C, std::int64_t c_stride, std::int64_t m,
+                      std::int64_t k, std::int64_t n, const Epilogue& ep = {});
+
+/// The tanh-approximation GELU used by the fused epilogue — bit-identical
+/// to tensor::gelu's elementwise formula.
+float gelu_scalar(float x);
+/// d gelu(x) / dx, matching tensor::gelu's backward formula.
+float gelu_grad_scalar(float x);
+
+}  // namespace taser::tensor::gemm

@@ -2,6 +2,7 @@
 
 #include "tensor/broadcast.h"
 #include "tensor/counters.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 
 namespace taser::tensor {
@@ -74,6 +75,25 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 
 }  // namespace
 
+namespace gemm {
+// Defined here — NOT in gemm_kernels.cpp — so the fused epilogue and the
+// standalone gelu op run the exact same machine code regardless of the
+// wider ISA the GEMM TU may be compiled for: linear_gelu must stay
+// bit-identical to gelu(linear(...)).
+float gelu_scalar(float x) {
+  const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+  return 0.5f * x * (1.f + t);
+}
+
+float gelu_grad_scalar(float x) {
+  const float u = kGeluC * (x + 0.044715f * x * x * x);
+  const float t = std::tanh(u);
+  const float sech2 = 1.f - t * t;
+  const float du = kGeluC * (1.f + 3.f * 0.044715f * x * x);
+  return 0.5f * (1.f + t) + 0.5f * x * sech2 * du;
+}
+}  // namespace gemm
+
 Tensor add(const Tensor& a, const Tensor& b) {
   return binary_op(
       a, b, [](float x, float y) { return x + y; },
@@ -125,19 +145,11 @@ Tensor leaky_relu(const Tensor& a, float negative_slope) {
 }
 
 Tensor gelu(const Tensor& a) {
+  // Shares the scalar kernels with the fused GEMM epilogue (linear_gelu):
+  // the two paths are bit-identical by construction.
   return unary_op(
-      a,
-      [](float x) {
-        const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
-        return 0.5f * x * (1.f + t);
-      },
-      [](float x, float) {
-        const float u = kGeluC * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(u);
-        const float sech2 = 1.f - t * t;
-        const float du = kGeluC * (1.f + 3.f * 0.044715f * x * x);
-        return 0.5f * (1.f + t) + 0.5f * x * sech2 * du;
-      });
+      a, [](float x) { return gemm::gelu_scalar(x); },
+      [](float x, float) { return gemm::gelu_grad_scalar(x); });
 }
 
 Tensor sigmoid(const Tensor& a) {

@@ -1,167 +1,49 @@
 #include <omp.h>
 
+#include <memory>
+#include <vector>
+
 #include "tensor/counters.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/ops.h"
 
 namespace taser::tensor {
 
 namespace {
 
-/// C[m,n] += A[m,k] · B[k,n]. ikj loop order keeps the inner loop
-/// unit-stride on both B and C; OpenMP over rows when the work is large
-/// enough to amortise the fork. The k dimension is processed four rows of
-/// B at a time with the zero test hoisted to block granularity, so the
-/// inner j loop is branch-free and vectorizes; fully-zero blocks (masked
-/// rows, one-hot identity columns) are still skipped wholesale.
-void gemm_acc(const float* A, const float* B, float* C, std::int64_t m,
-              std::int64_t k, std::int64_t n) {
-  OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
-  const bool par = m * k * n > (1 << 16);
+using gemm::row_major;
+using gemm::transposed;
+
+// FLOP accounting happens here, at op granularity, on the thread that
+// issues the op (before any OpenMP fan-out inside the backend) — the
+// ledger is the dense 2·m·k·n count regardless of zero-skips, exactly as
+// with the previous kernels. Fused ops count the same flops their
+// unfused decomposition did, so the ledger is invariant under fusion.
+
+/// db[j] += Σ_i g[i,j], parallel over column chunks. Each element's
+/// accumulation order is the serial one (rows ascending) no matter the
+/// thread count: a chunk is owned by exactly one thread.
+void bias_grad_acc(const float* g, float* gb, std::int64_t rows, std::int64_t n) {
+  constexpr std::int64_t kChunk = 16;
+  const std::int64_t chunks = (n + kChunk - 1) / kChunk;
+  const bool par = !omp_in_parallel() && chunks > 1 && rows * n > (1 << 14);
 #pragma omp parallel for schedule(static) if (par)
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* c_row = C + i * n;
-    const float* a_row = A + i * k;
-    std::int64_t p = 0;
-    for (; p + 4 <= k; p += 4) {
-      const float a0 = a_row[p], a1 = a_row[p + 1], a2 = a_row[p + 2], a3 = a_row[p + 3];
-      if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
-      const float* b0 = B + p * n;
-      const float* b1 = b0 + n;
-      const float* b2 = b1 + n;
-      const float* b3 = b2 + n;
-      for (std::int64_t j = 0; j < n; ++j)
-        c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-    }
-    for (; p < k; ++p) {
-      const float a = a_row[p];
-      if (a == 0.f) continue;
-      const float* b_row = B + p * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t j0 = c * kChunk;
+    const std::int64_t j1 = std::min<std::int64_t>(j0 + kChunk, n);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const float* g_row = g + i * n;
+      for (std::int64_t j = j0; j < j1; ++j) gb[j] += g_row[j];
     }
   }
 }
 
-/// C[m,n] += A^T[m,k] · B[k,n] where A is stored [k,m]. Same 4-wide
-/// blocking as gemm_acc (A's column is strided, but the inner loop over j
-/// stays unit-stride and branch-free).
-void gemm_at_b_acc(const float* A, const float* B, float* C, std::int64_t m,
-                   std::int64_t k, std::int64_t n) {
-  OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
-  const bool par = m * k * n > (1 << 16);
-#pragma omp parallel for schedule(static) if (par)
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* c_row = C + i * n;
-    std::int64_t p = 0;
-    for (; p + 4 <= k; p += 4) {
-      const float a0 = A[p * m + i], a1 = A[(p + 1) * m + i], a2 = A[(p + 2) * m + i],
-                  a3 = A[(p + 3) * m + i];
-      if (a0 == 0.f && a1 == 0.f && a2 == 0.f && a3 == 0.f) continue;
-      const float* b0 = B + p * n;
-      const float* b1 = b0 + n;
-      const float* b2 = b1 + n;
-      const float* b3 = b2 + n;
-      for (std::int64_t j = 0; j < n; ++j)
-        c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-    }
-    for (; p < k; ++p) {
-      const float a = A[p * m + i];
-      if (a == 0.f) continue;
-      const float* b_row = B + p * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
-    }
-  }
-}
-
-/// C[m,n] += A[m,k] · B^T[k,n] where B is stored [n,k]. Four independent
-/// accumulators break the loop-carried dependence of the dot product so
-/// the compiler can use SIMD/ILP without reassociating a single chain.
-void gemm_a_bt_acc(const float* A, const float* B, float* C, std::int64_t m,
-                   std::int64_t k, std::int64_t n) {
-  OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
-  const bool par = m * k * n > (1 << 16);
-#pragma omp parallel for schedule(static) if (par)
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* a_row = A + i * k;
-    float* c_row = C + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* b_row = B + j * k;
-      float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-      std::int64_t p = 0;
-      for (; p + 4 <= k; p += 4) {
-        acc0 += a_row[p] * b_row[p];
-        acc1 += a_row[p + 1] * b_row[p + 1];
-        acc2 += a_row[p + 2] * b_row[p + 2];
-        acc3 += a_row[p + 3] * b_row[p + 3];
-      }
-      float acc = (acc0 + acc1) + (acc2 + acc3);
-      for (; p < k; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] += acc;
-    }
-  }
-}
-
-}  // namespace
-
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  TASER_CHECK_MSG(a.dim() == 2 && b.dim() == 2,
-                  "matmul expects 2-d, got " << shape_str(a.shape()) << " x "
-                                             << shape_str(b.shape()));
-  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
-  TASER_CHECK_MSG(b.size(0) == k, "matmul inner dims: " << shape_str(a.shape())
-                                                        << " x " << shape_str(b.shape()));
-  Tensor out = make_result({m, n}, {a, b});
-  gemm_acc(a.data(), b.data(), out.data(), m, k, n);
-
-  if (out.requires_grad()) {
-    ImplPtr ia = a.impl(), ib = b.impl();
-    out.node().backward_fn = [ia, ib, m, k, n](TensorImpl& self) {
-      const float* g = self.grad.data();
-      if (ia->requires_grad) {
-        ia->ensure_grad();
-        // dA = g · B^T : [m,n] x [n,k]
-        gemm_a_bt_acc(g, ib->data.data(), ia->grad.data(), m, n, k);
-      }
-      if (ib->requires_grad) {
-        ib->ensure_grad();
-        // dB = A^T · g : [k,m] x [m,n]
-        gemm_at_b_acc(ia->data.data(), g, ib->grad.data(), k, m, n);
-      }
-    };
-  }
-  return out;
-}
-
-Tensor bmm(const Tensor& a, const Tensor& b) {
-  TASER_CHECK_MSG(a.dim() == 3 && b.dim() == 3,
-                  "bmm expects 3-d, got " << shape_str(a.shape()) << " x "
-                                          << shape_str(b.shape()));
-  const std::int64_t B = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
-  TASER_CHECK(b.size(0) == B && b.size(1) == k);
-  Tensor out = make_result({B, m, n}, {a, b});
-#pragma omp parallel for schedule(static) if (B > 1 && m * k * n > 1024)
-  for (std::int64_t i = 0; i < B; ++i)
-    gemm_acc(a.data() + i * m * k, b.data() + i * k * n, out.data() + i * m * n, m, k, n);
-
-  if (out.requires_grad()) {
-    ImplPtr ia = a.impl(), ib = b.impl();
-    out.node().backward_fn = [ia, ib, B, m, k, n](TensorImpl& self) {
-      const float* g = self.grad.data();
-      if (ia->requires_grad) ia->ensure_grad();
-      if (ib->requires_grad) ib->ensure_grad();
-      for (std::int64_t i = 0; i < B; ++i) {
-        if (ia->requires_grad)
-          gemm_a_bt_acc(g + i * m * n, ib->data.data() + i * k * n,
-                        ia->grad.data() + i * m * k, m, n, k);
-        if (ib->requires_grad)
-          gemm_at_b_acc(ia->data.data() + i * m * k, g + i * m * n,
-                        ib->grad.data() + i * k * n, k, m, n);
-      }
-    };
-  }
-  return out;
-}
-
-Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+/// Shared forward/backward for linear and linear_gelu: one gemm with the
+/// bias (and optionally GELU) folded into the epilogue, one autograd
+/// node. The fused backward needs the pre-activation u = x·w + b, saved
+/// from the epilogue only when grad is required.
+Tensor linear_impl(const Tensor& x, const Tensor& w, const Tensor& b,
+                   bool fuse_gelu) {
   TASER_CHECK_MSG(w.dim() == 2, "linear weight must be 2-d");
   const std::int64_t in = w.size(0), outdim = w.size(1);
   TASER_CHECK_MSG(x.size(-1) == in, "linear: x " << shape_str(x.shape()) << " vs w "
@@ -176,37 +58,244 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
   if (b.defined()) inputs.push_back(b);
   Tensor out = make_result(std::move(out_shape), inputs);
 
-  float* ov = out.data();
-  if (b.defined()) {
-    const float* bv = b.data();
-#pragma omp parallel for schedule(static) if (rows > 64)
-    for (std::int64_t i = 0; i < rows; ++i)
-      for (std::int64_t j = 0; j < outdim; ++j) ov[i * outdim + j] = bv[j];
+  gemm::Epilogue ep;
+  ep.bias = b.defined() ? b.data() : nullptr;
+  ep.gelu = fuse_gelu;
+  ep.beta_zero = true;  // `out` is fresh zeros from make_result
+  std::shared_ptr<float[]> preact;  // uninitialized — the epilogue fills it
+  if (fuse_gelu && out.requires_grad()) {
+    preact = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(rows * outdim)]);
+    ep.preact = preact.get();
   }
-  gemm_acc(x.data(), w.data(), ov, rows, in, outdim);
+  OpCounters::add_flops(static_cast<std::uint64_t>(2 * rows * in * outdim) +
+                        (fuse_gelu ? static_cast<std::uint64_t>(rows * outdim) : 0));
+  gemm::gemm_acc(row_major(x.data(), in), row_major(w.data(), outdim), out.data(),
+                 rows, in, outdim, ep);
 
   if (out.requires_grad()) {
     ImplPtr ix = x.impl(), iw = w.impl();
     ImplPtr ibias = b.defined() ? b.impl() : nullptr;
-    out.node().backward_fn = [ix, iw, ibias, rows, in, outdim](TensorImpl& self) {
+    out.node().backward_fn = [ix, iw, ibias, preact, rows, in, outdim,
+                              fuse_gelu](TensorImpl& self) {
       const float* g = self.grad.data();
+      std::unique_ptr<float[]> gu_buf;
+      if (fuse_gelu) {
+        // g_u = g ⊙ gelu'(u): the fused equivalent of the gelu node's
+        // backward, one streaming pass instead of a tape node.
+        const std::int64_t total = rows * outdim;
+        gu_buf.reset(new float[static_cast<std::size_t>(total)]);
+        const float* u = preact.get();
+        const bool par = !omp_in_parallel() && total > (1 << 14);
+#pragma omp parallel for schedule(static) if (par)
+        for (std::int64_t i = 0; i < total; ++i)
+          gu_buf[static_cast<std::size_t>(i)] = g[i] * gemm::gelu_grad_scalar(u[i]);
+        g = gu_buf.get();
+      }
       if (ix->requires_grad) {
         ix->ensure_grad();
-        gemm_a_bt_acc(g, iw->data.data(), ix->grad.data(), rows, outdim, in);
+        // dX = g · Wᵀ : [rows,out] x [out,in]
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * rows * outdim * in));
+        gemm::gemm_acc(row_major(g, outdim), transposed(iw->data.data(), outdim),
+                       ix->grad.data(), rows, outdim, in);
       }
       if (iw->requires_grad) {
         iw->ensure_grad();
-        gemm_at_b_acc(ix->data.data(), g, iw->grad.data(), in, rows, outdim);
+        // dW = Xᵀ · g : [in,rows] x [rows,out]
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * in * rows * outdim));
+        gemm::gemm_acc(transposed(ix->data.data(), in), row_major(g, outdim),
+                       iw->grad.data(), in, rows, outdim);
       }
       if (ibias && ibias->requires_grad) {
         ibias->ensure_grad();
-        float* gb = ibias->grad.data();
-        for (std::int64_t i = 0; i < rows; ++i)
-          for (std::int64_t j = 0; j < outdim; ++j) gb[j] += g[i * outdim + j];
+        bias_grad_acc(g, ibias->grad.data(), rows, outdim);
       }
     };
   }
   return out;
+}
+
+/// linear applied to the permute_021 view of x:[B,t,c] — i.e.
+/// linear(permute_021(x), w, b) : [B,c,out] — without materializing the
+/// transpose. The packing step canonicalizes the strided per-batch view,
+/// and w is packed once for all batches.
+Tensor linear_021_impl(const Tensor& x, const Tensor& w, const Tensor& b,
+                       bool fuse_gelu) {
+  TASER_CHECK_MSG(x.dim() == 3, "linear_from_021 expects 3-d, got "
+                                    << shape_str(x.shape()));
+  TASER_CHECK_MSG(w.dim() == 2, "linear weight must be 2-d");
+  const std::int64_t nb = x.size(0), t = x.size(1), c = x.size(2);
+  const std::int64_t outdim = w.size(1);
+  TASER_CHECK_MSG(w.size(0) == t, "linear_from_021: x " << shape_str(x.shape())
+                                                        << " vs w "
+                                                        << shape_str(w.shape()));
+  if (b.defined()) TASER_CHECK(b.dim() == 1 && b.size(0) == outdim);
+
+  std::vector<Tensor> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  Tensor out = make_result({nb, c, outdim}, inputs);
+
+  gemm::Epilogue ep;
+  ep.bias = b.defined() ? b.data() : nullptr;
+  ep.gelu = fuse_gelu;
+  ep.beta_zero = true;  // `out` is fresh zeros from make_result
+  std::shared_ptr<float[]> preact;  // uninitialized — the epilogue fills it
+  if (fuse_gelu && out.requires_grad()) {
+    preact = std::shared_ptr<float[]>(
+        new float[static_cast<std::size_t>(nb * c * outdim)]);
+    ep.preact = preact.get();
+  }
+  OpCounters::add_flops(static_cast<std::uint64_t>(2 * nb * c * t * outdim) +
+                        (fuse_gelu ? static_cast<std::uint64_t>(nb * c * outdim) : 0));
+  // A_b = x_bᵀ: element (i=channel, p=token) at x[b, p, i] → rs=1, cs=c.
+  gemm::gemm_batched_acc({x.data(), 1, c}, t * c, nb, row_major(w.data(), outdim),
+                         out.data(), c * outdim, c, t, outdim, ep);
+
+  if (out.requires_grad()) {
+    ImplPtr ix = x.impl(), iw = w.impl();
+    ImplPtr ibias = b.defined() ? b.impl() : nullptr;
+    out.node().backward_fn = [ix, iw, ibias, preact, nb, t, c, outdim,
+                              fuse_gelu](TensorImpl& self) {
+      const float* g = self.grad.data();
+      std::unique_ptr<float[]> gu_buf;
+      if (fuse_gelu) {
+        const std::int64_t total = nb * c * outdim;
+        gu_buf.reset(new float[static_cast<std::size_t>(total)]);
+        const float* u = preact.get();
+        const bool par = !omp_in_parallel() && total > (1 << 14);
+#pragma omp parallel for schedule(static) if (par)
+        for (std::int64_t i = 0; i < total; ++i)
+          gu_buf[static_cast<std::size_t>(i)] = g[i] * gemm::gelu_grad_scalar(u[i]);
+        g = gu_buf.get();
+      }
+      if (ix->requires_grad) {
+        ix->ensure_grad();
+        // dX_b = W · g_bᵀ : [t,out] x [out,c] — batches are disjoint, so
+        // the loop parallelizes; the inner gemm stays serial (no nesting).
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * nb * t * outdim * c));
+        float* gx = ix->grad.data();
+        const float* wv = iw->data.data();
+        const bool par = !omp_in_parallel() && nb > 1 && 2 * t * outdim * c > 1024;
+#pragma omp parallel for schedule(static) if (par)
+        for (std::int64_t bi = 0; bi < nb; ++bi)
+          gemm::gemm_acc(row_major(wv, outdim), transposed(g + bi * c * outdim, outdim),
+                         gx + bi * t * c, t, outdim, c);
+      }
+      if (iw->requires_grad) {
+        iw->ensure_grad();
+        // dW += Σ_b x_b · g_b : [t,c] x [c,out], batch order fixed.
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * nb * t * c * outdim));
+        const float* xv = ix->data.data();
+        for (std::int64_t bi = 0; bi < nb; ++bi)
+          gemm::gemm_acc(row_major(xv + bi * t * c, c), row_major(g + bi * c * outdim, outdim),
+                         iw->grad.data(), t, c, outdim);
+      }
+      if (ibias && ibias->requires_grad) {
+        ibias->ensure_grad();
+        bias_grad_acc(g, ibias->grad.data(), nb * c, outdim);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TASER_CHECK_MSG(a.dim() == 2 && b.dim() == 2,
+                  "matmul expects 2-d, got " << shape_str(a.shape()) << " x "
+                                             << shape_str(b.shape()));
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  TASER_CHECK_MSG(b.size(0) == k, "matmul inner dims: " << shape_str(a.shape())
+                                                        << " x " << shape_str(b.shape()));
+  Tensor out = make_result({m, n}, {a, b});
+  OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * k * n));
+  gemm::Epilogue fresh;
+  fresh.beta_zero = true;  // `out` is fresh zeros
+  gemm::gemm_acc(row_major(a.data(), k), row_major(b.data(), n), out.data(), m, k, n,
+                 fresh);
+
+  if (out.requires_grad()) {
+    ImplPtr ia = a.impl(), ib = b.impl();
+    out.node().backward_fn = [ia, ib, m, k, n](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ia->requires_grad) {
+        ia->ensure_grad();
+        // dA = g · Bᵀ : [m,n] x [n,k]
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * m * n * k));
+        gemm::gemm_acc(row_major(g, n), transposed(ib->data.data(), n),
+                       ia->grad.data(), m, n, k);
+      }
+      if (ib->requires_grad) {
+        ib->ensure_grad();
+        // dB = Aᵀ · g : [k,m] x [m,n]
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * k * m * n));
+        gemm::gemm_acc(transposed(ia->data.data(), k), row_major(g, n),
+                       ib->grad.data(), k, m, n);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  TASER_CHECK_MSG(a.dim() == 3 && b.dim() == 3,
+                  "bmm expects 3-d, got " << shape_str(a.shape()) << " x "
+                                          << shape_str(b.shape()));
+  const std::int64_t B = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  TASER_CHECK(b.size(0) == B && b.size(1) == k);
+  Tensor out = make_result({B, m, n}, {a, b});
+  OpCounters::add_flops(static_cast<std::uint64_t>(2 * B * m * k * n));
+  // Parallel over batches; the inner kernels detect the enclosing region
+  // (omp_in_parallel) and never open a nested one.
+  gemm::Epilogue fresh;
+  fresh.beta_zero = true;  // `out` is fresh zeros
+  const bool par = !omp_in_parallel() && B > 1 && m * k * n > 1024;
+#pragma omp parallel for schedule(static) if (par)
+  for (std::int64_t i = 0; i < B; ++i)
+    gemm::gemm_acc(row_major(a.data() + i * m * k, k), row_major(b.data() + i * k * n, n),
+                   out.data() + i * m * n, m, k, n, fresh);
+
+  if (out.requires_grad()) {
+    ImplPtr ia = a.impl(), ib = b.impl();
+    out.node().backward_fn = [ia, ib, B, m, k, n](TensorImpl& self) {
+      const float* g = self.grad.data();
+      if (ia->requires_grad) {
+        ia->ensure_grad();
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * B * m * n * k));
+      }
+      if (ib->requires_grad) {
+        ib->ensure_grad();
+        OpCounters::add_flops(static_cast<std::uint64_t>(2 * B * k * m * n));
+      }
+      for (std::int64_t i = 0; i < B; ++i) {
+        if (ia->requires_grad)
+          gemm::gemm_acc(row_major(g + i * m * n, n),
+                         transposed(ib->data.data() + i * k * n, n),
+                         ia->grad.data() + i * m * k, m, n, k);
+        if (ib->requires_grad)
+          gemm::gemm_acc(transposed(ia->data.data() + i * m * k, k),
+                         row_major(g + i * m * n, n), ib->grad.data() + i * k * n,
+                         k, m, n);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& b) {
+  return linear_impl(x, w, b, /*fuse_gelu=*/false);
+}
+
+Tensor linear_gelu(const Tensor& x, const Tensor& w, const Tensor& b) {
+  return linear_impl(x, w, b, /*fuse_gelu=*/true);
+}
+
+Tensor linear_from_021(const Tensor& x, const Tensor& w, const Tensor& b) {
+  return linear_021_impl(x, w, b, /*fuse_gelu=*/false);
+}
+
+Tensor linear_gelu_from_021(const Tensor& x, const Tensor& w, const Tensor& b) {
+  return linear_021_impl(x, w, b, /*fuse_gelu=*/true);
 }
 
 }  // namespace taser::tensor

@@ -145,6 +145,39 @@ TEST(GradCheck, LinearAllThree) {
   run_check([&] { return tt::mean_all(tt::square(tt::linear(x, w, b))); }, {x, w, b});
 }
 
+TEST(GradCheck, LinearGeluAllThree) {
+  // The fused epilogue's backward (gelu' folded into the gradient stream
+  // before the two grad GEMMs) against finite differences.
+  Rng rng(47);
+  Tensor x = randn_param({5, 3}, rng);
+  Tensor w = randn_param({3, 4}, rng);
+  Tensor b = randn_param({4}, rng);
+  run_check([&] { return tt::mean_all(tt::square(tt::linear_gelu(x, w, b))); },
+            {x, w, b});
+}
+
+TEST(GradCheck, LinearFrom021AllThree) {
+  // The strided-view backward: dX scattered back through the permuted
+  // view, dW accumulated per batch in fixed order.
+  Rng rng(48);
+  Tensor x = randn_param({2, 3, 4}, rng);  // [B, t, c]
+  Tensor w = randn_param({3, 2}, rng);     // [t, out]
+  Tensor b = randn_param({2}, rng);
+  run_check([&] { return tt::mean_all(tt::square(tt::linear_from_021(x, w, b))); },
+            {x, w, b});
+  run_check(
+      [&] { return tt::mean_all(tt::square(tt::linear_gelu_from_021(x, w, b))); },
+      {x, w, b});
+}
+
+TEST(GradCheck, LinearGeluNoBias) {
+  Rng rng(49);
+  Tensor x = randn_param({3, 4}, rng);
+  Tensor w = randn_param({4, 3}, rng);
+  run_check([&] { return tt::mean_all(tt::square(tt::linear_gelu(x, w, Tensor()))); },
+            {x, w});
+}
+
 TEST(GradCheck, Reductions) {
   Rng rng(18);
   Tensor a = randn_param({3, 4}, rng);

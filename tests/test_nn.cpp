@@ -80,6 +80,35 @@ TEST(MixerBlock, PreservesShapeAndMixesTokens) {
   EXPECT_GT(delta_token0, 1e-6f);
 }
 
+TEST(MlpLayer, ForwardMatchesUnfusedCompositionBitwise) {
+  // Mlp now rides the fused linear_gelu node; it must equal the unfused
+  // fc2(gelu(fc1(x))) composition exactly.
+  util::Rng rng(31);
+  Mlp mlp(5, 8, 3, rng);
+  auto params = mlp.parameters();  // fc1.w, fc1.b, fc2.w, fc2.b
+  ASSERT_EQ(params.size(), 4u);
+  Tensor x = Tensor::randn({7, 5}, rng);
+  Tensor fused = mlp.forward(x);
+  Tensor unfused = tt::linear(
+      tt::gelu(tt::linear(x, params[0], params[1])), params[2], params[3]);
+  ASSERT_EQ(fused.numel(), unfused.numel());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    EXPECT_EQ(fused.data()[i], unfused.data()[i]) << "at " << i;
+}
+
+TEST(MlpLayer, ForwardFrom021MatchesPermutedForwardBitwise) {
+  // The token-mixing entry: running the MLP on the permute_021 view must
+  // equal materializing the transpose first.
+  util::Rng rng(33);
+  Mlp mlp(4, 6, 4, rng);
+  Tensor x = Tensor::randn({3, 4, 5}, rng);  // [B, t=in, c]
+  Tensor fused = mlp.forward_from_021(x);
+  Tensor unfused = mlp.forward(tt::permute_021(x));
+  ASSERT_EQ(fused.shape(), unfused.shape());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    EXPECT_EQ(fused.data()[i], unfused.data()[i]) << "at " << i;
+}
+
 TEST(MixerBlock, RejectsWrongTokenCount) {
   util::Rng rng(6);
   MixerBlock mixer(4, 6, rng);

@@ -1,6 +1,7 @@
 // Forward-value tests for the tensor library: shapes, broadcasting rules,
 // and numeric results checked against hand-computed expectations.
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <cmath>
 
@@ -329,6 +330,185 @@ TEST(OpCounters, MatmulBackwardFlopAccountingIsDense) {
   // dA = g·Bᵀ (2·4·3·6) + dB = Aᵀ·g (2·6·4·3), plus the reduction's own
   // accounting; the gemm share must be present exactly.
   EXPECT_GE(snap.flops(), static_cast<std::uint64_t>(2 * 4 * 3 * 6 + 2 * 6 * 4 * 3));
+}
+
+// ---- packed GEMM backend ----------------------------------------------------
+// The packed cache-blocked backend replaced the three ad-hoc kernels; it
+// must (a) match a naive double reference on tile-unaligned shapes for
+// all transpose variants (exercised through matmul's forward/backward),
+// (b) be bit-identical across OpenMP thread counts, and (c) keep fused
+// ops equal — in values and in the FLOP ledger — to their unfused
+// decomposition.
+
+void check_matmul_against_naive(std::int64_t m, std::int64_t k, std::int64_t n,
+                                std::uint64_t seed) {
+  taser::util::Rng rng(seed);
+  std::vector<float> av(static_cast<std::size_t>(m * k)),
+      bv(static_cast<std::size_t>(k * n));
+  for (auto& v : av) v = rng.next_uniform(-1.f, 1.f);
+  for (auto& v : bv) v = rng.next_uniform(-1.f, 1.f);
+  // A zero stripe exercises the packed zero-chunk skip.
+  if (m > 2)
+    for (std::int64_t p = 0; p < k; ++p) av[static_cast<std::size_t>(2 * k + p)] = 0.f;
+
+  Tensor a = Tensor::from_vector({m, k}, av, /*requires_grad=*/true);
+  Tensor b = Tensor::from_vector({k, n}, bv, /*requires_grad=*/true);
+  Tensor c = tt::matmul(a, b);
+  tt::sum_all(c).backward();
+
+  const float tol = 1e-4f * std::max<float>(1.f, static_cast<float>(k) / 64.f);
+  // Forward: C = A·B (normal x normal).
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(av[static_cast<std::size_t>(i * k + p)]) *
+               bv[static_cast<std::size_t>(p * n + j)];
+      ASSERT_NEAR(c.at({i, j}), acc, tol) << "fwd " << m << "x" << k << "x" << n;
+    }
+  // dA = g·Bᵀ with g = 1 (transposed-B variant): dA[i,p] = Σ_j B[p,j].
+  Tensor ga = a.grad();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t p = 0; p < k; ++p) {
+      double acc = 0;
+      for (std::int64_t j = 0; j < n; ++j)
+        acc += bv[static_cast<std::size_t>(p * n + j)];
+      ASSERT_NEAR(ga.at({i, p}), acc, tol) << "dA " << m << "x" << k << "x" << n;
+    }
+  // dB = Aᵀ·g (transposed-A variant): dB[p,j] = Σ_i A[i,p].
+  Tensor gb = b.grad();
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t i = 0; i < m; ++i)
+        acc += av[static_cast<std::size_t>(i * k + p)];
+      ASSERT_NEAR(gb.at({p, j}), acc, tol) << "dB " << m << "x" << k << "x" << n;
+    }
+}
+
+TEST(PackedGemm, AllVariantsMatchNaiveOnUnalignedShapes) {
+  // Odd shapes around the 6x16 register tile and the 256-wide k chunk;
+  // the last one crosses into the streamed (big packed-B) regime.
+  const std::int64_t shapes[][3] = {{1, 1, 1},   {3, 5, 17},  {5, 17, 33},
+                                    {17, 33, 1}, {33, 65, 7}, {7, 300, 9},
+                                    {6, 16, 16}, {4, 600, 5}};
+  std::uint64_t seed = 91;
+  for (const auto& s : shapes) check_matmul_against_naive(s[0], s[1], s[2], ++seed);
+}
+
+TEST(PackedGemm, ThreadCountBitIdentity) {
+  // Forward values AND accumulated gradients of the new kernels must be
+  // bit-identical with a 1-thread and a 4-thread OpenMP team — the
+  // repo's executable determinism invariant. Shapes are sized past the
+  // kernels' parallelization thresholds.
+  const int saved = omp_get_max_threads();
+  auto run_all = [](std::vector<float>& out) {
+    taser::util::Rng rng(77);
+    Tensor x = Tensor::randn({300, 33}, rng, 0.8f, true);
+    Tensor w = Tensor::randn({33, 65}, rng, 0.8f, true);
+    Tensor b = Tensor::randn({65}, rng, 0.8f, true);
+    Tensor y = tt::linear_gelu(x, w, b);
+
+    Tensor x3 = Tensor::randn({24, 17, 33}, rng, 0.8f, true);
+    Tensor w3 = Tensor::randn({17, 9}, rng, 0.8f, true);
+    Tensor b3 = Tensor::randn({9}, rng, 0.8f, true);
+    Tensor y3 = tt::linear_from_021(x3, w3, b3);
+
+    Tensor m1 = Tensor::randn({65, 130}, rng, 0.8f, true);
+    Tensor m2 = Tensor::randn({130, 40}, rng, 0.8f, true);
+    Tensor ym = tt::matmul(m1, m2);
+
+    tt::add(tt::add(tt::sum_all(y), tt::sum_all(y3)), tt::sum_all(ym)).backward();
+    for (const Tensor& t : {y, y3, ym, x.grad(), w.grad(), b.grad(), x3.grad(),
+                            w3.grad(), b3.grad(), m1.grad(), m2.grad()}) {
+      const float* d = t.data();
+      out.insert(out.end(), d, d + t.numel());
+    }
+  };
+  std::vector<float> serial, parallel;
+  omp_set_num_threads(1);
+  run_all(serial);
+  omp_set_num_threads(4);
+  run_all(parallel);
+  omp_set_num_threads(saved);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << "thread-count divergence at " << i;
+}
+
+TEST(PackedGemm, FusedLinearGeluMatchesUnfusedBitwise) {
+  taser::util::Rng rng(19);
+  Tensor x = Tensor::randn({37, 23}, rng, 0.8f);
+  Tensor w = Tensor::randn({23, 31}, rng, 0.8f);
+  Tensor b = Tensor::randn({31}, rng, 0.8f);
+  Tensor fused = tt::linear_gelu(x, w, b);
+  Tensor unfused = tt::gelu(tt::linear(x, w, b));
+  ASSERT_EQ(fused.numel(), unfused.numel());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    ASSERT_EQ(fused.data()[i], unfused.data()[i]) << "at " << i;
+}
+
+TEST(PackedGemm, LinearFrom021MatchesPermuteBitwise) {
+  taser::util::Rng rng(21);
+  Tensor x = Tensor::randn({5, 13, 21}, rng, 0.8f);
+  Tensor w = Tensor::randn({13, 11}, rng, 0.8f);
+  Tensor b = Tensor::randn({11}, rng, 0.8f);
+  Tensor fused = tt::linear_from_021(x, w, b);
+  Tensor unfused = tt::linear(tt::permute_021(x), w, b);
+  ASSERT_EQ(fused.shape(), unfused.shape());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    ASSERT_EQ(fused.data()[i], unfused.data()[i]) << "at " << i;
+
+  Tensor gfused = tt::linear_gelu_from_021(x, w, b);
+  Tensor gunfused = tt::gelu(unfused);
+  for (std::int64_t i = 0; i < gfused.numel(); ++i)
+    ASSERT_EQ(gfused.data()[i], gunfused.data()[i]) << "gelu at " << i;
+}
+
+TEST(OpCounters, FusedOpsKeepDecompositionFlops) {
+  // The FLOP ledger is invariant under fusion: linear_gelu counts what
+  // linear + gelu counted, linear_from_021 what permute_021 (0 flops) +
+  // linear counted — forward and backward.
+  taser::util::Rng rng(23);
+  Tensor x = Tensor::randn({12, 7}, rng, 0.8f, true);
+  Tensor w = Tensor::randn({7, 9}, rng, 0.8f, true);
+  Tensor b = Tensor::randn({9}, rng, 0.8f, true);
+
+  taser::tensor::OpCounterSnapshot fused_fwd;
+  Tensor yf = tt::linear_gelu(x, w, b);
+  const std::uint64_t fused_fwd_flops = fused_fwd.flops();
+  taser::tensor::OpCounterSnapshot fused_bwd;
+  tt::sum_all(yf).backward();
+  const std::uint64_t fused_bwd_flops = fused_bwd.flops();
+
+  x.zero_grad();
+  w.zero_grad();
+  b.zero_grad();
+  taser::tensor::OpCounterSnapshot unfused_fwd;
+  Tensor yu = tt::gelu(tt::linear(x, w, b));
+  EXPECT_EQ(fused_fwd_flops, unfused_fwd.flops());
+  taser::tensor::OpCounterSnapshot unfused_bwd;
+  tt::sum_all(yu).backward();
+  EXPECT_EQ(fused_bwd_flops, unfused_bwd.flops());
+
+  // Same invariance for the permute-consuming op.
+  Tensor x3 = Tensor::randn({3, 5, 7}, rng, 0.8f, true);
+  Tensor w3 = Tensor::randn({5, 4}, rng, 0.8f, true);
+  taser::tensor::OpCounterSnapshot f2;
+  Tensor y2 = tt::linear_from_021(x3, w3, Tensor());
+  const std::uint64_t f2_fwd = f2.flops();
+  taser::tensor::OpCounterSnapshot f2b;
+  tt::sum_all(y2).backward();
+  const std::uint64_t f2_bwd = f2b.flops();
+
+  x3.zero_grad();
+  w3.zero_grad();
+  taser::tensor::OpCounterSnapshot u2;
+  Tensor y2u = tt::linear(tt::permute_021(x3), w3, Tensor());
+  EXPECT_EQ(f2_fwd, u2.flops());
+  taser::tensor::OpCounterSnapshot u2b;
+  tt::sum_all(y2u).backward();
+  EXPECT_EQ(f2_bwd, u2b.flops());
 }
 
 TEST(OpCounters, UnrolledGemmMatchesNaiveReference) {
