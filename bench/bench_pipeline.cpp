@@ -17,16 +17,25 @@
 // (update → build → train); stale-θ builds batch k+1 from a snapshot of θ
 // taken at submit time and overlaps it with batch k's train latency.
 //
+// Part 3b — depth-K ring sweep under *bursty* builds: every 4th batch has
+// a much larger root set (the variable fan-outs adaptive selection and
+// NeurTW-style time-aware regimes produce) and train latencies jitter.
+// A depth-1 ring re-synchronises on every slow build; deeper rings let
+// construction run ahead during the fast batches and absorb the burst.
+// Gate: K=2 ≥ 1.15x batches/sec over K=1 at train:build 0.5.
+//
 // Part 4 — the ROADMAP's "benchmark accuracy cost before enabling" gate:
 // short TASER training runs (ada_batch + ada_neighbor), synchronous vs
 // stale-θ, reporting end-of-training loss and validation MRR deltas.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <thread>
 
 #include "common.h"
 #include "core/batch_pipeline.h"
+#include "core/snapshot_pool.h"
 
 using namespace taser;
 
@@ -180,10 +189,13 @@ int main() {
   std::printf("(train latency simulated as ratio x %.2f ms adaptive build time at "
               "T=%lld; θ perturbed after every batch)\n", stale_build_ms,
               static_cast<long long>(T3));
-  util::Rng snap_rng_a(41), snap_rng_b(43);
-  core::AdaptiveSampler snap_a(ec, core::DecoderKind::kLinear, 16, snap_rng_a);
-  core::AdaptiveSampler snap_b(ec, core::DecoderKind::kLinear, 16, snap_rng_b);
-  core::AdaptiveSampler* snaps[2] = {&snap_a, &snap_b};
+  // Frozen-θ copies come from the pooled snapshot machinery the trainer
+  // uses (2 slots = the depth-1 double buffer).
+  core::SamplerSnapshotPool snap_pool(2, [&] {
+    util::Rng snap_rng(41);
+    return std::make_unique<core::AdaptiveSampler>(ec, core::DecoderKind::kLinear, 16,
+                                                   snap_rng);
+  });
   auto perturb_theta = [&]() {
     // Stand-in for the Adam step: nudge every live parameter, so each
     // build sees a genuinely different policy (snapshots must be re-taken
@@ -211,25 +223,29 @@ int main() {
       core::BatchPipeline pipeline(builder, hops, /*async=*/stale);
       util::Rng master(17);
       const int batches = 8;
-      int seq = 0;
+      std::deque<core::AdaptiveSampler*> inflight;
       auto submit = [&]() {
         core::AdaptiveSampler* snapshot = nullptr;
         if (stale) {
-          snapshot = snaps[seq % 2];
-          snapshot->copy_parameters_from(sampler);
+          snapshot = snap_pool.acquire(sampler);
           snapshot->set_training(true);
         }
-        ++seq;
+        inflight.push_back(snapshot);
         pipeline.submit(roots3, master.split(), snapshot);
+      };
+      auto consume = [&]() {
+        (void)pipeline.next();
+        if (inflight.front()) snap_pool.release(inflight.front());
+        inflight.pop_front();
       };
       sampler.set_training(true);
       submit();  // arena warm-up batch
-      (void)pipeline.next();
+      consume();
       util::WallTimer t;
       submit();
       for (int k = 0; k < batches; ++k) {
         if (stale && k + 1 < batches) submit();
-        (void)pipeline.next();
+        consume();
         std::this_thread::sleep_for(train_latency);  // modeled GPU propagation
         perturb_theta();
         // Sync: only after the θ update may the next batch be built.
@@ -247,6 +263,116 @@ int main() {
   bench::print_shape(
       "stale-θ prefetch >= 1.3x batches/sec over sync on the adaptive path",
       speedup_at_parity >= 1.3);
+
+  // --- Part 3b: depth-K ring sweep under bursty builds ----------------------
+  // Constant-cost builds hide completely behind one train step, so depth
+  // 1 is enough there (part 3). Real adaptive workloads are bursty: batch
+  // composition changes the fan-out, so build times spike. Here every 4th
+  // batch carries an 8x root set and train latencies jitter ±60% around
+  // the ratio point; a depth-1 ring re-synchronises on each spike, while
+  // K ≥ 2 keeps the worker fed through it.
+  std::printf("\n== Part 3b: depth-K ring sweep (bursty adaptive builds, θ "
+              "perturbed per batch) ==\n");
+  {
+    const std::int64_t t_small = 16, t_big = 128;   // 8x burst every 4th batch
+    graph::TargetBatch roots_small = make_roots(data, data.num_edges() / 2, t_small);
+    graph::TargetBatch roots_big = make_roots(data, data.num_edges() / 3, t_big);
+    auto roots_of = [&](int k) -> graph::TargetBatch& {
+      return k % 4 == 3 ? roots_big : roots_small;
+    };
+    core::BuilderConfig bc;
+    bc.n = n;
+    bc.m = m;
+    // Probe per-shape build cost (and warm both arena shapes).
+    double small_ms = 0, big_ms = 0;
+    {
+      core::BatchBuilder probe(data, finder, features, device, &sampler, bc);
+      util::PhaseAccumulator scratch;
+      util::Rng rng(29);
+      sampler.set_training(true);
+      probe.build(roots_small, hops, scratch, rng);
+      probe.build(roots_big, hops, scratch, rng);
+      util::WallTimer ts;
+      for (int k = 0; k < 3; ++k) probe.build(roots_small, hops, scratch, rng);
+      small_ms = ts.seconds() / 3 * 1e3;
+      util::WallTimer tb;
+      for (int k = 0; k < 2; ++k) probe.build(roots_big, hops, scratch, rng);
+      big_ms = tb.seconds() / 2 * 1e3;
+    }
+    const double mean_build_ms = (3 * small_ms + big_ms) / 4;
+    std::printf("(build ms: small %.2f, burst %.2f, mean %.2f; train latency = "
+                "ratio x mean, jittered x{0.4, 1.6})\n", small_ms, big_ms,
+                mean_build_ms);
+
+    const int depths[] = {0, 1, 2, 4};  // 0 = fully synchronous baseline
+    util::Table sweep({"train:build", "sync b/s", "K=1 b/s", "K=2 b/s", "K=4 b/s",
+                       "K2/K1", "K4/K1"});
+    double gate_k2_over_k1 = 0;
+    for (double ratio : {0.25, 0.5, 1.0}) {
+      double rates[4] = {0, 0, 0, 0};
+      for (int mode = 0; mode < 4; ++mode) {
+        const int K = depths[mode];
+        const bool async = K > 0;
+        core::BatchBuilder builder(data, finder, features, device, &sampler, bc);
+        core::BatchPipeline pipeline(builder, hops, async,
+                                     static_cast<std::size_t>(std::max(K, 1)));
+        core::SamplerSnapshotPool pool(static_cast<std::size_t>(K) + 1, [&] {
+          util::Rng snap_rng(41);
+          return std::make_unique<core::AdaptiveSampler>(
+              ec, core::DecoderKind::kLinear, 16, snap_rng);
+        });
+        util::Rng master(37);
+        const int warmup3b = 4, batches = 24;
+        std::deque<core::AdaptiveSampler*> inflight;
+        int submitted = 0, consumed = 0;
+        auto submit = [&]() {
+          core::AdaptiveSampler* snapshot = pool.acquire(sampler);
+          snapshot->set_training(true);
+          inflight.push_back(snapshot);
+          pipeline.submit(roots_of(submitted), master.split(), snapshot);
+          ++submitted;
+        };
+        auto consume = [&]() {
+          (void)pipeline.next();
+          pool.release(inflight.front());
+          inflight.pop_front();
+          ++consumed;
+        };
+        sampler.set_training(true);
+        // Warm-up cycle covering both shapes.
+        for (int k = 0; k < warmup3b; ++k) {
+          submit();
+          consume();
+        }
+        submitted = consumed = 0;
+        util::WallTimer t;
+        for (int it = 0; it < batches; ++it) {
+          // Trainer-shaped schedule: batch j may be submitted once step
+          // j - K has completed (sync submits after the θ update below).
+          while (async && submitted < batches && submitted <= it + K) submit();
+          if (!async && submitted == it) submit();
+          consume();
+          const double jitter = it % 2 == 0 ? 0.4 : 1.6;
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              ratio * mean_build_ms * jitter));
+          perturb_theta();
+        }
+        rates[mode] = batches / t.seconds();
+      }
+      if (ratio == 0.5) gate_k2_over_k1 = rates[2] / rates[1];
+      sweep.add_row({util::Table::fmt(ratio, 2), util::Table::fmt(rates[0], 1),
+                     util::Table::fmt(rates[1], 1), util::Table::fmt(rates[2], 1),
+                     util::Table::fmt(rates[3], 1),
+                     util::Table::fmt(rates[2] / rates[1], 2),
+                     util::Table::fmt(rates[3] / rates[1], 2)});
+    }
+    sweep.print();
+    std::printf("\n");
+    bench::print_shape(
+        "depth-2 ring >= 1.15x batches/sec over depth-1 at train:build 0.5 "
+        "(bursty builds)",
+        gate_k2_over_k1 >= 1.15);
+  }
 
   // --- Part 4: stale-θ accuracy gate ----------------------------------------
   // ROADMAP: "benchmark accuracy cost before enabling". Short TASER runs

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.h"
 
@@ -32,6 +33,15 @@ void AdaptiveSampler::copy_parameters_from(const AdaptiveSampler& src) {
     // Same-size vector copy: reuses the existing buffer, so steady-state
     // snapshots allocate nothing.
     std::copy(s.data.begin(), s.data.end(), d.data.begin());
+  }
+  generation_ = src.generation_;
+}
+
+void AdaptiveSampler::poison_parameters() {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (auto& p : parameters()) {
+    auto& d = p.node().data;
+    std::fill(d.begin(), d.end(), nan);
   }
 }
 

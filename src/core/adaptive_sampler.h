@@ -34,11 +34,26 @@ class AdaptiveSampler : public nn::Module {
   SelectionResult select(const CandidateSet& cands, std::int64_t n, util::Rng& rng);
 
   /// Stale-θ prefetch support (copy-on-snapshot): overwrites this
-  /// sampler's parameter *values* with `src`'s. Architectures must match
-  /// (same EncoderConfig / decoder shape); gradients and optimizer state
-  /// are untouched. The prefetch worker only ever reads a snapshot built
-  /// this way — θ updates land in the live copy exclusively.
+  /// sampler's parameter *values* with `src`'s and adopts `src`'s
+  /// generation tag. Architectures must match (same EncoderConfig /
+  /// decoder shape); gradients and optimizer state are untouched. The
+  /// prefetch worker only ever reads a snapshot built this way — θ
+  /// updates land in the live copy exclusively.
   void copy_parameters_from(const AdaptiveSampler& src);
+
+  /// Monotone parameter-version tag. The trainer bumps the live
+  /// sampler's generation after every optimizer step; snapshots adopt
+  /// the live generation at copy time, so at any later point
+  /// `live.generation() - snapshot.generation()` is exactly the number
+  /// of θ updates the snapshot is stale by — the quantity the depth-K
+  /// staleness histogram and the conformance tests account in.
+  std::uint64_t generation() const { return generation_; }
+  void bump_generation() { ++generation_; }
+
+  /// Debug aid for the snapshot pool: overwrites every parameter value
+  /// with a quiet NaN so reads through a released (unpinned) snapshot
+  /// surface as NaNs instead of silently seeing a previous batch's θ.
+  void poison_parameters();
 
   /// Folds the parameter gradients a sample-loss backward left on
   /// `snapshot` into this (live) sampler's grad buffers, then clears the
@@ -53,6 +68,7 @@ class AdaptiveSampler : public nn::Module {
  private:
   NeighborEncoder encoder_;
   NeighborDecoder decoder_;
+  std::uint64_t generation_ = 0;
   /// select() scratch, recycled across calls. Gumbel uniforms are drawn
   /// serially into `gumbel_u_` (preserving the single-stream draw order)
   /// so the per-target top-k can run OpenMP-parallel with bit-identical

@@ -9,8 +9,9 @@
 
 namespace taser::core {
 
-BatchPipeline::BatchPipeline(BatchBuilder& builder, int num_hops, bool async)
-    : builder_(builder), num_hops_(num_hops), async_(async) {
+BatchPipeline::BatchPipeline(BatchBuilder& builder, int num_hops, bool async,
+                             std::size_t depth)
+    : builder_(builder), num_hops_(num_hops), async_(async), ring_(depth + 1) {
   if (async_) worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -48,12 +49,13 @@ void BatchPipeline::worker_loop() {
   omp_set_num_threads(std::max(1, omp_get_max_threads() / 2));
   for (;;) {
     Job job;
+    std::uint64_t seq;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
-      if (jobs_.empty()) return;  // stop requested and queue drained
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
+      job_ready_.wait(lock, [this] { return stop_ || built_ < submitted_; });
+      if (built_ == submitted_) return;  // stop requested and ring drained
+      seq = built_;
+      job = std::move(ring_[seq % ring_.size()].job);
     }
     Prepared prep;
     std::exception_ptr err = nullptr;
@@ -64,8 +66,10 @@ void BatchPipeline::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      results_.push_back(std::move(prep));
-      errors_.push_back(err);
+      Slot& slot = ring_[seq % ring_.size()];
+      slot.prep = std::move(prep);
+      slot.err = err;
+      ++built_;
     }
     result_ready_.notify_all();
   }
@@ -75,8 +79,14 @@ void BatchPipeline::submit(graph::TargetBatch roots, util::Rng rng,
                            AdaptiveSampler* sampler_snapshot) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    jobs_.push_back(Job{std::move(roots), rng, sampler_snapshot});
-    ++pending_;
+    TASER_CHECK_MSG(submitted_ - consumed_ < ring_.size(),
+                    "BatchPipeline ring full: all " << ring_.size() << " slots (depth "
+                        << depth() << ") in flight — consume with next() before "
+                        "submitting deeper");
+    Slot& slot = ring_[submitted_ % ring_.size()];
+    slot.job = Job{std::move(roots), rng, sampler_snapshot};
+    slot.err = nullptr;
+    ++submitted_;
   }
   if (async_) job_ready_.notify_one();
 }
@@ -86,28 +96,32 @@ BatchPipeline::Prepared BatchPipeline::next() {
     Job job;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      TASER_CHECK_MSG(!jobs_.empty(), "BatchPipeline::next() with nothing submitted");
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
-      --pending_;
+      TASER_CHECK_MSG(submitted_ > consumed_,
+                      "BatchPipeline::next() with nothing submitted");
+      job = std::move(ring_[consumed_ % ring_.size()].job);
+      ++consumed_;
+      ++built_;  // inline build: the counters stay in lockstep
     }
     return run(std::move(job));
   }
   std::unique_lock<std::mutex> lock(mu_);
-  TASER_CHECK_MSG(pending_ > 0, "BatchPipeline::next() with nothing submitted");
-  result_ready_.wait(lock, [this] { return !results_.empty(); });
-  Prepared prep = std::move(results_.front());
-  results_.pop_front();
-  std::exception_ptr err = errors_.front();
-  errors_.pop_front();
-  --pending_;
+  TASER_CHECK_MSG(submitted_ > consumed_, "BatchPipeline::next() with nothing submitted");
+  // Batch consumed_ is ready exactly when the worker has built past it;
+  // the counters are the whole state machine.
+  result_ready_.wait(lock, [this] { return built_ > consumed_; });
+  Slot& slot = ring_[consumed_ % ring_.size()];
+  Prepared prep = std::move(slot.prep);
+  std::exception_ptr err = slot.err;
+  slot.err = nullptr;
+  ++consumed_;
+  lock.unlock();
   if (err) std::rethrow_exception(err);
   return prep;
 }
 
 std::size_t BatchPipeline::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return pending_;
+  return static_cast<std::size_t>(submitted_ - consumed_);
 }
 
 }  // namespace taser::core

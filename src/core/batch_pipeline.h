@@ -2,33 +2,42 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "core/batch_builder.h"
 
 namespace taser::core {
 
-/// Double-buffered mini-batch prefetcher: builds batch k+1 on a
-/// background worker thread while the caller trains on batch k (the CPU
-/// is otherwise idle while the real system's GPU runs propagation — the
-/// overlap GNNFlow-style samplers exploit).
+/// Depth-K ring of prefetch slots: up to `depth() + 1` batches may be in
+/// flight (submitted but not yet consumed) while a background worker
+/// builds them in submission order and the caller trains on the oldest
+/// (the CPU is otherwise idle while the real system's GPU runs
+/// propagation — the overlap GNNFlow-style samplers exploit). depth = 1
+/// is the classic double buffer; deeper rings let the trainer run ahead
+/// of bursty builds instead of stalling on every slow one.
 ///
 /// Determinism contract: batches are submitted, built, and consumed in
-/// the same total order in both modes, and every submit() carries its own
+/// one total order in both modes (the worker is single-threaded by
+/// design and drains the ring FIFO), and every submit() carries its own
 /// forked Rng (the hand-off). Since a build touches no state outside the
 /// builder/finder/feature-source it owns, async and sync runs are
-/// bit-identical. Callers must NOT overlap a build with anything that
-/// mutates builder-visible state (sampler parameter updates, re-ordered
-/// batch selection). Adaptive runs satisfy that in one of two ways: the
-/// Trainer degrades to sync mode (kSyncOnly), or — stale-θ prefetch
-/// (kStaleTheta) — each submit() additionally carries a *snapshot* of the
-/// sampler parameters taken at submit time, which is the only sampler the
-/// worker reads for that job; the live sampler is then free to take θ
-/// updates while the build runs, at the cost of the build seeing
-/// parameters exactly one step stale.
+/// bit-identical at every depth. Callers must NOT overlap a build with
+/// anything that mutates builder-visible state (sampler parameter
+/// updates, re-ordered batch selection). Adaptive runs satisfy that in
+/// one of two ways: the Trainer degrades to sync mode (kSyncOnly), or —
+/// stale-θ prefetch (kStaleTheta) — each submit() additionally carries a
+/// *snapshot* of the sampler parameters taken at submit time (drawn from
+/// a SamplerSnapshotPool), which is the only sampler the worker reads
+/// for that job; the live sampler is then free to take θ updates while
+/// the build runs, at the cost of the build seeing parameters up to
+/// `staleness` steps old.
+///
+/// Capacity contract: submitting more than `depth() + 1` batches without
+/// consuming is a hard error (TASER_CHECK), never a silent deepening —
+/// the ring bound is what the snapshot-pool lifetime argument rests on.
 ///
 /// Phase accounting: the worker measures its own NF/AS/FS wall and
 /// simulated time into the Prepared record, plus the sampler's tensor
@@ -45,20 +54,27 @@ class BatchPipeline {
   };
 
   /// async=false degrades to a synchronous pipeline with identical
-  /// numerics: submit() enqueues, next() builds inline.
-  BatchPipeline(BatchBuilder& builder, int num_hops, bool async);
+  /// numerics: submit() enqueues into the ring, next() builds inline.
+  /// `depth` bounds how far submission may run ahead of consumption
+  /// (in-flight ≤ depth + 1); 1 reproduces the old double buffer.
+  BatchPipeline(BatchBuilder& builder, int num_hops, bool async, std::size_t depth = 1);
   ~BatchPipeline();
 
   BatchPipeline(const BatchPipeline&) = delete;
   BatchPipeline& operator=(const BatchPipeline&) = delete;
 
   bool async() const { return async_; }
+  /// Ring depth K: max batches the caller may run ahead of consumption.
+  std::size_t depth() const { return ring_.size() - 1; }
+  /// Ring slots = depth() + 1 (max in-flight batches).
+  std::size_t capacity() const { return ring_.size(); }
 
   /// Enqueues the next batch in submission order. `rng` is the per-batch
   /// stream forked by the caller — the deterministic RNG hand-off.
   /// `sampler_snapshot`, when non-null, is the frozen-θ sampler this
   /// job's build must select with (stale-θ prefetch); it must stay alive
-  /// and unmutated until the job's next() returns.
+  /// and unmutated until the job's next() returns. Throws if the ring is
+  /// already full (in-flight == capacity()).
   void submit(graph::TargetBatch roots, util::Rng rng,
               AdaptiveSampler* sampler_snapshot = nullptr);
 
@@ -76,6 +92,17 @@ class BatchPipeline {
     util::Rng rng;
     AdaptiveSampler* sampler_snapshot = nullptr;  ///< stale-θ hand-off (may be null)
   };
+  /// One ring slot. Its lifecycle (queued → building → ready → empty) is
+  /// fully determined by the three monotone counters below — batch j's
+  /// slot holds a queued job iff built_ ≤ j < submitted_, a result iff
+  /// consumed_ ≤ j < built_ — so the slot carries no state of its own.
+  /// Slot j mod capacity cannot be reused before batch j is consumed
+  /// (the capacity check on submit).
+  struct Slot {
+    Job job;
+    Prepared prep;
+    std::exception_ptr err;
+  };
 
   Prepared run(Job job);
   void worker_loop();
@@ -87,10 +114,12 @@ class BatchPipeline {
   mutable std::mutex mu_;
   std::condition_variable job_ready_;
   std::condition_variable result_ready_;
-  std::deque<Job> jobs_;
-  std::deque<Prepared> results_;
-  std::deque<std::exception_ptr> errors_;  // parallel to results_ (null = ok)
-  std::size_t pending_ = 0;
+  std::vector<Slot> ring_;
+  /// Monotone batch counters; slot of batch j is ring_[j % capacity()].
+  /// Invariant: consumed_ ≤ built_ ≤ submitted_ ≤ consumed_ + capacity().
+  std::uint64_t submitted_ = 0;
+  std::uint64_t built_ = 0;
+  std::uint64_t consumed_ = 0;
   bool stop_ = false;
   std::thread worker_;
 };

@@ -15,12 +15,14 @@ namespace taser::core {
 /// High-confidence (clean) positives are re-visited more; suspected-noise
 /// positives decay towards the γ floor, which keeps exploration alive.
 ///
-/// Staleness contract (stale-θ prefetch): all calls happen on the trainer
-/// thread, so sample/update interleaving is a pure ordering question. The
-/// synchronous path samples batch k+1 *after* batch k's updates; the
-/// stale-θ path samples it at submit time, i.e. re-weighted only by
-/// logits up to batch k-1 (previous-but-one). Both orderings are
-/// deterministic — `num_updates()` tells either story for accounting.
+/// Staleness contract (depth-K stale-θ prefetch): all calls happen on the
+/// trainer thread, so sample/update interleaving is a pure ordering
+/// question. The synchronous path samples batch k *after* batch k-1's
+/// updates; the stale path samples batch k at submit time — up to
+/// `staleness` steps before its own — i.e. re-weighted only by logits
+/// through batch k-1-staleness. Every ordering is deterministic (the
+/// trainer submits in batch order at every depth) — `num_updates()`
+/// tells each story for accounting.
 class MiniBatchSelector {
  public:
   /// `num_train_edges` — size of E_train; edge index 0 is the first

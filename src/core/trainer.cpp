@@ -41,15 +41,38 @@ const char* to_string(PrefetchMode mode) {
   return "?";
 }
 
+void TrainerConfig::validate() const {
+  TASER_CHECK_MSG(prefetch_depth >= 1,
+                  "prefetch_depth must be >= 1 (got " << prefetch_depth << ")");
+  TASER_CHECK_MSG(staleness >= -1,
+                  "staleness must be -1 (auto) or >= 0 (got " << staleness << ")");
+  if (prefetch_mode == PrefetchMode::kStaleTheta) {
+    TASER_CHECK_MSG(staleness <= prefetch_depth,
+                    "staleness " << staleness << " exceeds prefetch_depth "
+                        << prefetch_depth
+                        << " — a build cannot run further ahead than the ring is deep");
+  } else {
+    // Silently ignoring an explicit staleness request would hand the user
+    // a synchronous run while they believe they opted into bounded
+    // staleness; reject the contradiction instead.
+    TASER_CHECK_MSG(staleness <= 0,
+                    "staleness " << staleness << " requires prefetch_mode=stale-theta; "
+                        << to_string(prefetch_mode)
+                        << " would silently ignore it (leave staleness at -1/0 or "
+                           "switch modes)");
+  }
+}
+
+int TrainerConfig::resolved_staleness() const {
+  if (staleness >= 0) return staleness;
+  return prefetch_mode == PrefetchMode::kStaleTheta ? prefetch_depth : 0;
+}
+
 Trainer::Trainer(const graph::Dataset& data, TrainerConfig config)
     : data_(data), config_(config), device_(config.device_spec), tcsr_(data),
       rng_(config.seed) {
   TASER_CHECK(data_.num_train() > 0);
-  if (config_.prefetch_mode == PrefetchMode::kStaleTheta) {
-    TASER_CHECK_MSG(config_.staleness >= 0 && config_.staleness <= 1,
-                    "stale-θ contract caps staleness at one step (got "
-                        << config_.staleness << ")");
-  }
+  config_.validate();
   dst_begin_ = data_.dst_end > data_.dst_begin ? data_.dst_begin : 0;
   dst_end_ = data_.dst_end > data_.dst_begin ? data_.dst_end
                                              : static_cast<graph::NodeId>(data_.num_nodes);
@@ -107,13 +130,15 @@ Trainer::Trainer(const graph::Dataset& data, TrainerConfig config)
     auto sampler_params = sampler_->parameters();
     opt_sampler_ = std::make_unique<nn::Adam>(sampler_params, config_.sampler_lr);
     if (config_.prefetch_mode == PrefetchMode::kStaleTheta) {
-      for (auto& snap : stale_snapshots_) {
-        // Init values are irrelevant: every submit overwrites them with a
-        // copy of the live θ.
+      // staleness+1 pooled snapshot instances — the most that can be
+      // pinned at once (K+1 at the default staleness=K). Init values are
+      // irrelevant: every acquire overwrites them with the live θ.
+      const auto slots = static_cast<std::size_t>(config_.resolved_staleness()) + 1;
+      snapshot_pool_ = std::make_unique<SamplerSnapshotPool>(slots, [&] {
         util::Rng snap_rng(config_.seed ^ 0x57a1e7ULL);
-        snap = std::make_unique<AdaptiveSampler>(ec, config_.decoder,
+        return std::make_unique<AdaptiveSampler>(ec, config_.decoder,
                                                  config_.decoder_hidden, snap_rng);
-      }
+      });
     }
   }
   if (config_.ada_batch) {
@@ -179,27 +204,38 @@ EpochStats Trainer::train_epoch() {
     iters = std::min(iters, config_.max_iters_per_epoch);
   double loss_sum = 0;
 
-  // Prefetch requires batch k+1's construction to be independent of batch
-  // k's training step: the adaptive selector re-weights the next batch
-  // from this batch's logits, and the adaptive sampler's θ update changes
-  // the very policy the next build samples from. kSyncOnly therefore
-  // degrades to the synchronous path for adaptive runs. kStaleTheta
-  // instead overlaps them by snapshotting θ (and sampling the selector)
-  // at submit time, so batch k+1 is built from parameters exactly one
-  // step stale; the sample-loss gradient that batch produces lands on its
-  // snapshot and is folded back into the live θ before the optimizer step
-  // (stale-gradient descent). staleness=0 defers submission until after
-  // the step — same machinery, zero staleness, bit-identical to sync.
+  // Prefetch requires a queued batch's construction to be independent of
+  // the steps it overlaps: the adaptive selector re-weights the next
+  // batch from this batch's logits, and the adaptive sampler's θ update
+  // changes the very policy the next build samples from. kSyncOnly
+  // therefore degrades to the synchronous path for adaptive runs.
+  // kStaleTheta instead overlaps them by snapshotting θ (and sampling
+  // the selector) at submit time: the trainer runs up to `staleness`
+  // submissions ahead of the last completed step, so a build observes
+  // parameters at most `staleness` updates old; the sample-loss gradient
+  // each batch produces lands on its snapshot and is folded back into
+  // the live θ in consumption (= submission) order before the optimizer
+  // step (stale-gradient descent) — that fold-back order is the whole
+  // determinism argument at depth K. staleness=0 defers submission until
+  // after the step — same machinery, zero staleness, bit-identical to
+  // sync.
   const bool adaptive_feedback = selector_ != nullptr || sampler_ != nullptr;
   const bool stale =
       config_.prefetch_mode == PrefetchMode::kStaleTheta && adaptive_feedback;
   const bool async = config_.prefetch_mode == PrefetchMode::kStaleTheta ||
                      (config_.prefetch_mode == PrefetchMode::kSyncOnly &&
                       !adaptive_feedback);
-  const bool overlap = async && (!stale || config_.staleness >= 1);
-  BatchPipeline pipeline(*builder_, model_->num_hops(), async);
-  // Per-batch metadata travelling alongside the pipeline's job queue, in
-  // the same submission order (one struct so the entries cannot
+  // How far submission runs ahead of consumption. Non-adaptive async
+  // builds depend on no trained state, so they may use the full ring
+  // depth with zero accuracy cost; stale mode is capped by the staleness
+  // contract; sync modes submit one batch at a time.
+  const int lookahead =
+      !async ? 0
+             : (stale ? config_.resolved_staleness() : config_.prefetch_depth);
+  BatchPipeline pipeline(*builder_, model_->num_hops(), async,
+                         static_cast<std::size_t>(config_.prefetch_depth));
+  // Per-batch metadata travelling alongside the pipeline's ring, in the
+  // same submission order (one struct so the entries cannot
   // desynchronize).
   struct PendingBatch {
     std::vector<std::int64_t> edge_ids;
@@ -208,14 +244,16 @@ EpochStats Trainer::train_epoch() {
   };
   std::deque<PendingBatch> pending;
   std::int64_t prefetched = 0, stale_builds = 0;
-  std::int64_t theta_updates = 0, submit_seq = 0;
+  std::int64_t theta_updates = 0;
+  std::vector<std::int64_t> staleness_hist(
+      static_cast<std::size_t>(stale ? config_.resolved_staleness() : 0) + 1, 0);
 
   // Submission draws from rng_ (root negatives, then the per-batch fork)
-  // in batch order in both modes — the deterministic RNG hand-off that
+  // in batch order in every mode — the deterministic RNG hand-off that
   // keeps prefetch-on and prefetch-off runs bit-identical. Stale mode
-  // additionally freezes θ here: copy-on-snapshot into one of two
-  // alternating buffers (batch k's snapshot stays referenced by its
-  // autograd graph while k+1's is written).
+  // additionally freezes θ here, into the next round-robin slot of the
+  // snapshot pool (a batch's snapshot stays pinned by its in-flight
+  // autograd graph until its gradients are folded back at consumption).
   auto submit_iter = [&](std::int64_t it) {
     std::vector<std::int64_t> edge_ids;
     if (selector_) {
@@ -229,11 +267,9 @@ EpochStats Trainer::train_epoch() {
     }
     AdaptiveSampler* snapshot = nullptr;
     if (stale && sampler_) {
-      snapshot = stale_snapshots_[submit_seq % 2].get();
-      snapshot->copy_parameters_from(*sampler_);
+      snapshot = snapshot_pool_->acquire(*sampler_);
       snapshot->set_training(sampler_->training());
     }
-    ++submit_seq;
     // Sequence the two rng_ draws explicitly: negatives first, then the
     // per-batch fork (as arguments their order would be compiler-defined,
     // breaking cross-toolchain reproducibility).
@@ -242,19 +278,28 @@ EpochStats Trainer::train_epoch() {
     pending.push_back(PendingBatch{std::move(edge_ids), snapshot, theta_updates});
   };
 
-  if (iters > 0) submit_iter(0);
+  std::int64_t next_submit = 0;
   for (std::int64_t it = 0; it < iters; ++it) {
-    // Queue batch k+1 before consuming batch k so the worker builds it
-    // while this thread trains (double buffering).
-    if (overlap && it + 1 < iters) submit_iter(it + 1);
+    // Top up the ring before consuming batch `it`: batch j may be
+    // submitted once step j - staleness has completed, i.e. j ≤ it +
+    // lookahead here. With lookahead 0 this submits exactly batch `it`,
+    // sequenced after step it-1 — the synchronous order.
+    while (next_submit < iters && next_submit <= it + lookahead)
+      submit_iter(next_submit++);
 
     BatchPipeline::Prepared prep = pipeline.next();
-    if (overlap && it > 0) ++prefetched;
+    if (lookahead > 0 && it > 0) ++prefetched;
     PendingBatch batch = std::move(pending.front());
     pending.pop_front();
     const std::vector<std::int64_t>& edge_ids = batch.edge_ids;
     AdaptiveSampler* used_snapshot = batch.snapshot;
-    if (theta_updates > batch.theta_at_submit) ++stale_builds;
+    // Observed staleness of this build: θ updates applied between its
+    // submission and now. Bounded by `lookahead` iterations, hence by
+    // the staleness cap.
+    const auto observed = static_cast<std::size_t>(theta_updates - batch.theta_at_submit);
+    TASER_CHECK(observed < staleness_hist.size());
+    ++staleness_hist[observed];
+    if (observed > 0) ++stale_builds;
     const auto b = static_cast<std::int64_t>(edge_ids.size());
 
     auto built = std::move(prep.built);
@@ -322,23 +367,25 @@ EpochStats Trainer::train_epoch() {
         // Stale mode: backward() just left ∇θ on the frozen snapshot this
         // batch was built from (its selections' autograd graph roots
         // there). Fold it into the live parameters — gradient computed at
-        // θ_{k-1}, applied at θ_k — before clipping and stepping.
+        // θ_{k-s}, applied at θ_k — before clipping and stepping. Batches
+        // are consumed in submission order, so fold-backs land in
+        // submission order too: the live-θ update sequence is a pure
+        // function of the seed, independent of worker timing.
         if (used_snapshot) sampler_->absorb_gradients_from(*used_snapshot);
         auto sp = sampler_->parameters();
         nn::clip_grad_norm(sp, config_.grad_clip);
         opt_sampler_->step();
         opt_sampler_->zero_grad();
         ++theta_updates;
+        sampler_->bump_generation();
       }
       phases.add(phase::kASSim,
                  device_.model().nn_time(loss_snap.flops(), loss_snap.launches()).seconds);
     }
+    // The batch's backward is done; nothing can touch its frozen θ again,
+    // so its pool slot may be recycled (and, in debug builds, poisoned).
+    if (used_snapshot) snapshot_pool_->release(used_snapshot);
     opt_model_->zero_grad();
-
-    // Non-overlapped modes: only now is it safe to assemble batch k+1
-    // (selector and sampler state reflect this batch's update; with
-    // staleness=0 the snapshot taken here equals the live θ).
-    if (!overlap && it + 1 < iters) submit_iter(it + 1);
   }
 
   features_->end_epoch();
@@ -359,6 +406,7 @@ EpochStats Trainer::train_epoch() {
   stats.iterations = iters;
   stats.prefetched_batches = prefetched;
   stats.stale_builds = stale_builds;
+  stats.staleness_hist = std::move(staleness_hist);
   stats.mean_loss = iters > 0 ? loss_sum / static_cast<double>(iters) : 0;
   return stats;
 }

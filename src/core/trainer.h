@@ -1,9 +1,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/batch_builder.h"
 #include "core/minibatch_selector.h"
+#include "core/snapshot_pool.h"
 #include "core/sample_loss.h"
 #include "graph/tcsr.h"
 #include "models/edge_predictor.h"
@@ -25,12 +27,13 @@ enum class FinderKind { kOrig, kTgl, kGpu };
 ///    of the step (non-adaptive runs); degrade to the synchronous path as
 ///    soon as `ada_batch` / `ada_neighbor` feed training results back
 ///    into construction.
-///  - kStaleTheta: overlap adaptive runs too, by building batch k+1 from
-///    a snapshot of the sampler parameters θ and the selector scores
-///    taken at submit time — exactly `staleness` (≤1) steps old. The
-///    policy the build samples from lags the live policy by one update,
-///    the standard bounded-staleness pipelining of decoupled
-///    sampler/trainer designs (TGN, NLB).
+///  - kStaleTheta: overlap adaptive runs too, by building batch k+j
+///    (j ≤ `staleness`) from a snapshot of the sampler parameters θ and
+///    the selector scores taken at submit time — up to `staleness` steps
+///    old. The policy a build samples from lags the live policy by a
+///    bounded number of updates, the stale-synchronous pipelining of
+///    decoupled sampler/trainer and parameter-server designs (TGN, NLB,
+///    SSP).
 enum class PrefetchMode { kOff, kSyncOnly, kStaleTheta };
 
 const char* to_string(BackboneKind kind);
@@ -49,20 +52,41 @@ struct TrainerConfig {
   bool ada_batch = false;     ///< temporal adaptive mini-batch selection (§III-A)
   bool ada_neighbor = false;  ///< temporal adaptive neighbor sampling (§III-B)
 
-  /// Overlap batch construction with model compute: batch k+1 is built on
-  /// a background thread while batch k trains (double-buffered prefetch).
-  /// kSyncOnly keeps non-adaptive overlap bit-identical to the serial
-  /// path and degrades to synchronous building when ada_batch /
-  /// ada_neighbor is on; kStaleTheta overlaps adaptive runs against a
-  /// one-step-stale parameter snapshot (see PrefetchMode).
+  /// Overlap batch construction with model compute: later batches are
+  /// built on a background thread while batch k trains (a depth-K
+  /// prefetch ring). kSyncOnly keeps non-adaptive overlap bit-identical
+  /// to the serial path and degrades to synchronous building when
+  /// ada_batch / ada_neighbor is on; kStaleTheta overlaps adaptive runs
+  /// against bounded-staleness parameter snapshots (see PrefetchMode).
   PrefetchMode prefetch_mode = PrefetchMode::kSyncOnly;
-  /// kStaleTheta only: maximum parameter age (in training steps) a build
-  /// may observe. 1 = overlapped stale-θ pipelining. 0 = the conformance
-  /// anchor: the snapshot machinery runs (worker build, frozen-θ
-  /// hand-off, deferred gradient fold-back) but submission waits for the
-  /// step, so the run must be bit-identical to the synchronous path —
-  /// asserted by test_pipeline.
-  int staleness = 1;
+  /// Prefetch ring depth K: how many batches construction may run ahead
+  /// of consumption (in-flight ≤ K+1; the sampler snapshot pool holds
+  /// staleness+1 frozen-θ instances — K+1 at the default staleness=K).
+  /// 1 ≡ the classic double buffer. Deeper
+  /// rings absorb bursty build times instead of stalling on every slow
+  /// build, at the cost of builds observing parameters up to `staleness`
+  /// updates old (kStaleTheta; non-adaptive builds depend on no trained
+  /// state, so depth is accuracy-free there).
+  int prefetch_depth = 1;
+  /// kStaleTheta only: maximum parameter age (in θ updates) a build may
+  /// observe, in [0, prefetch_depth]. -1 (default) = auto: resolves to
+  /// prefetch_depth under kStaleTheta and 0 otherwise. 0 is the
+  /// conformance anchor: the snapshot machinery runs (worker build,
+  /// frozen-θ hand-off, deferred gradient fold-back) but submission
+  /// waits for the step, so the run must be bit-identical to the
+  /// synchronous path — asserted by test_pipeline. Explicitly setting
+  /// staleness > 0 with kOff/kSyncOnly is a validate() error (those
+  /// modes would silently ignore it).
+  int staleness = -1;
+
+  /// Rejects contradictory prefetch configurations (throws
+  /// std::runtime_error): prefetch_depth < 1, staleness > prefetch_depth,
+  /// or staleness > 0 outside kStaleTheta. Trainer calls this on
+  /// construction.
+  void validate() const;
+  /// The staleness bound actually in force after resolving the -1 auto
+  /// default (see `staleness`).
+  int resolved_staleness() const;
 
   std::int64_t batch_size = 600;
   std::int64_t n_neighbors = 10;   ///< n
@@ -122,8 +146,15 @@ struct EpochStats {
   std::int64_t prefetched_batches = 0;
   /// Staleness accounting (kStaleTheta): batches built from a sampler-θ
   /// snapshot at least one update older than the live parameters at
-  /// consumption time. 0 in sync modes and with staleness=0.
+  /// consumption time. 0 in sync modes and with staleness=0. Always
+  /// equals the sum of staleness_hist[1:].
   std::int64_t stale_builds = 0;
+  /// Per-depth staleness histogram: staleness_hist[s] counts batches
+  /// whose build observed a θ exactly s updates stale at consumption
+  /// time. Sized resolved_staleness()+1 in stale mode (batch j observes
+  /// min(j, staleness) when every step updates θ), size 1 otherwise;
+  /// sums to `iterations` either way.
+  std::vector<std::int64_t> staleness_hist;
 
   double nf() const { return nf_wall + nf_sim; }
   double as() const { return as_sim; }
@@ -177,11 +208,12 @@ class Trainer {
   std::unique_ptr<models::TgnnModel> model_;
   std::unique_ptr<models::EdgePredictor> predictor_;
   std::unique_ptr<AdaptiveSampler> sampler_;
-  /// Double-buffered frozen-θ copies for stale-θ prefetch: snapshot k can
-  /// still be referenced by batch k's in-flight autograd graph while
-  /// snapshot k+1 is being written, so two alternate. Only allocated in
-  /// kStaleTheta mode with ada_neighbor.
-  std::unique_ptr<AdaptiveSampler> stale_snapshots_[2];
+  /// Frozen-θ snapshot pool for stale-θ prefetch: staleness+1 instances
+  /// cycled in submission order — a batch's snapshot stays pinned from
+  /// submit until its sample-loss gradient has been folded back, and at
+  /// most staleness+1 batches are in that window at once. Only allocated
+  /// in kStaleTheta mode with ada_neighbor.
+  std::unique_ptr<SamplerSnapshotPool> snapshot_pool_;
   std::unique_ptr<MiniBatchSelector> selector_;
   std::unique_ptr<BatchBuilder> builder_;
   std::unique_ptr<nn::Adam> opt_model_;

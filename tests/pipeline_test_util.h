@@ -1,0 +1,119 @@
+#pragma once
+
+// Shared scaffolding for the pipeline test suites (test_pipeline,
+// test_pipeline_stress): independent builder stacks, synthetic dataset
+// shapes, root-batch slicing, bit-exact Built comparison, and the OpenMP
+// team-size guard. Kept in one header so the bit-identity comparison
+// cannot drift between suites when BatchBuilder::Built grows a field.
+
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <cstring>
+#include <memory>
+
+#include "cache/feature_source.h"
+#include "core/batch_builder.h"
+#include "graph/synthetic.h"
+#include "sampling/gpu_finder.h"
+
+namespace taser::testutil {
+
+using tensor::Tensor;
+
+/// One independent builder stack (dataset shared) so two runs under
+/// comparison cannot leak state into each other.
+struct Stack {
+  std::unique_ptr<graph::TCSR> graph;
+  gpusim::Device device;
+  std::unique_ptr<sampling::GpuNeighborFinder> finder;
+  std::unique_ptr<cache::PlainFeatureSource> features;
+  std::unique_ptr<core::AdaptiveSampler> sampler;
+  std::unique_ptr<core::BatchBuilder> builder;
+
+  Stack(const graph::Dataset& data, bool adaptive) {
+    graph = std::make_unique<graph::TCSR>(data);
+    finder = std::make_unique<sampling::GpuNeighborFinder>(*graph, device);
+    features = std::make_unique<cache::PlainFeatureSource>(data, device);
+    core::BuilderConfig bc;
+    bc.n = 4;
+    if (adaptive) {
+      bc.m = 9;
+      util::Rng init_rng(21);
+      core::EncoderConfig ec;
+      ec.node_feat_dim = data.node_feat_dim;
+      ec.edge_feat_dim = data.edge_feat_dim;
+      ec.dim = 8;
+      ec.m = 9;
+      sampler = std::make_unique<core::AdaptiveSampler>(ec, core::DecoderKind::kLinear,
+                                                        8, init_rng);
+      sampler->set_training(true);
+    }
+    builder = std::make_unique<core::BatchBuilder>(data, *finder, *features, device,
+                                                   sampler.get(), bc);
+  }
+};
+
+/// The 50-src/25-dst 1500-edge synthetic CTDG the trainer-level pipeline
+/// suites run on (small enough for multi-epoch bit-compare runs).
+inline graph::Dataset small_trainer_data(std::uint64_t seed) {
+  graph::SyntheticConfig cfg;
+  cfg.num_src = 50;
+  cfg.num_dst = 25;
+  cfg.num_edges = 1500;
+  cfg.edge_feat_dim = 6;
+  cfg.node_feat_dim = 4;
+  cfg.seed = seed;
+  return generate_synthetic(cfg);
+}
+
+inline graph::TargetBatch batch_roots(const graph::Dataset& data, std::int64_t from,
+                                      std::int64_t count) {
+  graph::TargetBatch b;
+  for (std::int64_t i = from; i < from + count; ++i)
+    b.push(data.src[static_cast<std::size_t>(i)], data.ts[static_cast<std::size_t>(i)]);
+  return b;
+}
+
+inline void expect_tensor_eq(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.defined(), b.defined());
+  if (!a.defined()) return;
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           static_cast<std::size_t>(a.numel()) * sizeof(float)));
+}
+
+inline void expect_built_eq(const core::BatchBuilder::Built& a,
+                            const core::BatchBuilder::Built& b) {
+  ASSERT_EQ(a.inputs.hops.size(), b.inputs.hops.size());
+  expect_tensor_eq(a.inputs.root_feats, b.inputs.root_feats);
+  for (std::size_t h = 0; h < a.inputs.hops.size(); ++h) {
+    expect_tensor_eq(a.inputs.hops[h].nbr_node_feats, b.inputs.hops[h].nbr_node_feats);
+    expect_tensor_eq(a.inputs.hops[h].edge_feats, b.inputs.hops[h].edge_feats);
+    expect_tensor_eq(a.inputs.hops[h].delta_t, b.inputs.hops[h].delta_t);
+    expect_tensor_eq(a.inputs.hops[h].mask, b.inputs.hops[h].mask);
+  }
+  ASSERT_EQ(a.selections.size(), b.selections.size());
+  for (std::size_t h = 0; h < a.selections.size(); ++h) {
+    const auto& sa = a.selections[h];
+    const auto& sb = b.selections[h];
+    EXPECT_EQ(sa.selected.nbr, sb.selected.nbr);
+    EXPECT_EQ(sa.selected.ts, sb.selected.ts);
+    EXPECT_EQ(sa.selected.eid, sb.selected.eid);
+    EXPECT_EQ(sa.selected.count, sb.selected.count);
+    EXPECT_EQ(sa.selected_slot, sb.selected_slot);
+    EXPECT_EQ(sa.selected_mask, sb.selected_mask);
+    expect_tensor_eq(sa.probs, sb.probs);
+    expect_tensor_eq(sa.log_probs_selected, sb.log_probs_selected);
+  }
+}
+
+/// Restores the caller's OpenMP team size on scope exit so thread-count
+/// experiments cannot leak into later tests.
+struct OmpThreadGuard {
+  int saved = omp_get_max_threads();
+  ~OmpThreadGuard() { omp_set_num_threads(saved); }
+};
+
+}  // namespace taser::testutil

@@ -1,56 +1,36 @@
-// Batch-construction pipeline: double-buffered prefetch vs serial
+// Batch-construction pipeline: depth-K ring prefetch vs serial
 // bit-identity, deterministic RNG hand-off, the workspace arena's
-// zero-allocation steady state, thread-count invariance, and the stale-θ
+// zero-allocation steady state, thread-count invariance, the stale-θ
 // prefetch regression suite (staleness=0 ≡ sync conformance anchor,
-// repeat-level reproducibility, step-0 equivalence).
+// repeat-level reproducibility, step-0 equivalence), the DepthK
+// conformance suite (depth-1 ≡ legacy double buffer, depth-invariance,
+// deterministic staleness histograms), and the snapshot-pool lifetime
+// contract (pinned-slot recycling is a hard error; released slots are
+// poisoned).
 #include <gtest/gtest.h>
 
 #include <omp.h>
 
+#include <cmath>
 #include <cstring>
 
 #include "cache/feature_source.h"
 #include "core/batch_pipeline.h"
+#include "core/snapshot_pool.h"
 #include "core/trainer.h"
 #include "graph/synthetic.h"
+#include "pipeline_test_util.h"
 #include "sampling/gpu_finder.h"
 
 using namespace taser;
 using namespace taser::core;
+using testutil::OmpThreadGuard;
+using testutil::Stack;
+using testutil::batch_roots;
+using testutil::expect_built_eq;
+using testutil::expect_tensor_eq;
 
 namespace {
-
-/// One independent builder stack (dataset shared) so serial and pipelined
-/// runs cannot leak state into each other.
-struct Stack {
-  std::unique_ptr<graph::TCSR> graph;
-  gpusim::Device device;
-  std::unique_ptr<sampling::GpuNeighborFinder> finder;
-  std::unique_ptr<cache::PlainFeatureSource> features;
-  std::unique_ptr<AdaptiveSampler> sampler;
-  std::unique_ptr<BatchBuilder> builder;
-
-  Stack(const graph::Dataset& data, bool adaptive) {
-    graph = std::make_unique<graph::TCSR>(data);
-    finder = std::make_unique<sampling::GpuNeighborFinder>(*graph, device);
-    features = std::make_unique<cache::PlainFeatureSource>(data, device);
-    BuilderConfig bc;
-    bc.n = 4;
-    if (adaptive) {
-      bc.m = 9;
-      util::Rng init_rng(21);
-      EncoderConfig ec;
-      ec.node_feat_dim = data.node_feat_dim;
-      ec.edge_feat_dim = data.edge_feat_dim;
-      ec.dim = 8;
-      ec.m = 9;
-      sampler = std::make_unique<AdaptiveSampler>(ec, DecoderKind::kLinear, 8, init_rng);
-      sampler->set_training(true);
-    }
-    builder = std::make_unique<BatchBuilder>(data, *finder, *features, device,
-                                             sampler.get(), bc);
-  }
-};
 
 graph::Dataset small_data() {
   graph::SyntheticConfig cfg;
@@ -61,46 +41,6 @@ graph::Dataset small_data() {
   cfg.node_feat_dim = 4;
   cfg.seed = 17;
   return generate_synthetic(cfg);
-}
-
-graph::TargetBatch batch_roots(const graph::Dataset& data, std::int64_t from,
-                               std::int64_t count) {
-  graph::TargetBatch b;
-  for (std::int64_t i = from; i < from + count; ++i)
-    b.push(data.src[static_cast<std::size_t>(i)], data.ts[static_cast<std::size_t>(i)]);
-  return b;
-}
-
-void expect_tensor_eq(const Tensor& a, const Tensor& b) {
-  ASSERT_EQ(a.defined(), b.defined());
-  if (!a.defined()) return;
-  ASSERT_EQ(a.shape(), b.shape());
-  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
-                           static_cast<std::size_t>(a.numel()) * sizeof(float)));
-}
-
-void expect_built_eq(const BatchBuilder::Built& a, const BatchBuilder::Built& b) {
-  ASSERT_EQ(a.inputs.hops.size(), b.inputs.hops.size());
-  expect_tensor_eq(a.inputs.root_feats, b.inputs.root_feats);
-  for (std::size_t h = 0; h < a.inputs.hops.size(); ++h) {
-    expect_tensor_eq(a.inputs.hops[h].nbr_node_feats, b.inputs.hops[h].nbr_node_feats);
-    expect_tensor_eq(a.inputs.hops[h].edge_feats, b.inputs.hops[h].edge_feats);
-    expect_tensor_eq(a.inputs.hops[h].delta_t, b.inputs.hops[h].delta_t);
-    expect_tensor_eq(a.inputs.hops[h].mask, b.inputs.hops[h].mask);
-  }
-  ASSERT_EQ(a.selections.size(), b.selections.size());
-  for (std::size_t h = 0; h < a.selections.size(); ++h) {
-    const auto& sa = a.selections[h];
-    const auto& sb = b.selections[h];
-    EXPECT_EQ(sa.selected.nbr, sb.selected.nbr);
-    EXPECT_EQ(sa.selected.ts, sb.selected.ts);
-    EXPECT_EQ(sa.selected.eid, sb.selected.eid);
-    EXPECT_EQ(sa.selected.count, sb.selected.count);
-    EXPECT_EQ(sa.selected_slot, sb.selected_slot);
-    EXPECT_EQ(sa.selected_mask, sb.selected_mask);
-    expect_tensor_eq(sa.probs, sb.probs);
-    expect_tensor_eq(sa.log_probs_selected, sb.log_probs_selected);
-  }
 }
 
 void run_pipeline_vs_serial(bool adaptive) {
@@ -252,13 +192,6 @@ TEST(Pipeline, AdaptiveTrainerDegradesToSyncAndStaysDeterministic) {
 
 // ---- thread-count invariance ----------------------------------------------
 
-/// Restores the caller's OpenMP team size on scope exit so thread-count
-/// experiments cannot leak into later tests.
-struct OmpThreadGuard {
-  int saved = omp_get_max_threads();
-  ~OmpThreadGuard() { omp_set_num_threads(saved); }
-};
-
 TEST(Pipeline, ThreadCountInvariantBitIdentical) {
   // ROADMAP claim made executable: every parallel per-target loop writes
   // disjoint ranges, so builds are bit-identical regardless of team size.
@@ -295,7 +228,8 @@ TEST(Pipeline, ThreadCountInvariantBitIdentical) {
                       wide[static_cast<std::size_t>(k)]);
 
     util::Rng master_b(31);
-    BatchPipeline pipeline(*piped.builder, 2, /*async=*/true);
+    BatchPipeline pipeline(*piped.builder, 2, /*async=*/true,
+                           /*depth=*/kBatches - 1);
     for (int k = 0; k < kBatches; ++k)
       pipeline.submit(batch_roots(data, 1500 + 50 * k, 40), master_b.split());
     for (int k = 0; k < kBatches; ++k)
@@ -325,14 +259,7 @@ TrainerConfig stale_suite_config() {
 }
 
 graph::Dataset stale_suite_data(std::uint64_t seed) {
-  graph::SyntheticConfig cfg;
-  cfg.num_src = 50;
-  cfg.num_dst = 25;
-  cfg.num_edges = 1500;
-  cfg.edge_feat_dim = 6;
-  cfg.node_feat_dim = 4;
-  cfg.seed = seed;
-  return generate_synthetic(cfg);
+  return testutil::small_trainer_data(seed);
 }
 
 TEST(StaleTheta, SnapshotBuildBitIdenticalToLiveSampler) {
@@ -366,7 +293,7 @@ TEST(StaleTheta, SnapshotBuildBitIdenticalToLiveSampler) {
   }
 
   util::Rng master_b(77);
-  BatchPipeline pipeline(*piped.builder, 2, /*async=*/true);
+  BatchPipeline pipeline(*piped.builder, 2, /*async=*/true, /*depth=*/kBatches - 1);
   for (int k = 0; k < kBatches; ++k)
     pipeline.submit(batch_roots(data, 1900 + 30 * k, 12), master_b.split(), &snapshot);
   for (int k = 0; k < kBatches; ++k)
@@ -422,6 +349,177 @@ TEST(StaleTheta, ReproducibleAcrossRepeats) {
   EXPECT_EQ(a.selector()->num_updates(), b.selector()->num_updates());
   EXPECT_EQ(a.selector()->num_updates(),
             2 * tc.max_iters_per_epoch * tc.batch_size);
+}
+
+// ---- depth-K ring conformance suite ----------------------------------------
+
+TEST(DepthK, ZeroStalenessBitIdenticalToSyncThroughDeepRing) {
+  // The staleness=0 anchor must hold through the *full* depth-K ring
+  // machinery: a deep ring (K=4) with staleness pinned to 0 runs the
+  // worker, the snapshot pool, and the deferred fold-back, yet submission
+  // waits for each step — bit-identical to the synchronous path.
+  graph::Dataset data = stale_suite_data(41);
+  TrainerConfig tc_sync = stale_suite_config();
+  tc_sync.prefetch_mode = PrefetchMode::kOff;
+  TrainerConfig tc_ring = stale_suite_config();
+  tc_ring.prefetch_mode = PrefetchMode::kStaleTheta;
+  tc_ring.prefetch_depth = 4;
+  tc_ring.staleness = 0;
+
+  Trainer sync(data, tc_sync);
+  Trainer ring(data, tc_ring);
+  for (int e = 0; e < 2; ++e) {
+    const auto ss = sync.train_epoch();
+    const auto sr = ring.train_epoch();
+    EXPECT_EQ(ss.mean_loss, sr.mean_loss) << "epoch " << e;
+    EXPECT_EQ(sr.stale_builds, 0);
+    ASSERT_EQ(sr.staleness_hist.size(), 1u);
+    EXPECT_EQ(sr.staleness_hist[0], sr.iterations);
+  }
+  EXPECT_EQ(sync.evaluate_val_mrr(), ring.evaluate_val_mrr());
+}
+
+TEST(DepthK, DepthOneMatchesLegacyDoubleBufferAtAnyRingDepth) {
+  // staleness=1 defines the semantics (the pre-PR kStaleTheta contract);
+  // prefetch_depth only sizes the ring. A depth-4 ring capped at
+  // staleness=1 must therefore be bit-identical to the depth-1 double
+  // buffer — ring capacity alone may never change numerics.
+  graph::Dataset data = stale_suite_data(31);
+  TrainerConfig tc1 = stale_suite_config();
+  tc1.prefetch_mode = PrefetchMode::kStaleTheta;
+  tc1.prefetch_depth = 1;
+  tc1.staleness = 1;
+  TrainerConfig tc4 = tc1;
+  tc4.prefetch_depth = 4;
+
+  Trainer legacy(data, tc1);
+  Trainer deep(data, tc4);
+  for (int e = 0; e < 2; ++e) {
+    const auto s1 = legacy.train_epoch();
+    const auto s4 = deep.train_epoch();
+    EXPECT_EQ(s1.mean_loss, s4.mean_loss) << "epoch " << e;
+    EXPECT_EQ(s1.stale_builds, s4.stale_builds);
+    EXPECT_EQ(s1.staleness_hist, s4.staleness_hist);
+  }
+  EXPECT_EQ(legacy.evaluate_val_mrr(), deep.evaluate_val_mrr());
+}
+
+TEST(DepthK, ReproducibleWithDeterministicHistogramAtDepth2And4) {
+  // Deeper rings stay bit-reproducible across identically-seeded repeats,
+  // and the staleness schedule itself is deterministic: batch j observes
+  // exactly min(j, K) stale updates (one θ update lands per iteration on
+  // this config), so the histogram is [1, 1, ..., iters - K].
+  graph::Dataset data = stale_suite_data(43);
+  for (int K : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "depth K=" << K);
+    TrainerConfig tc = stale_suite_config();
+    tc.prefetch_mode = PrefetchMode::kStaleTheta;
+    tc.prefetch_depth = K;
+    tc.staleness = -1;  // auto: resolves to K
+    tc.max_iters_per_epoch = 6;
+    ASSERT_EQ(tc.resolved_staleness(), K);
+
+    Trainer a(data, tc);
+    Trainer b(data, tc);
+    const auto sa = a.train_epoch();
+    const auto sb = b.train_epoch();
+    EXPECT_EQ(sa.mean_loss, sb.mean_loss);
+    EXPECT_EQ(sa.staleness_hist, sb.staleness_hist);
+    EXPECT_EQ(a.evaluate_val_mrr(), b.evaluate_val_mrr());
+
+    ASSERT_EQ(sa.staleness_hist.size(), static_cast<std::size_t>(K) + 1);
+    std::int64_t total = 0;
+    for (auto c : sa.staleness_hist) total += c;
+    EXPECT_EQ(total, sa.iterations);
+    for (int s = 0; s < K; ++s)
+      EXPECT_EQ(sa.staleness_hist[static_cast<std::size_t>(s)], 1)
+          << "warm-up batch " << s;
+    EXPECT_EQ(sa.staleness_hist[static_cast<std::size_t>(K)], sa.iterations - K);
+    std::int64_t tail = 0;
+    for (std::size_t s = 1; s < sa.staleness_hist.size(); ++s)
+      tail += sa.staleness_hist[s];
+    EXPECT_EQ(sa.stale_builds, tail) << "stale_builds must equal sum of hist[1:]";
+    EXPECT_GT(sa.prefetched_batches, 0);
+  }
+}
+
+// ---- snapshot-pool lifetime contract ---------------------------------------
+
+TEST(SnapshotPool, PinnedRecycleIsHardErrorAndReleasePoisons) {
+  graph::Dataset data = small_data();
+  EncoderConfig ec;
+  ec.node_feat_dim = data.node_feat_dim;
+  ec.edge_feat_dim = data.edge_feat_dim;
+  ec.dim = 8;
+  ec.m = 9;
+  util::Rng live_rng(99);
+  AdaptiveSampler live(ec, DecoderKind::kLinear, 8, live_rng);
+  live.bump_generation();
+  live.bump_generation();
+
+  SamplerSnapshotPool pool(2, [&] {
+    util::Rng snap_rng(7);
+    return std::make_unique<AdaptiveSampler>(ec, DecoderKind::kLinear, 8, snap_rng);
+  });
+  pool.set_poison_on_release(true);  // exercise the debug aid in any build type
+
+  AdaptiveSampler* s0 = pool.acquire(live);
+  EXPECT_EQ(pool.pinned(), 1u);
+  // Generation tags travel with the copy: the snapshot records which θ
+  // version it froze.
+  EXPECT_EQ(s0->generation(), live.generation());
+  const std::vector<float> live_p0 = live.parameters()[0].to_vector();
+  EXPECT_EQ(s0->parameters()[0].to_vector(), live_p0);
+
+  AdaptiveSampler* s1 = pool.acquire(live);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(pool.pinned(), 2u);
+
+  // All slots pinned: recycling the oldest while its batch is still in
+  // flight must fail loudly, not silently tear the parameters.
+  EXPECT_THROW(pool.acquire(live), std::runtime_error);
+
+  // Release → the slot's values are dead and poisoned (NaN) so a stale
+  // pointer read cannot silently see old θ...
+  pool.release(s0);
+  EXPECT_EQ(pool.pinned(), 1u);
+  for (float v : s0->parameters()[0].to_vector()) EXPECT_TRUE(std::isnan(v));
+
+  // ...and the next acquire reuses exactly that slot (round-robin
+  // submission order), overwriting the poison with fresh live values.
+  live.bump_generation();
+  AdaptiveSampler* s2 = pool.acquire(live);
+  EXPECT_EQ(s2, s0);
+  EXPECT_EQ(s2->generation(), live.generation());
+  EXPECT_EQ(s2->parameters()[0].to_vector(), live_p0);
+
+  // Double-release and foreign pointers are contract violations too.
+  pool.release(s1);
+  EXPECT_THROW(pool.release(s1), std::runtime_error);
+  AdaptiveSampler outsider(ec, DecoderKind::kLinear, 8, live_rng);
+  EXPECT_THROW(pool.release(&outsider), std::runtime_error);
+  EXPECT_EQ(pool.acquires(), 3u);
+}
+
+TEST(SnapshotPool, RingOverCapacitySubmitIsHardError) {
+  // The pipeline side of the same lifetime argument: the ring refuses to
+  // accept more in-flight batches than it has slots.
+  graph::Dataset data = small_data();
+  Stack st(data, /*adaptive=*/false);
+  util::Rng master(13);
+  BatchPipeline pipeline(*st.builder, 1, /*async=*/false, /*depth=*/1);
+  EXPECT_EQ(pipeline.capacity(), 2u);
+  EXPECT_EQ(pipeline.depth(), 1u);
+  pipeline.submit(batch_roots(data, 2000, 6), master.split());
+  pipeline.submit(batch_roots(data, 2010, 6), master.split());
+  EXPECT_THROW(pipeline.submit(batch_roots(data, 2020, 6), master.split()),
+               std::runtime_error);
+  (void)pipeline.next();
+  // Consuming frees a slot; submission may proceed again.
+  pipeline.submit(batch_roots(data, 2020, 6), master.split());
+  (void)pipeline.next();
+  (void)pipeline.next();
+  EXPECT_EQ(pipeline.pending(), 0u);
 }
 
 TEST(StaleTheta, FirstBatchMatchesSync) {

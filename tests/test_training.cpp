@@ -205,6 +205,50 @@ TEST(Training, OrigFinderSupportsFullTaser) {
   EXPECT_NO_THROW(trainer.train_epoch());  // sequential finder, any order
 }
 
+TEST(Training, ConfigValidateRejectsContradictoryPrefetchCombos) {
+  TrainerConfig cfg;  // defaults must stay valid
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.resolved_staleness(), 0);  // kSyncOnly auto-resolves to 0
+
+  // Auto staleness follows the ring depth under stale-θ prefetch.
+  cfg.prefetch_mode = PrefetchMode::kStaleTheta;
+  cfg.prefetch_depth = 3;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.resolved_staleness(), 3);
+
+  // A build cannot be staler than the ring is deep.
+  cfg.staleness = 4;
+  EXPECT_THROW(cfg.validate(), std::runtime_error);
+  cfg.staleness = 3;
+  EXPECT_NO_THROW(cfg.validate());
+
+  // kSyncOnly / kOff would silently ignore an explicit staleness request
+  // — that contradiction must be rejected, not papered over.
+  cfg.prefetch_mode = PrefetchMode::kSyncOnly;
+  cfg.staleness = 1;
+  EXPECT_THROW(cfg.validate(), std::runtime_error);
+  cfg.prefetch_mode = PrefetchMode::kOff;
+  EXPECT_THROW(cfg.validate(), std::runtime_error);
+  cfg.staleness = 0;
+  EXPECT_NO_THROW(cfg.validate());  // explicit 0 is the sync semantics anyway
+  cfg.staleness = -1;
+  EXPECT_NO_THROW(cfg.validate());
+
+  // Degenerate ring and staleness values.
+  cfg.prefetch_depth = 0;
+  EXPECT_THROW(cfg.validate(), std::runtime_error);
+  cfg.prefetch_depth = 1;
+  cfg.staleness = -2;
+  EXPECT_THROW(cfg.validate(), std::runtime_error);
+
+  // The Trainer enforces validate() at construction.
+  auto data = small_data();
+  auto bad = small_config(BackboneKind::kGraphMixer);
+  bad.prefetch_mode = PrefetchMode::kSyncOnly;
+  bad.staleness = 1;
+  EXPECT_THROW(Trainer trainer(data, bad), std::runtime_error);
+}
+
 TEST(Training, DeterministicGivenSeed) {
   auto data = small_data();
   auto cfg = small_config(BackboneKind::kGraphMixer);
