@@ -152,11 +152,8 @@ Trainer::Trainer(const graph::Dataset& data, TrainerConfig config)
   bc.policy = config_.policy;
   // Normalise ∆t so a typical per-node inter-event gap is ~1: the
   // time-encoding frequency banks are centred around unit timescales.
-  const double span = data_.ts.empty() ? 1.0 : data_.ts.back() - data_.ts.front();
-  const double events_per_node =
-      std::max(1.0, 2.0 * static_cast<double>(data_.num_edges()) /
-                        static_cast<double>(std::max<std::int64_t>(data_.num_nodes, 1)));
-  bc.time_scale = std::max(1e-9, span / events_per_node);
+  // Shared with the serving session, which must match it bit-for-bit.
+  bc.time_scale = data_.mean_inter_event_gap();
   builder_ = std::make_unique<BatchBuilder>(data_, *finder_, *features_, device_,
                                             sampler_.get(), bc);
 

@@ -187,6 +187,9 @@ class Trainer {
   gpusim::Device& device() { return device_; }
   cache::FeatureSource& features() { return *features_; }
   models::TgnnModel& model() { return *model_; }
+  /// Link-prediction head trained alongside the backbone; serving
+  /// checkpoints bundle it with the model (serve::save_servable).
+  models::EdgePredictor& predictor() { return *predictor_; }
   MiniBatchSelector* selector() { return selector_.get(); }
   AdaptiveSampler* sampler() { return sampler_.get(); }
   sampling::NeighborFinder& finder() { return *finder_; }

@@ -27,6 +27,14 @@ void Dataset::truncate_to_latest(std::int64_t max_edges) {
   val_end = std::max<std::int64_t>(0, val_end - drop);
 }
 
+double Dataset::mean_inter_event_gap() const {
+  const double span = ts.empty() ? 1.0 : ts.back() - ts.front();
+  const double events_per_node =
+      std::max(1.0, 2.0 * static_cast<double>(num_edges()) /
+                        static_cast<double>(std::max<std::int64_t>(num_nodes, 1)));
+  return std::max(1e-9, span / events_per_node);
+}
+
 void Dataset::validate() const {
   const std::int64_t e = num_edges();
   TASER_CHECK(static_cast<std::int64_t>(dst.size()) == e);

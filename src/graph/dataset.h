@@ -58,6 +58,12 @@ struct Dataset {
   /// re-based so EdgeIds stay dense.
   void truncate_to_latest(std::int64_t max_edges);
 
+  /// Mean per-node inter-event time gap (timestamp span / events per
+  /// node, both directions counted). The canonical `time_scale` for
+  /// BuilderConfig: training and serving must derive it the same way or
+  /// their ∆t encodings diverge. Never smaller than 1e-9.
+  double mean_inter_event_gap() const;
+
   /// Validates invariants (sorted timestamps, ids in range, feature array
   /// sizes). Throws on violation.
   void validate() const;

@@ -1,0 +1,92 @@
+#include "graph/dynamic_tcsr.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace taser::graph {
+
+/// Marks the graph writer-busy for the scope of one mutation. A second
+/// concurrent writer (or re-entrant mutation) trips the exchange check —
+/// the single-writer half of the contract, asserted, not assumed.
+class DynamicTCSR::WriteScope {
+ public:
+  explicit WriteScope(DynamicTCSR& g) : g_(g) {
+    TASER_CHECK_MSG(!g_.writing_.exchange(true, std::memory_order_acq_rel),
+                    "concurrent DynamicTCSR mutation — the streaming graph is "
+                    "single-writer by contract");
+  }
+  ~WriteScope() {
+    // Release ordering: the version bump below publishes the mutation.
+    g_.version_.fetch_add(1, std::memory_order_release);
+    g_.writing_.store(false, std::memory_order_release);
+  }
+  WriteScope(const WriteScope&) = delete;
+  WriteScope& operator=(const WriteScope&) = delete;
+
+ private:
+  DynamicTCSR& g_;
+};
+
+DynamicTCSR::DynamicTCSR(Dataset base)
+    : data_(std::move(base)),
+      base_(data_),
+      delta_(static_cast<std::size_t>(data_.num_nodes)),
+      last_time_(data_.ts.empty() ? -std::numeric_limits<Time>::infinity()
+                                  : data_.ts.back()) {}
+
+EdgeId DynamicTCSR::ingest(NodeId u, NodeId v, Time t, const float* edge_feat) {
+  WriteScope write(*this);
+  TASER_CHECK_MSG(u >= 0 && u < data_.num_nodes && v >= 0 && v < data_.num_nodes,
+                  "ingest(" << u << ", " << v << "): node id out of range [0, "
+                            << data_.num_nodes << ")");
+  TASER_CHECK_MSG(t >= last_time_,
+                  "ingest at t=" << t << " regresses behind the latest event t="
+                                 << last_time_
+                                 << " — streamed events must arrive in time order "
+                                    "(the merged-view sortedness invariant)");
+
+  const auto eid = static_cast<EdgeId>(data_.num_edges());
+  data_.src.push_back(u);
+  data_.dst.push_back(v);
+  data_.ts.push_back(t);
+  if (data_.edge_feat_dim > 0) {
+    const auto de = static_cast<std::size_t>(data_.edge_feat_dim);
+    if (edge_feat != nullptr) {
+      data_.edge_feats.insert(data_.edge_feats.end(), edge_feat, edge_feat + de);
+    } else {
+      data_.edge_feats.resize(data_.edge_feats.size() + de, 0.f);
+    }
+  }
+
+  delta_[static_cast<std::size_t>(u)].push_back({v, t, eid});
+  delta_[static_cast<std::size_t>(v)].push_back({u, t, eid});
+  ++delta_edge_count_;
+  last_time_ = t;
+  return eid;
+}
+
+void DynamicTCSR::compact() {
+  WriteScope write(*this);
+  if (delta_edge_count_ == 0) return;
+  // The event log is the source of truth; the linear TCSR construction
+  // over it reproduces base-then-delta per node (events are appended in
+  // time order), which is what makes compaction invisible to queries.
+  base_ = TCSR(data_);
+  for (auto& d : delta_) d.clear();  // capacity retained for the next wave
+  delta_edge_count_ = 0;
+}
+
+std::int64_t DynamicTCSR::pivot_count(NodeId v, Time t) const {
+  const std::int64_t in_base = base_.pivot(v, t) - base_.begin(v);
+  const auto& d = delta_[static_cast<std::size_t>(v)];
+  // Delta timestamps all >= the node's base timestamps, so the merged
+  // prefix below t is the base prefix plus the delta prefix.
+  const auto it = std::lower_bound(
+      d.begin(), d.end(), t,
+      [](const DeltaEntry& e, Time when) { return e.ts < when; });
+  return in_base + (it - d.begin());
+}
+
+}  // namespace taser::graph

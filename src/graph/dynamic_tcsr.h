@@ -1,0 +1,128 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "graph/tcsr.h"
+
+namespace taser::graph {
+
+/// Streaming T-CSR for online serving: a base TCSR plus per-node,
+/// timestamp-ordered delta buffers that absorb appended edge events, with
+/// periodic compaction folding the delta back into the base. Queries see
+/// one *merged* per-node neighbor list — the base prefix followed by the
+/// delta suffix — which is exactly the list a static TCSR built from the
+/// concatenated event log would hold (asserted by test_serve's
+/// ingest/compaction equivalence suite), so `pivot_count` / neighbor
+/// iteration / finder samples are identical whether the graph was built
+/// statically or grown one event at a time, before or after any
+/// compaction.
+///
+/// Why the concatenation is already sorted: `ingest` requires globally
+/// non-decreasing timestamps (the natural order interaction events arrive
+/// in; violating it throws), so every delta entry of a node is >= every
+/// base entry of that node, and the delta itself is appended in time
+/// order — ties at a shared timestamp keep ingestion (= EdgeId) order,
+/// matching TCSR's fill pass.
+///
+/// Single-writer / snapshot-read contract (in the style of the PR 4
+/// pipeline invariants — hard TASER_CHECKs, not conventions):
+///   - At most one thread may mutate the graph (`ingest` / `compact`);
+///     overlapping writers throw (atomic writer flag).
+///   - Readers must not overlap a write. Each mutation bumps `version()`;
+///     DynamicNeighborFinder captures the version in begin_batch and
+///     every sample_into asserts it unchanged, so a write landing inside
+///     a batch's sampling window is a hard error, never a torn read. The
+///     ServingEngine satisfies the contract structurally: its single
+///     worker thread is both the only writer and the only reader, and it
+///     applies queued events strictly between micro-batches.
+///
+/// The graph owns its growing event log (`dataset()`): ingest appends
+/// src/dst/ts and the edge-feature row, so EdgeIds stay dense and
+/// feature sources indexed by EdgeId keep working for streamed edges.
+class DynamicTCSR {
+ public:
+  /// Takes the base event log by value (serving owns its own copy — the
+  /// log grows with every ingested event).
+  explicit DynamicTCSR(Dataset base);
+
+  /// Appends one interaction event (both directions, like TCSR) and
+  /// returns its EdgeId. `t` must be >= the latest event time already in
+  /// the graph; `u`, `v` must be existing node ids. `edge_feat`, when the
+  /// dataset carries edge features, points at `edge_feat_dim` floats
+  /// (nullptr = zero row). Writer-exclusive; bumps version().
+  EdgeId ingest(NodeId u, NodeId v, Time t, const float* edge_feat = nullptr);
+
+  /// Folds the delta into the base CSR (O(total edges) rebuild) and
+  /// clears the delta buffers (capacity retained). The merged view is
+  /// invariant under compaction: every query answers identically before
+  /// and after. Writer-exclusive; bumps version().
+  void compact();
+
+  std::int64_t num_nodes() const { return base_.num_nodes(); }
+  /// Events not yet folded into the base (compaction backlog).
+  std::int64_t delta_edges() const { return delta_edge_count_; }
+  /// Latest event timestamp in the graph (base or delta).
+  Time last_time() const { return last_time_; }
+
+  /// Monotone mutation counter: bumped by every ingest() and compact().
+  /// Readers snapshot it to assert no write landed inside their window.
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  /// True while an ingest/compact is in progress (reader-side assert).
+  bool writer_active() const { return writing_.load(std::memory_order_acquire); }
+
+  // ---- merged base+delta view ---------------------------------------------
+  // Per-node neighbor list = base segment [0, base_degree(v)) followed by
+  // delta segment [base_degree(v), degree(v)), both timestamp-ascending,
+  // the concatenation timestamp-ascending by the ingest ordering rule.
+
+  std::int64_t degree(NodeId v) const {
+    return base_.degree(v) + static_cast<std::int64_t>(delta_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// Number of neighbors of v with timestamp strictly earlier than t —
+  /// the size of the temporal neighborhood N(v, t), i.e. the merged
+  /// equivalent of `TCSR::pivot(v, t) - TCSR::begin(v)`.
+  std::int64_t pivot_count(NodeId v, Time t) const;
+
+  NodeId nbr(NodeId v, std::int64_t j) const {
+    const std::int64_t b = base_.degree(v);
+    return j < b ? base_.nbr_at(base_.begin(v) + j)
+                 : delta_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j - b)].nbr;
+  }
+  Time nbr_ts(NodeId v, std::int64_t j) const {
+    const std::int64_t b = base_.degree(v);
+    return j < b ? base_.ts_at(base_.begin(v) + j)
+                 : delta_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j - b)].ts;
+  }
+  EdgeId nbr_eid(NodeId v, std::int64_t j) const {
+    const std::int64_t b = base_.degree(v);
+    return j < b ? base_.eid_at(base_.begin(v) + j)
+                 : delta_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j - b)].eid;
+  }
+
+  /// The growing event log + features. Stable reference: feature sources
+  /// and builders constructed against it keep seeing appended rows.
+  const Dataset& dataset() const { return data_; }
+  const TCSR& base() const { return base_; }
+
+ private:
+  struct DeltaEntry {
+    NodeId nbr;
+    Time ts;
+    EdgeId eid;
+  };
+
+  /// RAII writer-exclusivity guard: entering a second writer throws.
+  class WriteScope;
+
+  Dataset data_;
+  TCSR base_;
+  std::vector<std::vector<DeltaEntry>> delta_;  ///< per-node, ts-ordered
+  std::int64_t delta_edge_count_ = 0;
+  Time last_time_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> writing_{false};
+};
+
+}  // namespace taser::graph

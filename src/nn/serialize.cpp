@@ -10,7 +10,16 @@ namespace taser::nn {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x54535231;  // "TSR1"
+// Versioned container header: magic identifies the file family, the
+// format-version field after it gates layout changes — readers reject
+// versions they do not understand instead of misparsing the payload
+// (serving checkpoints must outlive the binary that wrote them). The
+// pre-versioned layout used magic "TSR1" with no version field; it is
+// recognised and rejected with a re-save hint rather than a generic
+// "not a checkpoint" error.
+constexpr std::uint32_t kMagic = 0x54535232;        // "TSR2"
+constexpr std::uint32_t kLegacyMagic = 0x54535231;  // "TSR1" (unversioned)
+constexpr std::uint32_t kFormatVersion = 2;
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -42,6 +51,8 @@ void save_parameters(const Module& module, const std::string& path) {
   TASER_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
   std::uint32_t magic = kMagic;
   os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  std::uint32_t version = kFormatVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
 
   const auto named = module.named_parameters();
   write_u64(os, named.size());
@@ -61,7 +72,16 @@ void load_parameters(Module& module, const std::string& path) {
   TASER_CHECK_MSG(is.good(), "cannot open " << path);
   std::uint32_t magic = 0;
   is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  TASER_CHECK_MSG(magic != kLegacyMagic,
+                  path << " is a pre-versioned (TSR1) checkpoint; re-save it with "
+                          "this build to gain the format-version header");
   TASER_CHECK_MSG(magic == kMagic, path << " is not a TASER checkpoint");
+  std::uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  TASER_CHECK_MSG(version == kFormatVersion,
+                  path << " uses checkpoint format version " << version
+                       << "; this build reads version " << kFormatVersion
+                       << " only — upgrade the serving binary, not the checkpoint");
 
   auto named = module.named_parameters();
   std::map<std::string, Tensor> by_name(named.begin(), named.end());

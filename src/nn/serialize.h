@@ -7,10 +7,13 @@
 namespace taser::nn {
 
 /// Checkpointing: saves/loads a module's named parameters to a simple
-/// binary container (magic, count, then per-parameter name + shape +
-/// float32 payload). Loading matches strictly by name and shape — a
-/// mismatch throws rather than silently truncating, so checkpoints are
-/// only exchangeable between identically-configured models.
+/// binary container (magic, format version, count, then per-parameter
+/// name + shape + float32 payload). Loading matches strictly by name and
+/// shape — a mismatch throws rather than silently truncating, so
+/// checkpoints are only exchangeable between identically-configured
+/// models. Unknown format versions (and the pre-versioned "TSR1" layout)
+/// are rejected with a clear error instead of being misparsed, keeping
+/// serving checkpoints forward-compatible.
 void save_parameters(const Module& module, const std::string& path);
 void load_parameters(Module& module, const std::string& path);
 

@@ -1,0 +1,88 @@
+#include "sampling/dynamic_finder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::sampling {
+
+void DynamicNeighborFinder::begin_batch(Time batch_time) {
+  (void)batch_time;  // any batch order is fine; the version is the snapshot
+  TASER_CHECK_MSG(!graph_.writer_active(),
+                  "begin_batch during a DynamicTCSR mutation — readers must be "
+                  "sequenced after the writer (single-writer/snapshot-read "
+                  "contract)");
+  version_at_batch_ = graph_.version();
+}
+
+void DynamicNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t budget,
+                                        FinderPolicy policy, SampledNeighbors& out) {
+  TASER_CHECK(budget > 0);
+  TASER_CHECK_MSG(version_at_batch_ != kNoBatch,
+                  "sample_into before begin_batch — the dynamic finder needs a "
+                  "version snapshot to assert the read window");
+  TASER_CHECK_MSG(graph_.version() == version_at_batch_,
+                  "DynamicTCSR mutated inside a sampling window (version "
+                      << graph_.version() << " != snapshot " << version_at_batch_
+                      << ") — ingest/compact must happen between batches, then "
+                         "begin_batch again");
+  out.resize(static_cast<std::int64_t>(targets.size()), budget);
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const NodeId v = targets.nodes[i];
+    const Time t = targets.times[i];
+    if (v == graph::kInvalidNode) continue;
+    const std::int64_t eligible = graph_.pivot_count(v, t);
+    if (eligible == 0) continue;
+    const std::int64_t take = std::min(budget, eligible);
+
+    // Writes one pick into the next output slot.
+    std::int64_t written = 0;
+    auto emit = [&](std::int64_t j) {
+      const auto s = static_cast<std::size_t>(
+          out.slot(static_cast<std::int64_t>(i), written++));
+      out.nbr[s] = graph_.nbr(v, j);
+      out.ts[s] = graph_.nbr_ts(v, j);
+      out.eid[s] = graph_.nbr_eid(v, j);
+    };
+
+    switch (policy) {
+      case FinderPolicy::kMostRecent:
+        for (std::int64_t j = 0; j < take; ++j) emit(eligible - 1 - j);
+        break;
+      case FinderPolicy::kUniform: {
+        if (eligible <= budget) {
+          for (std::int64_t j = 0; j < eligible; ++j) emit(j);
+        } else {
+          idx_.resize(static_cast<std::size_t>(eligible));
+          for (std::int64_t j = 0; j < eligible; ++j)
+            idx_[static_cast<std::size_t>(j)] = j;
+          // Partial Fisher–Yates without replacement, single Rng stream.
+          for (std::int64_t j = 0; j < take; ++j) {
+            const std::int64_t r =
+                j + static_cast<std::int64_t>(
+                        rng_.next_below(static_cast<std::uint64_t>(eligible - j)));
+            std::swap(idx_[static_cast<std::size_t>(j)], idx_[static_cast<std::size_t>(r)]);
+            emit(idx_[static_cast<std::size_t>(j)]);
+          }
+        }
+        break;
+      }
+      case FinderPolicy::kInverseTimespan: {
+        // TGAT's heuristic: p(j) ∝ 1 / (t - t_j + δ), without replacement.
+        w_.resize(static_cast<std::size_t>(eligible));
+        for (std::int64_t j = 0; j < eligible; ++j)
+          w_[static_cast<std::size_t>(j)] = 1.0 / (t - graph_.nbr_ts(v, j) + 1e-6);
+        for (std::int64_t j = 0; j < take; ++j) {
+          const std::size_t pick = rng_.next_weighted(w_);
+          w_[pick] = 0.0;
+          emit(static_cast<std::int64_t>(pick));
+        }
+        break;
+      }
+    }
+    out.count[i] = static_cast<std::int32_t>(written);
+  }
+}
+
+}  // namespace taser::sampling

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "graph/dynamic_tcsr.h"
+#include "sampling/neighbor_finder.h"
+
+namespace taser::sampling {
+
+/// NeighborFinder over a streaming DynamicTCSR: the thin serving-side
+/// adapter that samples from the merged base+delta view. All three static
+/// policies are supported with the same per-query semantics as
+/// OrigNeighborFinder (most-recent = newest-first prefix, uniform =
+/// partial Fisher–Yates without replacement, inverse-timespan = weighted
+/// without replacement), driven by one per-instance Rng stream — so two
+/// finders with the same seed issued the same query sequence over
+/// query-identical graphs produce bitwise-identical samples. That is the
+/// property test_serve's incremental-vs-static equivalence suite pins:
+/// sampling depends only on the merged logical neighbor lists, never on
+/// how they are physically split between base and delta.
+///
+/// Snapshot-read half of the DynamicTCSR contract, asserted here:
+/// begin_batch() captures the graph version (and checks no writer is
+/// mid-mutation); every sample_into() re-checks the version, so an
+/// ingest/compact landing between begin_batch and sampling is a hard
+/// TASER_CHECK failure, not a torn read. Call begin_batch after every
+/// graph mutation (BatchBuilder does so at the top of each build).
+///
+/// Serial per-target loop with capacity-reusing member scratch: serving
+/// micro-batches are small, and a single Rng stream across targets keeps
+/// the sample sequence independent of thread count by construction.
+class DynamicNeighborFinder : public NeighborFinder {
+ public:
+  explicit DynamicNeighborFinder(const graph::DynamicTCSR& graph,
+                                 std::uint64_t seed = 1)
+      : graph_(graph), rng_(seed) {}
+
+  void begin_batch(Time batch_time) override;
+
+  void sample_into(const TargetBatch& targets, std::int64_t budget,
+                   FinderPolicy policy, SampledNeighbors& out) override;
+
+  std::string name() const override { return "dynamic-cpu"; }
+
+ private:
+  static constexpr std::uint64_t kNoBatch = ~std::uint64_t{0};
+
+  const graph::DynamicTCSR& graph_;
+  util::Rng rng_;
+  std::uint64_t version_at_batch_ = kNoBatch;
+  std::vector<std::int64_t> idx_;  ///< uniform-policy pick scratch
+  std::vector<double> w_;          ///< inverse-timespan weight scratch
+};
+
+}  // namespace taser::sampling

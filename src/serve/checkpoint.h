@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "models/edge_predictor.h"
+#include "models/tgnn.h"
+#include "nn/serialize.h"
+
+namespace taser::serve {
+
+/// One checkpoint for one servable unit: the backbone TGNN plus the
+/// link-prediction head it was trained with. Saving them as a single
+/// bundle (parameter names prefixed "model." / "predictor.") means a
+/// serving process cannot accidentally pair a backbone with a head from a
+/// different run — nn::serialize's strict name/shape matching rejects the
+/// mismatch at load time.
+class ServableBundle : public nn::Module {
+ public:
+  ServableBundle(models::TgnnModel& model, models::EdgePredictor& predictor) {
+    register_module("model", model);
+    register_module("predictor", predictor);
+  }
+};
+
+/// Writes the train→serve hand-off checkpoint (versioned nn::serialize
+/// container).
+inline void save_servable(models::TgnnModel& model, models::EdgePredictor& predictor,
+                          const std::string& path) {
+  ServableBundle bundle(model, predictor);
+  nn::save_parameters(bundle, path);
+}
+
+/// Restores a bundle written by save_servable into an identically
+/// configured model + predictor pair. Throws on any name/shape/format
+/// mismatch.
+inline void load_servable(models::TgnnModel& model, models::EdgePredictor& predictor,
+                          const std::string& path) {
+  ServableBundle bundle(model, predictor);
+  nn::load_parameters(bundle, path);
+}
+
+}  // namespace taser::serve

@@ -1,0 +1,94 @@
+#include "serve/inference_session.h"
+
+#include "tensor/counters.h"
+#include "tensor/ops.h"
+
+namespace taser::serve {
+
+namespace tt = taser::tensor;
+
+InferenceSession::InferenceSession(graph::DynamicTCSR& graph, SessionConfig config)
+    : graph_(graph),
+      config_(config),
+      device_(config.device_spec),
+      finder_(graph, config.seed ^ 0xd1f1ULL),
+      rng_(config.seed) {
+  const graph::Dataset& data = graph_.dataset();
+  features_ = std::make_unique<cache::PlainFeatureSource>(data, device_);
+
+  util::Rng init_rng(config_.seed ^ 0xabcdef12345ULL);
+  models::ModelConfig mc;
+  mc.node_feat_dim = data.node_feat_dim;
+  mc.edge_feat_dim = data.edge_feat_dim;
+  mc.hidden_dim = config_.hidden_dim;
+  mc.time_dim = config_.time_dim;
+  mc.num_neighbors = config_.n_neighbors;
+  if (config_.backbone == core::BackboneKind::kTgat) {
+    model_ = std::make_unique<models::TgatModel>(mc, init_rng);
+  } else {
+    model_ = std::make_unique<models::GraphMixerModel>(mc, init_rng);
+  }
+  predictor_ = std::make_unique<models::EdgePredictor>(config_.hidden_dim, init_rng);
+  model_->set_training(false);
+  predictor_->set_training(false);
+
+  core::BuilderConfig bc;
+  bc.n = config_.n_neighbors;
+  bc.m = config_.n_neighbors;  // non-adaptive: the finder samples n directly
+  bc.policy = config_.policy;
+  bc.time_scale =
+      config_.time_scale > 0 ? config_.time_scale : data.mean_inter_event_gap();
+  builder_ = std::make_unique<core::BatchBuilder>(data, finder_, *features_, device_,
+                                                  /*sampler=*/nullptr, bc);
+}
+
+void InferenceSession::load_checkpoint(const std::string& path) {
+  load_servable(*model_, *predictor_, path);
+}
+
+void InferenceSession::score_links(const std::vector<LinkQuery>& queries,
+                                   std::vector<float>& out) {
+  TASER_CHECK_MSG(!queries.empty(), "score_links on an empty micro-batch");
+  const auto B = static_cast<std::int64_t>(queries.size());
+
+  // The whole request is a no-grad region; the tape-node delta check at
+  // the end turns the "no autograd graph at serving time" contract into
+  // an executable invariant (PR 4 style).
+  const std::uint64_t tape0 = tt::OpCounters::thread_tape_nodes();
+  tt::NoGradGuard no_grad;
+
+  roots_.clear();
+  const auto nodes = graph_.num_nodes();
+  for (const LinkQuery& q : queries) {
+    TASER_CHECK_MSG(q.src >= 0 && q.src < nodes && q.dst >= 0 && q.dst < nodes,
+                    "link query (" << q.src << ", " << q.dst
+                                   << "): node id out of range [0, " << nodes << ")");
+    roots_.push(q.src, q.t);
+  }
+  for (const LinkQuery& q : queries) roots_.push(q.dst, q.t);
+
+  auto built = builder_->build(roots_, model_->num_hops(), phases_, rng_);
+  util::ScopedPhase pp(phases_, core::phase::kPP);
+  tensor::Tensor h = model_->compute_embeddings(built.inputs);
+
+  src_idx_.resize(queries.size());
+  dst_idx_.resize(queries.size());
+  for (std::int64_t i = 0; i < B; ++i) {
+    src_idx_[static_cast<std::size_t>(i)] = i;
+    dst_idx_[static_cast<std::size_t>(i)] = B + i;
+  }
+  tensor::Tensor h_src = tt::index_select0(h, src_idx_);
+  tensor::Tensor h_dst = tt::index_select0(h, dst_idx_);
+  tensor::Tensor logits = predictor_->forward(h_src, h_dst);
+
+  out.resize(queries.size());
+  const float* lg = logits.data();
+  std::copy_n(lg, B, out.begin());
+  ++forwards_;
+
+  TASER_CHECK_MSG(tt::OpCounters::thread_tape_nodes() == tape0,
+                  "inference forward allocated autograd tape nodes — the "
+                  "no-grad serving contract is broken");
+}
+
+}  // namespace taser::serve

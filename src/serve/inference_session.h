@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "graph/dynamic_tcsr.h"
+#include "sampling/dynamic_finder.h"
+#include "serve/checkpoint.h"
+
+namespace taser::serve {
+
+/// One link-prediction query: how likely is an interaction (src, dst) at
+/// time t, given every event strictly earlier than t currently in the
+/// graph.
+struct LinkQuery {
+  graph::NodeId src = 0;
+  graph::NodeId dst = 0;
+  graph::Time t = 0;
+};
+
+/// Model-side serving configuration. The architecture fields must match
+/// the training run that produced the checkpoint (load_checkpoint's
+/// strict name/shape matching enforces it); `time_scale` must match the
+/// trainer's ∆t normalisation — 0 derives it from the base event log with
+/// the same Dataset::mean_inter_event_gap() formula the Trainer uses.
+struct SessionConfig {
+  core::BackboneKind backbone = core::BackboneKind::kGraphMixer;
+  std::int64_t n_neighbors = 10;
+  std::int64_t hidden_dim = 100;
+  std::int64_t time_dim = 100;
+  /// Static finder policy; serving defaults to the recency-biased
+  /// most-recent sampling (GraphMixer's training default, and the only
+  /// policy whose samples are independent of batching order).
+  sampling::FinderPolicy policy = sampling::FinderPolicy::kMostRecent;
+  double time_scale = 0;  ///< 0 = Dataset::mean_inter_event_gap()
+  std::uint64_t seed = 11;
+  gpusim::DeviceSpec device_spec = gpusim::rtx6000ada();
+};
+
+/// No-grad inference over a streaming graph: loads a train→serve
+/// checkpoint (serve::save_servable), samples temporal neighborhoods from
+/// the DynamicTCSR's merged view through a workspace-backed BatchBuilder
+/// (the training hot path, reused — steady-state serving is
+/// zero-allocation in the builder arena once batch shapes stabilise,
+/// asserted via workspace_alloc_events()), and runs backbone + predictor
+/// forward under NoGradGuard.
+///
+/// No-grad contract (hard assert, not a convention): every score_links
+/// call checks that the tensor runtime allocated *zero* tape nodes while
+/// it ran — the forward is a pure function evaluation, holds no
+/// references to its inputs, and is bitwise-equal to the training-path
+/// forward at the same parameters and inputs (test_serve pins both).
+///
+/// Threading: a session is single-threaded like the builder it wraps — at
+/// most one score_links at a time, and calls must not overlap graph
+/// mutations (the DynamicNeighborFinder's version snapshot asserts this).
+/// The ServingEngine provides that sequencing structurally.
+class InferenceSession {
+ public:
+  InferenceSession(graph::DynamicTCSR& graph, SessionConfig config);
+
+  /// Restores model + predictor parameters from a save_servable bundle.
+  void load_checkpoint(const std::string& path);
+
+  /// Scores a micro-batch of link queries: out[i] is the predictor logit
+  /// for queries[i] (higher = more likely interaction). One builder pass
+  /// over [srcs | dsts] roots, one backbone forward, one predictor
+  /// forward — all no-grad.
+  void score_links(const std::vector<LinkQuery>& queries, std::vector<float>& out);
+
+  /// Builder-arena allocation events (flat in steady state — the serving
+  /// zero-allocation invariant benches and tests assert).
+  std::uint64_t workspace_alloc_events() const { return builder_->workspace_alloc_events(); }
+  /// Micro-batches scored so far.
+  std::uint64_t forwards() const { return forwards_; }
+
+  models::TgnnModel& model() { return *model_; }
+  models::EdgePredictor& predictor() { return *predictor_; }
+  const SessionConfig& config() const { return config_; }
+  const graph::DynamicTCSR& graph() const { return graph_; }
+  /// Accumulated NF/AS/FS/PP phase ledger across all requests.
+  const util::PhaseAccumulator& phases() const { return phases_; }
+
+ private:
+  graph::DynamicTCSR& graph_;
+  SessionConfig config_;
+  gpusim::Device device_;
+  sampling::DynamicNeighborFinder finder_;
+  std::unique_ptr<cache::FeatureSource> features_;
+  std::unique_ptr<models::TgnnModel> model_;
+  std::unique_ptr<models::EdgePredictor> predictor_;
+  std::unique_ptr<core::BatchBuilder> builder_;
+  util::Rng rng_;
+  util::PhaseAccumulator phases_;
+  std::uint64_t forwards_ = 0;
+  // score_links scratch, recycled across micro-batches.
+  graph::TargetBatch roots_;
+  std::vector<std::int64_t> src_idx_, dst_idx_;
+};
+
+}  // namespace taser::serve

@@ -1,0 +1,216 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+
+namespace taser::serve {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(InferenceSession& session, graph::DynamicTCSR& graph,
+                             EngineConfig config)
+    : session_(session), graph_(graph), config_(config),
+      last_event_time_(graph.last_time()) {
+  TASER_CHECK_MSG(config_.max_batch >= 1,
+                  "max_batch must be >= 1 (got " << config_.max_batch << ")");
+  TASER_CHECK_MSG(config_.max_delay_ms >= 0,
+                  "max_delay_ms must be >= 0 (got " << config_.max_delay_ms << ")");
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;  // the worker drains the queue before exiting
+  }
+  work_ready_.notify_all();
+  worker_.join();
+}
+
+std::future<float> ServingEngine::submit(const LinkQuery& query) {
+  // Validate on the client thread: a malformed query must fail its
+  // caller, not crash the worker mid-batch.
+  TASER_CHECK_MSG(query.src >= 0 && query.src < graph_.num_nodes() &&
+                      query.dst >= 0 && query.dst < graph_.num_nodes(),
+                  "link query (" << query.src << ", " << query.dst
+                                 << "): node id out of range [0, "
+                                 << graph_.num_nodes() << ")");
+  std::future<float> result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TASER_CHECK_MSG(!stop_, "submit after ServingEngine shutdown");
+    Request req;
+    req.query = query;
+    req.enqueued = std::chrono::steady_clock::now();
+    result = req.result.get_future();
+    if (submitted_ == 0) first_enqueue_ = req.enqueued;
+    ++submitted_;
+    queue_.push_back(std::move(req));
+  }
+  work_ready_.notify_one();
+  return result;
+}
+
+void ServingEngine::ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
+                           std::vector<float> edge_feat) {
+  // All DynamicTCSR::ingest preconditions are re-checked here, on the
+  // client thread: the engine is the graph's only writer, so an event
+  // that passes these checks cannot throw later on the worker (where an
+  // escaped exception would std::terminate the server with every pending
+  // future unresolved). `last_event_time_` tracks ordering across the
+  // not-yet-applied queue tail.
+  TASER_CHECK_MSG(u >= 0 && u < graph_.num_nodes() && v >= 0 && v < graph_.num_nodes(),
+                  "streamed event (" << u << ", " << v << "): node id out of range [0, "
+                                     << graph_.num_nodes() << ")");
+  TASER_CHECK_MSG(edge_feat.empty() ||
+                      static_cast<std::int64_t>(edge_feat.size()) ==
+                          graph_.dataset().edge_feat_dim,
+                  "streamed edge feature row has " << edge_feat.size()
+                      << " floats, dataset expects " << graph_.dataset().edge_feat_dim);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TASER_CHECK_MSG(!stop_, "ingest after ServingEngine shutdown");
+    TASER_CHECK_MSG(t >= last_event_time_,
+                    "streamed event at t=" << t << " regresses behind t="
+                        << last_event_time_
+                        << " — events must arrive in time order");
+    last_event_time_ = t;
+    ++events_submitted_;
+    events_.push_back(Event{u, v, t, std::move(edge_feat)});
+  }
+  work_ready_.notify_one();
+}
+
+void ServingEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Applied/completed counters, not just empty queues: a popped batch or
+  // event is in flight until its results/mutation land.
+  idle_.wait(lock, [this] {
+    return completed_ == submitted_ && events_ingested_ == events_submitted_ &&
+           queue_.empty() && events_.empty();
+  });
+}
+
+void ServingEngine::apply_events_locked(std::unique_lock<std::mutex>& lock) {
+  // The worker is the only writer; queries never run while this does
+  // (same thread), which is the whole single-writer/snapshot-read story.
+  while (!events_.empty()) {
+    Event ev = std::move(events_.front());
+    events_.pop_front();
+    lock.unlock();
+    const float* feat = ev.feat.empty() ? nullptr : ev.feat.data();
+    graph_.ingest(ev.u, ev.v, ev.t, feat);
+    bool compacted = false;
+    if (config_.compact_threshold > 0 &&
+        graph_.delta_edges() >= config_.compact_threshold) {
+      graph_.compact();
+      compacted = true;
+    }
+    lock.lock();
+    ++events_ingested_;
+    if (compacted) ++compactions_;
+  }
+}
+
+void ServingEngine::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] {
+      return stop_ || !queue_.empty() || !events_.empty();
+    });
+    apply_events_locked(lock);
+    if (queue_.empty()) {
+      if (events_.empty()) {
+        idle_.notify_all();
+        if (stop_) return;
+      }
+      continue;
+    }
+
+    // Coalescing window: run as soon as max_batch queries are pending, the
+    // oldest has waited max_delay, or shutdown wants the queue drained.
+    const auto deadline =
+        queue_.front().enqueued +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(config_.max_delay_ms));
+    work_ready_.wait_until(lock, deadline, [this] {
+      return stop_ || static_cast<std::int64_t>(queue_.size()) >= config_.max_batch;
+    });
+    // Late arrivals may have queued events too; apply them so this batch
+    // scores against the freshest graph.
+    apply_events_locked(lock);
+
+    const auto take = std::min<std::size_t>(
+        queue_.size(), static_cast<std::size_t>(config_.max_batch));
+    batch_.clear();
+    batch_queries_.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      batch_.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      batch_queries_.push_back(batch_.back().query);
+    }
+    lock.unlock();
+
+    session_.score_links(batch_queries_, batch_scores_);
+    const auto done = std::chrono::steady_clock::now();
+
+    lock.lock();
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      batch_[i].result.set_value(batch_scores_[i]);
+      const double ms =
+          std::chrono::duration<double, std::milli>(done - batch_[i].enqueued)
+              .count();
+      // Algorithm R: uniform reservoir, O(1) state for unbounded uptime.
+      ++latency_count_;
+      if (ms > latency_max_ms_) latency_max_ms_ = ms;
+      if (latencies_ms_.size() < kLatencyReservoir) {
+        latencies_ms_.push_back(ms);
+      } else {
+        const std::uint64_t slot = reservoir_rng_.next_below(latency_count_);
+        if (slot < kLatencyReservoir)
+          latencies_ms_[static_cast<std::size_t>(slot)] = ms;
+      }
+    }
+    completed_ += batch_.size();
+    ++batches_;
+    last_complete_ = done;
+    TASER_CHECK(completed_ <= submitted_);
+    idle_.notify_all();  // drain() re-checks its full predicate
+  }
+}
+
+ServingStats ServingEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServingStats s;
+  s.requests = completed_;
+  s.batches = batches_;
+  s.events_ingested = events_ingested_;
+  s.compactions = compactions_;
+  s.workspace_alloc_events = session_.workspace_alloc_events();
+  if (batches_ > 0)
+    s.mean_batch_occupancy =
+        static_cast<double>(completed_) / static_cast<double>(batches_);
+  if (!latencies_ms_.empty()) {
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_ms = percentile(sorted, 0.50);
+    s.p95_ms = percentile(sorted, 0.95);
+    s.p99_ms = percentile(sorted, 0.99);
+    s.max_ms = latency_max_ms_;
+    const double span =
+        std::chrono::duration<double>(last_complete_ - first_enqueue_).count();
+    if (span > 0) s.qps = static_cast<double>(completed_) / span;
+  }
+  return s;
+}
+
+}  // namespace taser::serve

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/inference_session.h"
+#include "util/rng.h"
+
+namespace taser::serve {
+
+/// Micro-batching policy + streaming knobs.
+struct EngineConfig {
+  /// Coalesce at most this many pending queries into one forward.
+  std::int64_t max_batch = 64;
+  /// Launch a partial batch once the oldest pending query has waited this
+  /// long (the latency/throughput trade-off knob).
+  double max_delay_ms = 2.0;
+  /// Compact the DynamicTCSR once its delta backlog reaches this many
+  /// events (0 = never auto-compact). Compaction runs on the worker,
+  /// between micro-batches — inside the single-writer window.
+  std::int64_t compact_threshold = 0;
+};
+
+/// Aggregate serving statistics (all completed requests so far).
+/// Percentiles come from a bounded uniform reservoir (Algorithm R,
+/// kLatencyReservoir samples) so a long-running engine holds O(1) stats
+/// state — beyond the reservoir size they are estimates; `max_ms`, counts
+/// and `qps` stay exact.
+struct ServingStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t events_ingested = 0;
+  std::uint64_t compactions = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;  ///< submit→complete latency
+  double qps = 0;                   ///< completed requests / serving wall time
+  double mean_batch_occupancy = 0;  ///< requests per forward
+  std::uint64_t workspace_alloc_events = 0;  ///< session builder arena growths
+};
+
+/// Online serving front-end: accepts link-prediction queries and streamed
+/// edge events concurrently with inference, coalescing queries into
+/// micro-batches under a max-batch / max-delay policy and running them
+/// through one InferenceSession on a single worker thread.
+///
+/// Ordering discipline (the BatchPipeline slot/counter style, adapted to
+/// an open request queue): requests carry monotone sequence numbers;
+/// the single worker drains them FIFO, so completion order == submission
+/// order and `completed_ <= submitted_` is a standing invariant (hard
+/// TASER_CHECK). Streamed events are applied by the worker strictly
+/// *between* micro-batches — the worker is both the only graph writer and
+/// the only reader, which satisfies the DynamicTCSR single-writer/
+/// snapshot-read contract structurally; the finder's version snapshot
+/// asserts it anyway.
+///
+/// Determinism note: with the default most-recent policy a query's score
+/// is independent of which micro-batch it lands in (the builder's
+/// per-target work is batch-local and sampling is deterministic), so
+/// batching only changes latency, never answers. Stochastic policies
+/// (uniform / inverse-timespan) draw from the session's single Rng stream
+/// in batch order, so their samples do depend on coalescing.
+class ServingEngine {
+ public:
+  ServingEngine(InferenceSession& session, graph::DynamicTCSR& graph,
+                EngineConfig config);
+  /// Drains every pending request and event, then joins the worker.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues one link query; the future resolves to its predictor logit
+  /// once a micro-batch containing it completes.
+  std::future<float> submit(const LinkQuery& query);
+
+  /// Enqueues one streamed edge event (applied by the worker between
+  /// micro-batches, in arrival order). `edge_feat` may be empty (zero
+  /// row) or must hold edge_feat_dim floats.
+  void ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
+              std::vector<float> edge_feat = {});
+
+  /// Blocks until everything submitted so far (queries and events) has
+  /// been processed.
+  void drain();
+
+  ServingStats stats() const;
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    LinkQuery query;
+    std::promise<float> result;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Event {
+    graph::NodeId u, v;
+    graph::Time t;
+    std::vector<float> feat;
+  };
+
+  void worker_loop();
+  /// Applies all queued events (worker only; between micro-batches).
+  void apply_events_locked(std::unique_lock<std::mutex>& lock);
+
+  InferenceSession& session_;
+  graph::DynamicTCSR& graph_;
+  EngineConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<Request> queue_;
+  std::deque<Event> events_;
+  bool stop_ = false;
+  /// Monotone request/event counters: completion and application happen
+  /// in submission order on the single worker; completed_ <= submitted_
+  /// and events_ingested_ <= events_submitted_ always (drain waits on
+  /// both pairs — an empty queue alone still has in-flight work).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t events_submitted_ = 0;
+  std::uint64_t events_ingested_ = 0;
+  std::uint64_t compactions_ = 0;
+  /// Ordering guard for streamed events, spanning the unapplied queue
+  /// tail (the graph's own check would only fire on the worker, too late
+  /// to fail the caller).
+  graph::Time last_event_time_;
+  /// Bounded uniform latency reservoir (Algorithm R) + exact extremes.
+  static constexpr std::size_t kLatencyReservoir = 4096;
+  std::vector<double> latencies_ms_;
+  std::uint64_t latency_count_ = 0;
+  double latency_max_ms_ = 0;
+  util::Rng reservoir_rng_{0x5e54a75ULL};
+  std::chrono::steady_clock::time_point first_enqueue_;
+  std::chrono::steady_clock::time_point last_complete_;
+
+  std::thread worker_;
+
+  // Worker-local batch scratch (no allocation churn per batch).
+  std::vector<Request> batch_;
+  std::vector<LinkQuery> batch_queries_;
+  std::vector<float> batch_scores_;
+};
+
+}  // namespace taser::serve

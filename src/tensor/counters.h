@@ -21,8 +21,16 @@ class OpCounters {
     launches_.fetch_add(n, std::memory_order_relaxed);
     tl_launches_ += n;
   }
+  /// One grad-bearing result node joined the autograd tape (make_result
+  /// with requires_grad inputs, grad mode on). The inference path asserts
+  /// this counter stays flat across a no-grad forward.
+  static void add_tape_node() {
+    tape_nodes_.fetch_add(1, std::memory_order_relaxed);
+    ++tl_tape_nodes_;
+  }
   static std::uint64_t flops() { return flops_.load(std::memory_order_relaxed); }
   static std::uint64_t launches() { return launches_.load(std::memory_order_relaxed); }
+  static std::uint64_t tape_nodes() { return tape_nodes_.load(std::memory_order_relaxed); }
 
   /// Work recorded *by the calling thread* (ops count on the thread that
   /// issues them, before any OpenMP fan-out). Lets a prefetch worker
@@ -30,12 +38,15 @@ class OpCounters {
   /// runs model propagation — the global counters would mix the two.
   static std::uint64_t thread_flops() { return tl_flops_; }
   static std::uint64_t thread_launches() { return tl_launches_; }
+  static std::uint64_t thread_tape_nodes() { return tl_tape_nodes_; }
 
  private:
   static inline std::atomic<std::uint64_t> flops_{0};
   static inline std::atomic<std::uint64_t> launches_{0};
+  static inline std::atomic<std::uint64_t> tape_nodes_{0};
   static inline thread_local std::uint64_t tl_flops_ = 0;
   static inline thread_local std::uint64_t tl_launches_ = 0;
+  static inline thread_local std::uint64_t tl_tape_nodes_ = 0;
 };
 
 /// Snapshot helper: measures the flop/launch delta over a scope.

@@ -209,6 +209,7 @@ void Tensor::backward() {
 // ---- op plumbing -----------------------------------------------------------
 
 bool any_requires_grad(const std::vector<Tensor>& inputs) {
+  if (!GradMode::enabled()) return false;
   for (const auto& t : inputs)
     if (t.defined() && t.requires_grad()) return true;
   return false;
@@ -221,6 +222,7 @@ Tensor make_result(Shape shape, std::vector<Tensor> inputs) {
   impl->shape = std::move(shape);
   impl->requires_grad = any_requires_grad(inputs);
   if (impl->requires_grad) {
+    OpCounters::add_tape_node();  // grad-bearing node joins the tape
     impl->parents.reserve(inputs.size());
     for (auto& t : inputs) impl->parents.push_back(t.impl());
   }

@@ -103,6 +103,37 @@ struct TensorImpl {
 Tensor make_result(Shape shape, std::vector<Tensor> inputs);
 
 /// True if any input requires grad (i.e. the op must record a tape node).
+/// Always false while grad mode is disabled on this thread (NoGradGuard):
+/// make_result then produces a plain constant — no parents retained, and
+/// every op skips installing its backward_fn — so an inference forward
+/// allocates zero tape nodes and keeps no reference to its inputs.
 bool any_requires_grad(const std::vector<Tensor>& inputs);
+
+/// Thread-local autograd switch, the single gate any_requires_grad /
+/// make_result consult. Thread-local on purpose: a serving worker can run
+/// no-grad forwards while a training thread keeps taping, with no shared
+/// state between them. Prefer the RAII NoGradGuard over toggling directly.
+class GradMode {
+ public:
+  static bool enabled() { return tl_enabled_; }
+  static void set_enabled(bool enabled) { tl_enabled_ = enabled; }
+
+ private:
+  static inline thread_local bool tl_enabled_ = true;
+};
+
+/// RAII scope disabling tape recording on the current thread — the
+/// inference path's no-autograd contract (restores the previous mode on
+/// exit, so guards nest).
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::enabled()) { GradMode::set_enabled(false); }
+  ~NoGradGuard() { GradMode::set_enabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 }  // namespace taser::tensor

@@ -2,6 +2,7 @@
 // cross-model restore for the backbone TGNNs.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 
 #include "models/graphmixer.h"
@@ -44,6 +45,52 @@ TEST(Serialize, RejectsShapeMismatch) {
   save_parameters(a, path);
   Mlp wrong(4, 6, 2, rng);  // different hidden width
   EXPECT_THROW(load_parameters(wrong, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsUnknownFormatVersion) {
+  util::Rng rng(6);
+  Mlp m(4, 8, 2, rng);
+  const std::string path = temp_path("future.ckpt");
+  save_parameters(m, path);
+  // Bump the version field (bytes 4..8, after the magic) to a future one.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4, SEEK_SET);
+    const std::uint32_t future_version = 99;
+    std::fwrite(&future_version, sizeof(future_version), 1, f);
+    std::fclose(f);
+  }
+  try {
+    load_parameters(m, path);
+    FAIL() << "future format version must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("format version 99"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsLegacyUnversionedMagic) {
+  const std::string path = temp_path("legacy.ckpt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const std::uint32_t legacy_magic = 0x54535231;  // "TSR1": pre-version layout
+    std::fwrite(&legacy_magic, sizeof(legacy_magic), 1, f);
+    const std::uint64_t count = 0;
+    std::fwrite(&count, sizeof(count), 1, f);
+    std::fclose(f);
+  }
+  util::Rng rng(7);
+  Mlp m(2, 2, 2, rng);
+  try {
+    load_parameters(m, path);
+    FAIL() << "legacy unversioned checkpoints must be rejected, not misparsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("pre-versioned"), std::string::npos)
+        << e.what();
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,432 @@
+// Serving subsystem conformance: streaming ingest/compaction equivalence
+// (a graph grown one event at a time is query-identical to one built
+// statically), the single-writer/snapshot-read asserts, the no-grad
+// inference contract (bitwise-equal to the training-path forward, zero
+// tape nodes, flat workspace), and the micro-batching engine.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+
+#include "graph/dynamic_tcsr.h"
+#include "graph/synthetic.h"
+#include "sampling/dynamic_finder.h"
+#include "sampling/orig_finder.h"
+#include "serve/inference_session.h"
+#include "serve/serving_engine.h"
+#include "tensor/counters.h"
+#include "tensor/ops.h"
+
+using namespace taser;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+graph::Dataset small_dataset(std::uint64_t seed = 5) {
+  graph::SyntheticConfig cfg;
+  cfg.num_src = 40;
+  cfg.num_dst = 30;
+  cfg.num_edges = 600;
+  cfg.edge_feat_dim = 6;
+  cfg.seed = seed;
+  return generate_synthetic(cfg);
+}
+
+/// Keeps only the first `keep` events of `full` (features re-sliced).
+graph::Dataset prefix_dataset(const graph::Dataset& full, std::int64_t keep) {
+  graph::Dataset d = full;
+  d.src.resize(static_cast<std::size_t>(keep));
+  d.dst.resize(static_cast<std::size_t>(keep));
+  d.ts.resize(static_cast<std::size_t>(keep));
+  d.edge_feats.resize(static_cast<std::size_t>(keep * d.edge_feat_dim));
+  d.train_end = std::min(d.train_end, keep);
+  d.val_end = std::min(d.val_end, keep);
+  return d;
+}
+
+/// Streams events [from, full.num_edges()) of `full` into `g`, compacting
+/// at every index in `compact_at`.
+void stream_rest(graph::DynamicTCSR& g, const graph::Dataset& full, std::int64_t from,
+                 std::initializer_list<std::int64_t> compact_at = {}) {
+  for (std::int64_t e = from; e < full.num_edges(); ++e) {
+    const float* feat = full.edge_feat_dim > 0 ? full.edge_feat(static_cast<graph::EdgeId>(e))
+                                               : nullptr;
+    const graph::EdgeId eid = g.ingest(full.src[e], full.dst[e], full.ts[e], feat);
+    EXPECT_EQ(eid, static_cast<graph::EdgeId>(e));
+    for (std::int64_t c : compact_at)
+      if (e == c) g.compact();
+  }
+}
+
+void expect_query_identical(const graph::DynamicTCSR& a, const graph::DynamicTCSR& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.dataset().num_edges(), b.dataset().num_edges());
+  EXPECT_EQ(a.dataset().src, b.dataset().src);
+  EXPECT_EQ(a.dataset().ts, b.dataset().ts);
+  EXPECT_EQ(a.dataset().edge_feats, b.dataset().edge_feats);
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << "node " << v;
+    for (std::int64_t j = 0; j < a.degree(v); ++j) {
+      ASSERT_EQ(a.nbr(v, j), b.nbr(v, j)) << "node " << v << " slot " << j;
+      ASSERT_EQ(a.nbr_ts(v, j), b.nbr_ts(v, j)) << "node " << v << " slot " << j;
+      ASSERT_EQ(a.nbr_eid(v, j), b.nbr_eid(v, j)) << "node " << v << " slot " << j;
+    }
+    // Pivot counts at every event timestamp of v (the boundary-sensitive
+    // probes: ts < t is strict) plus one past-the-end time.
+    for (std::int64_t j = 0; j < a.degree(v); ++j) {
+      const graph::Time t = a.nbr_ts(v, j);
+      EXPECT_EQ(a.pivot_count(v, t), b.pivot_count(v, t)) << "node " << v;
+    }
+    EXPECT_EQ(a.pivot_count(v, a.last_time() + 1), b.pivot_count(v, b.last_time() + 1));
+  }
+}
+
+TEST(DynamicGraph, IncrementalEqualsStaticAcrossCompactions) {
+  const graph::Dataset full = small_dataset();
+  const std::int64_t cut = full.num_edges() * 2 / 3;
+
+  graph::DynamicTCSR statically_built(full);
+  graph::DynamicTCSR grown(prefix_dataset(full, cut));
+  // Two compactions at arbitrary points, plus a tail left in the delta.
+  stream_rest(grown, full, cut, {cut + 37, cut + 120});
+  ASSERT_GT(grown.delta_edges(), 0);
+
+  expect_query_identical(grown, statically_built);
+
+  // Compaction is invisible to queries: fold the rest in and re-compare.
+  grown.compact();
+  EXPECT_EQ(grown.delta_edges(), 0);
+  expect_query_identical(grown, statically_built);
+}
+
+TEST(DynamicGraph, DuplicateTimestampAcrossIngestBoundary) {
+  graph::Dataset full;
+  full.name = "dup-ts";
+  full.num_nodes = 4;
+  // Three events share t=2; the base/delta split lands inside the tie.
+  full.src = {0, 0, 1, 0, 2};
+  full.dst = {1, 2, 2, 3, 3};
+  full.ts = {1, 2, 2, 2, 3};
+  full.train_end = full.val_end = full.num_edges();
+
+  graph::DynamicTCSR statically_built(full);
+  graph::DynamicTCSR grown(prefix_dataset(full, 2));
+  stream_rest(grown, full, 2);
+
+  expect_query_identical(grown, statically_built);
+  // Strictly-earlier semantics at the duplicated timestamp itself.
+  EXPECT_EQ(grown.pivot_count(0, 2.0), 1);
+  EXPECT_EQ(grown.pivot_count(0, 2.5), 3);
+  EXPECT_EQ(grown.pivot_count(2, 2.0), 0);
+  EXPECT_EQ(grown.pivot_count(2, 3.0), 2);
+}
+
+TEST(DynamicGraph, FinderSamplesIdenticalAtFixedSeed) {
+  const graph::Dataset full = small_dataset(7);
+  const std::int64_t cut = full.num_edges() / 2;
+  graph::DynamicTCSR statically_built(full);
+  graph::DynamicTCSR grown(prefix_dataset(full, cut));
+  stream_rest(grown, full, cut, {cut + 50});
+
+  // Queries spread over the timeline, including early times served purely
+  // from the base and late times reaching into the delta.
+  graph::TargetBatch targets;
+  for (std::int64_t e = 0; e < full.num_edges(); e += 23)
+    targets.push(full.src[e], full.ts[e]);
+  targets.push(full.dst[3], full.ts.back() + 1);
+
+  for (auto policy : {sampling::FinderPolicy::kMostRecent,
+                      sampling::FinderPolicy::kUniform,
+                      sampling::FinderPolicy::kInverseTimespan}) {
+    sampling::DynamicNeighborFinder fa(statically_built, 99);
+    sampling::DynamicNeighborFinder fb(grown, 99);
+    sampling::SampledNeighbors sa, sb;
+    fa.begin_batch(full.ts.back() + 1);
+    fb.begin_batch(full.ts.back() + 1);
+    fa.sample_into(targets, 7, policy, sa);
+    fb.sample_into(targets, 7, policy, sb);
+    EXPECT_EQ(sa.nbr, sb.nbr) << to_string(policy);
+    EXPECT_EQ(sa.ts, sb.ts) << to_string(policy);
+    EXPECT_EQ(sa.eid, sb.eid) << to_string(policy);
+    EXPECT_EQ(sa.count, sb.count) << to_string(policy);
+  }
+}
+
+// DynamicNeighborFinder deliberately mirrors OrigNeighborFinder's pick
+// semantics (newest-first prefix / partial Fisher–Yates / weighted
+// without replacement, one Rng stream in target order). The two
+// implementations live apart because the orig finder *models* the
+// interpreted baseline (fresh allocations per query are part of what it
+// measures); this test is the drift alarm that keeps them in sync.
+TEST(DynamicGraph, MatchesOrigFinderSemanticsOnStaticGraph) {
+  const graph::Dataset full = small_dataset(21);
+  graph::TCSR tcsr(full);
+  graph::DynamicTCSR dyn(full);
+
+  graph::TargetBatch targets;
+  for (std::int64_t e = 0; e < full.num_edges(); e += 31)
+    targets.push(full.src[e], full.ts[e]);
+
+  for (auto policy : {sampling::FinderPolicy::kMostRecent,
+                      sampling::FinderPolicy::kUniform,
+                      sampling::FinderPolicy::kInverseTimespan}) {
+    sampling::OrigNeighborFinder fo(tcsr, 123);
+    sampling::DynamicNeighborFinder fd(dyn, 123);
+    sampling::SampledNeighbors so, sd;
+    fd.begin_batch(full.ts.back());
+    fo.sample_into(targets, 6, policy, so);
+    fd.sample_into(targets, 6, policy, sd);
+    EXPECT_EQ(so.nbr, sd.nbr) << to_string(policy);
+    EXPECT_EQ(so.ts, sd.ts) << to_string(policy);
+    EXPECT_EQ(so.eid, sd.eid) << to_string(policy);
+    EXPECT_EQ(so.count, sd.count) << to_string(policy);
+  }
+}
+
+TEST(DynamicGraph, SingleWriterSnapshotReadAsserts) {
+  const graph::Dataset full = small_dataset(9);
+  graph::DynamicTCSR g(prefix_dataset(full, full.num_edges() / 2));
+  sampling::DynamicNeighborFinder finder(g, 1);
+  graph::TargetBatch targets;
+  targets.push(full.src[0], full.ts.back());
+  sampling::SampledNeighbors out;
+
+  // Sampling without a version snapshot is an error.
+  EXPECT_THROW(finder.sample_into(targets, 4, sampling::FinderPolicy::kMostRecent, out),
+               std::runtime_error);
+
+  finder.begin_batch(full.ts.back());
+  finder.sample_into(targets, 4, sampling::FinderPolicy::kMostRecent, out);
+
+  // A write inside the sampling window trips the version check...
+  const std::uint64_t v0 = g.version();
+  g.ingest(full.src[0], full.dst[0], full.ts.back() + 1);
+  EXPECT_GT(g.version(), v0);
+  EXPECT_THROW(finder.sample_into(targets, 4, sampling::FinderPolicy::kMostRecent, out),
+               std::runtime_error);
+  // ...and re-snapshotting after the write recovers.
+  finder.begin_batch(full.ts.back() + 1);
+  finder.sample_into(targets, 4, sampling::FinderPolicy::kMostRecent, out);
+
+  // Ingest guards: time regression and unknown nodes are hard errors.
+  EXPECT_THROW(g.ingest(0, 1, full.ts.front() - 1), std::runtime_error);
+  EXPECT_THROW(g.ingest(static_cast<graph::NodeId>(g.num_nodes()), 0,
+                        full.ts.back() + 2),
+               std::runtime_error);
+}
+
+// ---- no-grad inference path ------------------------------------------------
+
+serve::SessionConfig tiny_session_config() {
+  serve::SessionConfig sc;
+  sc.backbone = core::BackboneKind::kGraphMixer;
+  sc.n_neighbors = 5;
+  sc.hidden_dim = 16;
+  sc.time_dim = 8;
+  return sc;
+}
+
+std::vector<serve::LinkQuery> tiny_queries(const graph::Dataset& data, std::size_t n) {
+  std::vector<serve::LinkQuery> qs;
+  const graph::Time now = data.ts.back() + 1;
+  for (std::size_t i = 0; i < n; ++i)
+    qs.push_back({data.src[static_cast<std::int64_t>(i * 13) % data.num_edges()],
+                  data.dst[static_cast<std::int64_t>(i * 7) % data.num_edges()], now});
+  return qs;
+}
+
+TEST(NoGradInference, BitwiseEqualsTrainingPathForwardWithZeroTapeNodes) {
+  const graph::Dataset data = small_dataset(11);
+  const std::string ckpt = temp_path("servable.ckpt");
+
+  // Reference model pair (the "training side"), randomly initialised.
+  util::Rng init(123);
+  models::ModelConfig mc;
+  mc.node_feat_dim = data.node_feat_dim;
+  mc.edge_feat_dim = data.edge_feat_dim;
+  mc.hidden_dim = 16;
+  mc.time_dim = 8;
+  mc.num_neighbors = 5;
+  models::GraphMixerModel ref_model(mc, init);
+  models::EdgePredictor ref_predictor(16, init);
+  serve::save_servable(ref_model, ref_predictor, ckpt);
+
+  graph::DynamicTCSR g(data);
+  serve::InferenceSession session(g, tiny_session_config());
+  session.load_checkpoint(ckpt);
+
+  const auto queries = tiny_queries(data, 12);
+  std::vector<float> served;
+  session.score_links(queries, served);
+
+  // Training-path reference: identical machinery (merged-view finder,
+  // workspace builder, same time_scale), grad mode ON, training=true.
+  graph::DynamicTCSR g2(data);
+  sampling::DynamicNeighborFinder finder(g2, 1);
+  gpusim::Device device;
+  cache::PlainFeatureSource features(g2.dataset(), device);
+  core::BuilderConfig bc;
+  bc.n = 5;
+  bc.m = 5;
+  bc.policy = sampling::FinderPolicy::kMostRecent;
+  bc.time_scale = g2.dataset().mean_inter_event_gap();
+  core::BatchBuilder builder(g2.dataset(), finder, features, device, nullptr, bc);
+
+  graph::TargetBatch roots;
+  for (const auto& q : queries) roots.push(q.src, q.t);
+  for (const auto& q : queries) roots.push(q.dst, q.t);
+  util::Rng rng(42);
+  util::PhaseAccumulator phases;
+  const std::uint64_t tape0 = tensor::OpCounters::thread_tape_nodes();
+  auto built = builder.build(roots, ref_model.num_hops(), phases, rng);
+  tensor::Tensor h = ref_model.compute_embeddings(built.inputs);
+  const auto B = static_cast<std::int64_t>(queries.size());
+  std::vector<std::int64_t> si(queries.size()), di(queries.size());
+  for (std::int64_t i = 0; i < B; ++i) {
+    si[static_cast<std::size_t>(i)] = i;
+    di[static_cast<std::size_t>(i)] = B + i;
+  }
+  tensor::Tensor logits = ref_predictor.forward(tensor::index_select0(h, si),
+                                                tensor::index_select0(h, di));
+  // The training path tapes its forward; the serving path must not have.
+  EXPECT_GT(tensor::OpCounters::thread_tape_nodes(), tape0);
+
+  ASSERT_EQ(logits.numel(), static_cast<std::int64_t>(served.size()));
+  const float* ref = logits.data();
+  for (std::size_t i = 0; i < served.size(); ++i)
+    EXPECT_EQ(served[i], ref[i]) << "query " << i;  // bitwise, not approx
+  std::remove(ckpt.c_str());
+}
+
+TEST(NoGradInference, RepeatedRequestsKeepTapeAndWorkspaceFlat) {
+  const graph::Dataset data = small_dataset(13);
+  graph::DynamicTCSR g(data);
+  serve::InferenceSession session(g, tiny_session_config());
+
+  const auto queries = tiny_queries(data, 8);
+  std::vector<float> out;
+  session.score_links(queries, out);  // warm-up: shapes stabilise
+  session.score_links(queries, out);
+
+  const std::uint64_t ws0 = session.workspace_alloc_events();
+  const std::uint64_t tape0 = tensor::OpCounters::tape_nodes();
+  std::vector<float> first = out;
+  for (int k = 0; k < 20; ++k) {
+    session.score_links(queries, out);
+    EXPECT_EQ(out, first);  // most-recent policy: replays are bitwise-stable
+  }
+  EXPECT_EQ(session.workspace_alloc_events(), ws0)
+      << "steady-state serving must not grow the builder arena";
+  EXPECT_EQ(tensor::OpCounters::tape_nodes(), tape0)
+      << "no-grad serving must not allocate tape nodes";
+  EXPECT_EQ(session.forwards(), 22u);
+}
+
+// ---- micro-batching engine -------------------------------------------------
+
+TEST(ServingEngine, CoalescedBatchMatchesSingleQueryAnswers) {
+  const graph::Dataset data = small_dataset(17);
+  const std::string ckpt = temp_path("engine.ckpt");
+  {
+    util::Rng init(5);
+    models::ModelConfig mc;
+    mc.node_feat_dim = data.node_feat_dim;
+    mc.edge_feat_dim = data.edge_feat_dim;
+    mc.hidden_dim = 16;
+    mc.time_dim = 8;
+    mc.num_neighbors = 5;
+    models::GraphMixerModel m(mc, init);
+    models::EdgePredictor p(16, init);
+    serve::save_servable(m, p, ckpt);
+  }
+
+  const auto queries = tiny_queries(data, 8);
+
+  // Reference answers: one session, one query at a time.
+  graph::DynamicTCSR g_ref(data);
+  serve::InferenceSession ref(g_ref, tiny_session_config());
+  ref.load_checkpoint(ckpt);
+  std::vector<float> expected;
+  for (const auto& q : queries) {
+    std::vector<float> one;
+    ref.score_links({q}, one);
+    expected.push_back(one[0]);
+  }
+
+  // Engine path: all 8 coalesce into one micro-batch (max_batch == burst
+  // size, generous delay so the slowest CI machine still coalesces).
+  graph::DynamicTCSR g(data);
+  serve::InferenceSession session(g, tiny_session_config());
+  session.load_checkpoint(ckpt);
+  serve::EngineConfig ec;
+  ec.max_batch = static_cast<std::int64_t>(queries.size());
+  ec.max_delay_ms = 2000;
+  serve::ServingEngine engine(session, g, ec);
+
+  std::vector<std::future<float>> futures;
+  for (const auto& q : queries) futures.push_back(engine.submit(q));
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    EXPECT_EQ(futures[i].get(), expected[i]) << "query " << i;
+
+  engine.drain();
+  const serve::ServingStats s = engine.stats();
+  EXPECT_EQ(s.requests, queries.size());
+  EXPECT_EQ(s.batches, 1u);  // the whole burst coalesced
+  EXPECT_DOUBLE_EQ(s.mean_batch_occupancy, static_cast<double>(queries.size()));
+  EXPECT_GT(s.qps, 0.0);
+  EXPECT_GE(s.p95_ms, s.p50_ms);
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServingEngine, StreamsEventsBetweenBatchesAndAutoCompacts) {
+  const graph::Dataset data = small_dataset(19);
+  graph::DynamicTCSR g(data);
+  serve::InferenceSession session(g, tiny_session_config());
+  serve::EngineConfig ec;
+  ec.max_batch = 4;
+  ec.max_delay_ms = 1.0;
+  ec.compact_threshold = 8;
+  serve::ServingEngine engine(session, g, ec);
+
+  const std::int64_t edges_before = g.dataset().num_edges();
+  const std::int64_t deg_before = g.degree(data.src[0]);
+  std::vector<float> feat(static_cast<std::size_t>(data.edge_feat_dim), 0.5f);
+  graph::Time t = data.ts.back();
+  std::vector<std::future<float>> futures;
+  for (int k = 0; k < 24; ++k) {
+    t += 1.0;
+    engine.ingest(data.src[static_cast<std::size_t>(k) % data.src.size()],
+                  data.dst[static_cast<std::size_t>(k) % data.dst.size()], t, feat);
+    // Interleave queries with the event stream: the worker sequences them.
+    futures.push_back(engine.submit({data.src[0], data.dst[0], t + 0.5}));
+  }
+  for (auto& f : futures) f.get();
+  engine.drain();
+
+  const serve::ServingStats s = engine.stats();
+  EXPECT_EQ(s.events_ingested, 24u);
+  EXPECT_EQ(g.dataset().num_edges(), edges_before + 24);
+  EXPECT_GE(s.compactions, 2u);  // 24 events / threshold 8
+  EXPECT_LT(g.delta_edges(), 8);
+  EXPECT_EQ(s.requests, 24u);
+  // The streamed edges are visible in the merged view (event k=0 touched
+  // src[0]), whether they were compacted into the base or not.
+  EXPECT_GT(g.degree(data.src[0]), deg_before);
+  EXPECT_EQ(g.pivot_count(data.src[0], t + 1), g.degree(data.src[0]));
+
+  // Malformed traffic fails the *caller*, never the worker: an engine
+  // whose worker died would leave every later future unresolved.
+  EXPECT_THROW(engine.submit({static_cast<graph::NodeId>(g.num_nodes()), 0, t + 2}),
+               std::runtime_error);
+  EXPECT_THROW(engine.ingest(data.src[0], data.dst[0], t - 100), std::runtime_error);
+  EXPECT_THROW(engine.ingest(data.src[0], data.dst[0], t + 2,
+                             std::vector<float>(3, 0.f)),  // wrong feature width
+               std::runtime_error);
+  // The engine still serves after rejecting them.
+  EXPECT_NO_THROW(engine.submit({data.src[0], data.dst[0], t + 2}).get());
+}
+
+}  // namespace
