@@ -3,10 +3,12 @@
 //
 //   1. train TASER on GraphMixer (adaptive batches + neighbors);
 //   2. save_servable: one checkpoint bundling backbone + predictor;
-//   3. serve: a ServingEngine answers ranking queries over a streaming
-//      DynamicTCSR while new interactions keep arriving — the engine
-//      coalesces queries into micro-batches and scores them with the
-//      trained link predictor, no-grad, zero steady-state allocation.
+//   3. serve: a multi-worker ServingEngine answers ranking queries over
+//      an epoch-managed streaming graph while new interactions keep
+//      arriving — queries fan out to worker shards that coalesce them
+//      into micro-batches and score with the trained link predictor
+//      (no-grad, zero steady-state allocation) against the current
+//      published epoch, while the ingest thread builds the next one.
 //
 //   ./recommendation
 #include <algorithm>
@@ -16,6 +18,7 @@
 #include "core/trainer.h"
 #include "graph/dynamic_tcsr.h"
 #include "graph/synthetic.h"
+#include "serve/epoch_manager.h"
 #include "serve/serving_engine.h"
 
 using namespace taser;
@@ -53,20 +56,24 @@ int main() {
   serve::save_servable(trainer.model(), trainer.predictor(), ckpt);
   std::printf("checkpoint saved to %s\n", ckpt.c_str());
 
-  graph::DynamicTCSR live_graph(data);  // serving owns its own growing copy
+  // Serving owns its own growing copy of the log: two replicas inside the
+  // epoch manager, alternating between "served" and "being caught up".
+  serve::EpochConfig epoch_cfg;
+  epoch_cfg.compact_threshold = 512;
+  serve::GraphEpochManager live_graph(data, epoch_cfg);
+
   serve::SessionConfig sc;
   sc.backbone = core::BackboneKind::kGraphMixer;
   sc.n_neighbors = tc.n_neighbors;
   sc.hidden_dim = tc.hidden_dim;
   sc.time_dim = tc.time_dim;
-  serve::InferenceSession session(live_graph, sc);
-  session.load_checkpoint(ckpt);
 
   serve::EngineConfig ec;
+  ec.num_workers = 2;
   ec.max_batch = 64;
   ec.max_delay_ms = 2.0;
-  ec.compact_threshold = 512;
-  serve::ServingEngine engine(session, live_graph, ec);
+  serve::ServingEngine engine(live_graph, sc, ec);
+  engine.load_checkpoint(ckpt);
 
   // ---- live traffic: interactions stream in while users get ranked ---------
   graph::Time now = data.ts.back();
@@ -80,6 +87,10 @@ int main() {
     now += 1.0;
     engine.ingest(users[0], static_cast<graph::NodeId>(data.dst_begin + k), now, feat);
   }
+  // Queries see bounded staleness (the epoch current when their batch
+  // runs); drain() forces tonight's burst into a published epoch so the
+  // rankings below definitely reflect it.
+  engine.drain();
 
   // Rank the full catalogue per user with the *trained predictor* (the
   // same head the MRR evaluation uses), one future per (user, item) pair;
@@ -105,10 +116,14 @@ int main() {
   const serve::ServingStats st = engine.stats();
   std::printf(
       "\nserved %llu queries in %llu micro-batches (occupancy %.1f) | "
-      "p50 %.2f ms  p99 %.2f ms | %llu events streamed, delta backlog %lld\n",
+      "p50 %.2f ms  p99 %.2f ms | %llu events streamed over %llu epochs\n",
       static_cast<unsigned long long>(st.requests),
       static_cast<unsigned long long>(st.batches), st.mean_batch_occupancy,
       st.p50_ms, st.p99_ms, static_cast<unsigned long long>(st.events_ingested),
-      static_cast<long long>(live_graph.delta_edges()));
+      static_cast<unsigned long long>(st.epochs_published));
+  for (std::size_t w = 0; w < st.worker_requests.size(); ++w)
+    std::printf("  worker %zu: %llu requests, occupancy %.1f\n", w,
+                static_cast<unsigned long long>(st.worker_requests[w]),
+                st.worker_occupancy[w]);
   return 0;
 }

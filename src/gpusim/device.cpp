@@ -2,6 +2,8 @@
 
 #include <omp.h>
 
+#include <mutex>
+
 #include "util/check.h"
 
 namespace taser::gpusim {
@@ -12,6 +14,12 @@ LaunchResult Device::launch(int grid_dim, int block_dim,
   const std::uint64_t launch_seed = seed_ + 0x1000003ULL * (++launch_counter_);
 
   KernelStats merged;
+  // A real mutex, not `omp critical`, for the once-per-thread stats merge:
+  // semantically identical, but ThreadSanitizer cannot see libgomp's
+  // critical-section locks and would report the merge as a race. The
+  // trailing acquire on the main thread publishes the workers' merges to
+  // the read below the parallel region under the same reasoning.
+  static std::mutex merge_mu;
 #pragma omp parallel if (grid_dim > 4)
   {
     KernelStats local;
@@ -21,9 +29,12 @@ LaunchResult Device::launch(int grid_dim, int block_dim,
       kernel(ctx);
       local.merge(ctx.stats());
     }
-#pragma omp critical(taser_gpusim_merge)
-    merged.merge(local);
+    {
+      std::lock_guard<std::mutex> lock(merge_mu);
+      merged.merge(local);
+    }
   }
+  { std::lock_guard<std::mutex> lock(merge_mu); }
 
   LaunchResult result{merged, model_.kernel_time(merged)};
   elapsed_ += result.time;

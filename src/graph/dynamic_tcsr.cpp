@@ -13,6 +13,10 @@ namespace taser::graph {
 class DynamicTCSR::WriteScope {
  public:
   explicit WriteScope(DynamicTCSR& g) : g_(g) {
+    TASER_CHECK_MSG(!g_.frozen(),
+                    "mutation of a frozen DynamicTCSR — this replica is a "
+                    "published (or retirable) epoch; thaw it via the epoch "
+                    "manager's publish path only");
     TASER_CHECK_MSG(!g_.writing_.exchange(true, std::memory_order_acq_rel),
                     "concurrent DynamicTCSR mutation — the streaming graph is "
                     "single-writer by contract");

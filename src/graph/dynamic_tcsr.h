@@ -71,6 +71,15 @@ class DynamicTCSR {
   /// True while an ingest/compact is in progress (reader-side assert).
   bool writer_active() const { return writing_.load(std::memory_order_acquire); }
 
+  /// Epoch freeze: while frozen, `ingest`/`compact` are hard errors. The
+  /// GraphEpochManager freezes a replica whenever it is (or may still be)
+  /// visible to readers and thaws it only for the publish-time catch-up,
+  /// after every reader pin has been released — a stray write against a
+  /// published epoch fails loudly at the writer instead of surfacing as a
+  /// version-fence trip in some reader.
+  void set_frozen(bool frozen) { frozen_.store(frozen, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
   // ---- merged base+delta view ---------------------------------------------
   // Per-node neighbor list = base segment [0, base_degree(v)) followed by
   // delta segment [base_degree(v), degree(v)), both timestamp-ascending,
@@ -123,6 +132,7 @@ class DynamicTCSR {
   Time last_time_;
   std::atomic<std::uint64_t> version_{0};
   std::atomic<bool> writing_{false};
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace taser::graph

@@ -1,0 +1,156 @@
+#include "serve/epoch_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::serve {
+
+GraphEpochManager::GraphEpochManager(graph::Dataset base, EpochConfig config)
+    : config_(config) {
+  TASER_CHECK_MSG(config_.compact_threshold >= 0,
+                  "compact_threshold must be >= 0 (got "
+                      << config_.compact_threshold << ")");
+  sides_[0] = std::make_unique<graph::DynamicTCSR>(base);
+  sides_[1] = std::make_unique<graph::DynamicTCSR>(std::move(base));
+  // Both replicas start frozen: epoch 0 is the base snapshot, and the
+  // write side thaws only inside publish() once it has retired.
+  sides_[0]->set_frozen(true);
+  sides_[1]->set_frozen(true);
+  published_version_[0] = sides_[0]->version();
+  published_version_[1] = sides_[1]->version();
+  last_time_ = sides_[0]->last_time();
+}
+
+GraphEpochManager::ReadGuard::~ReadGuard() {
+  if (mgr_ != nullptr) mgr_->release(side_);
+}
+
+GraphEpochManager::ReadGuard GraphEpochManager::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int s = current_;
+  ++pins_[s];
+  return ReadGuard(this, s, epoch_id_, published_version_[s], sides_[s].get());
+}
+
+void GraphEpochManager::release(int side) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TASER_CHECK_MSG(pins_[side] > 0, "epoch pin underflow on replica " << side);
+  if (--pins_[side] == 0) retire_cv_.notify_all();
+}
+
+void GraphEpochManager::ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
+                               std::vector<float> edge_feat) {
+  // Full client-boundary validation here: a buffered event must never be
+  // the thing that throws later inside publish() (where it would fail the
+  // ingest thread, not the producer of the bad event).
+  TASER_CHECK_MSG(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+                  "streamed event (" << u << ", " << v
+                                     << "): node id out of range [0, "
+                                     << num_nodes() << ")");
+  TASER_CHECK_MSG(edge_feat.empty() ||
+                      static_cast<std::int64_t>(edge_feat.size()) == edge_feat_dim(),
+                  "streamed edge feature row has " << edge_feat.size()
+                      << " floats, dataset expects " << edge_feat_dim());
+  std::lock_guard<std::mutex> lock(mu_);
+  TASER_CHECK_MSG(t >= last_time_,
+                  "streamed event at t=" << t << " regresses behind t="
+                      << last_time_ << " — events must arrive in time order");
+  last_time_ = t;
+  log_.push_back(Event{u, v, t, std::move(edge_feat)});
+}
+
+std::uint64_t GraphEpochManager::publish() {
+  TASER_CHECK_MSG(!publishing_.exchange(true, std::memory_order_acq_rel),
+                  "concurrent publish() — the epoch manager is single-ingest-"
+                  "thread by contract");
+  struct PublishScope {
+    std::atomic<bool>& flag;
+    ~PublishScope() { flag.store(false, std::memory_order_release); }
+  } scope{publishing_};
+
+  int w;
+  std::uint64_t target;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    target = log_offset_ + log_.size();
+    if (applied_[current_] == target) return epoch_id_;  // nothing unpublished
+    w = 1 - current_;
+    // RCU retirement: the write side may still be pinned by readers that
+    // acquired it while it was the current epoch. It is reclaimed for
+    // writing only once every one of them has released.
+    retire_cv_.wait(lock, [&] { return pins_[w] == 0; });
+    TASER_CHECK(pins_[w] == 0);
+  }
+
+  // Catch-up runs unlocked: the retired side is unreachable for readers
+  // (acquire only pins `current_`), and log entries [applied_[w], target)
+  // are stable — only this thread appends, and trimming never passes the
+  // minimum applied watermark.
+  graph::DynamicTCSR& g = *sides_[w];
+  g.set_frozen(false);
+  for (std::uint64_t i = applied_[w]; i < target; ++i) {
+    const Event& ev = log_[static_cast<std::size_t>(i - log_offset_)];
+    g.ingest(ev.u, ev.v, ev.t, ev.feat.empty() ? nullptr : ev.feat.data());
+  }
+  bool compacted = false;
+  if (config_.compact_threshold > 0 && g.delta_edges() >= config_.compact_threshold) {
+    g.compact();
+    compacted = true;
+  }
+  g.set_frozen(true);
+  const std::uint64_t version = g.version();
+
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    applied_[w] = target;
+    published_version_[w] = version;
+    current_ = w;
+    epoch = ++epoch_id_;
+    if (compacted) ++compactions_;
+    const std::uint64_t keep_from = std::min(applied_[0], applied_[1]);
+    while (log_offset_ < keep_from) {
+      log_.pop_front();
+      ++log_offset_;
+    }
+  }
+  return epoch;
+}
+
+bool GraphEpochManager::has_unpublished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_[current_] != log_offset_ + log_.size();
+}
+
+std::uint64_t GraphEpochManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_id_;
+}
+
+std::uint64_t GraphEpochManager::events_ingested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_offset_ + log_.size();
+}
+
+std::uint64_t GraphEpochManager::events_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_[current_];
+}
+
+std::uint64_t GraphEpochManager::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+std::int64_t GraphEpochManager::pins(int side) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_[side];
+}
+
+graph::Time GraphEpochManager::last_ingest_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_time_;
+}
+
+}  // namespace taser::serve

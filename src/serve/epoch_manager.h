@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/dynamic_tcsr.h"
+
+namespace taser::serve {
+
+struct EpochConfig {
+  /// Compact a replica's delta backlog during publish-time catch-up once
+  /// it reaches this many events (0 = never). Compaction only ever runs
+  /// on the retired write side — published epochs are immutable, so
+  /// compaction stays invisible to queries by construction, not just by
+  /// the DynamicTCSR equivalence argument.
+  std::int64_t compact_threshold = 0;
+};
+
+/// Left-right epoch manager: promotes the PR 5 single-writer/snapshot-read
+/// contract from a structural accident of one thread into a concurrency
+/// design. Two DynamicTCSR replicas of the same event log alternate
+/// between two roles:
+///
+///   - the *current epoch*: frozen (DynamicTCSR::set_frozen), served
+///     read-only to any number of concurrent InferenceSession readers,
+///     each of which pins it with a ReadGuard for the duration of one
+///     micro-batch;
+///   - the *write side*: invisible to readers, caught up with newly
+///     ingested events by the single ingest thread and then published,
+///     atomically becoming the next current epoch.
+///
+/// Reclamation is RCU-style: publish() blocks until every reader pin on
+/// the write side (stragglers from its previous life as the current
+/// epoch) has been released — an epoch retires only after every session
+/// has advanced past it, asserted by the pin counter, never assumed from
+/// timing. The read-side fence is DynamicNeighborFinder's version check:
+/// ReadGuard carries the version captured at publish, readers hand it to
+/// the finder, and any write landing inside a pinned epoch hard-fails the
+/// reader (and, via the freeze flag, the writer) rather than racing.
+///
+/// Cost model: every event is applied once per replica (O(1) amortized,
+/// twice total) instead of the graph being copied per epoch; publish is
+/// O(new events) plus a pointer swap. Memory is two full replicas — the
+/// price of lock-free-shaped reads with zero reader-visible mutation.
+///
+/// Threading contract (hard checks where cheap):
+///   - ingest() and publish() are single-ingest-thread only (concurrent
+///     publish throws; ingest from two threads is caller error);
+///   - acquire() is safe from any thread, any concurrency;
+///   - both replicas answer queries identically at equal applied-event
+///     watermarks (the test_serve equivalence suite pins this through
+///     epoch boundaries and compactions).
+class GraphEpochManager {
+ public:
+  explicit GraphEpochManager(graph::Dataset base, EpochConfig config = {});
+
+  /// Pin of one published epoch: the graph view is immutable (and its
+  /// version fenced) for the guard's lifetime. Release order is
+  /// arbitrary; the last release of a superseded epoch lets publish()
+  /// retire it.
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : mgr_(other.mgr_), graph_(other.graph_), side_(other.side_),
+          epoch_(other.epoch_), version_(other.version_) {
+      other.mgr_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard();
+
+    const graph::DynamicTCSR& graph() const { return *graph_; }
+    /// Monotone epoch number (0 = the base snapshot before any publish).
+    std::uint64_t epoch() const { return epoch_; }
+    /// Which replica this epoch lives on (session pipeline selector).
+    int side() const { return side_; }
+    /// DynamicTCSR::version() captured when this epoch was published —
+    /// the read-side fence value to hand DynamicNeighborFinder.
+    std::uint64_t graph_version() const { return version_; }
+
+   private:
+    friend class GraphEpochManager;
+    ReadGuard(GraphEpochManager* mgr, int side, std::uint64_t epoch,
+              std::uint64_t version, const graph::DynamicTCSR* graph)
+        : mgr_(mgr), graph_(graph), side_(side), epoch_(epoch), version_(version) {}
+
+    GraphEpochManager* mgr_;
+    const graph::DynamicTCSR* graph_;
+    int side_;
+    std::uint64_t epoch_;
+    std::uint64_t version_;
+  };
+
+  /// Pins and returns the current epoch. Any thread.
+  ReadGuard acquire();
+
+  // ---- writer side (single ingest thread) -----------------------------------
+
+  /// Buffers one interaction event (validated here: node range, globally
+  /// non-decreasing time, feature width). The event becomes visible to
+  /// readers only at the next publish().
+  void ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
+              std::vector<float> edge_feat = {});
+
+  /// Catches the write side up with every buffered event and publishes it
+  /// as the new current epoch. Blocks until the write side has retired
+  /// (reader pins released). No-op (returns the current epoch id) when
+  /// nothing is unpublished. Returns the new current epoch id.
+  std::uint64_t publish();
+
+  /// True when buffered events are not yet visible in the current epoch.
+  bool has_unpublished() const;
+
+  // ---- introspection --------------------------------------------------------
+
+  std::uint64_t current_epoch() const;
+  /// Total events ingested (buffered + published).
+  std::uint64_t events_ingested() const;
+  /// Events visible in the current epoch.
+  std::uint64_t events_published() const;
+  std::uint64_t compactions() const;
+  /// Reader pins currently held on replica `side` (tests assert the
+  /// no-reclaim-while-held invariant with this).
+  std::int64_t pins(int side) const;
+
+  std::int64_t num_nodes() const { return sides_[0]->num_nodes(); }
+  std::int64_t edge_feat_dim() const { return sides_[0]->dataset().edge_feat_dim; }
+  /// Latest ingested event time (ordering guard for callers).
+  graph::Time last_ingest_time() const;
+
+  /// Direct replica access for session pipeline binding and tests. The
+  /// replica addresses are stable for the manager's lifetime; treat the
+  /// graphs as read-only.
+  const graph::DynamicTCSR& side(int i) const { return *sides_[i]; }
+
+ private:
+  struct Event {
+    graph::NodeId u, v;
+    graph::Time t;
+    std::vector<float> feat;
+  };
+
+  void release(int side);
+
+  EpochConfig config_;
+  std::unique_ptr<graph::DynamicTCSR> sides_[2];
+
+  mutable std::mutex mu_;
+  std::condition_variable retire_cv_;  ///< signaled when a pin count hits 0
+  int current_ = 0;
+  std::uint64_t epoch_id_ = 0;
+  std::int64_t pins_[2] = {0, 0};
+  /// Replica versions captured at publish (ReadGuard fence values).
+  std::uint64_t published_version_[2];
+  /// Absolute applied-event watermark per replica into the logical log.
+  std::uint64_t applied_[2] = {0, 0};
+  std::uint64_t compactions_ = 0;
+  graph::Time last_time_;
+
+  /// Pending-event log. Appended under mu_ by the ingest thread; replayed
+  /// lock-free by publish() — safe because ingest and publish share the
+  /// single ingest thread (asserted via publishing_). Entries below both
+  /// applied watermarks are trimmed (log_offset_ keeps indices absolute).
+  std::deque<Event> log_;
+  std::uint64_t log_offset_ = 0;
+  std::atomic<bool> publishing_{false};
+};
+
+}  // namespace taser::serve

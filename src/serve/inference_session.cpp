@@ -7,16 +7,60 @@ namespace taser::serve {
 
 namespace tt = taser::tensor;
 
+namespace {
+// Salts splitting one request stream key into the src- and dst-root
+// sampling streams (util::mix_stream_key).
+constexpr std::uint64_t kSrcRootSalt = 0x5a11c0de5u;
+constexpr std::uint64_t kDstRootSalt = 0xd5a17ea15u;
+}  // namespace
+
+InferenceSession::Pipeline::Pipeline(const graph::DynamicTCSR& graph,
+                                     gpusim::Device& device,
+                                     const SessionConfig& config, double time_scale)
+    : finder(graph, config.seed ^ 0xd1f1ULL) {
+  features = std::make_unique<cache::PlainFeatureSource>(graph.dataset(), device);
+  core::BuilderConfig bc;
+  bc.n = config.n_neighbors;
+  bc.m = config.n_neighbors;  // non-adaptive: the finder samples n directly
+  bc.policy = config.policy;
+  bc.time_scale = time_scale;
+  builder = std::make_unique<core::BatchBuilder>(graph.dataset(), finder, *features,
+                                                 device, /*sampler=*/nullptr, bc);
+}
+
 InferenceSession::InferenceSession(graph::DynamicTCSR& graph, SessionConfig config)
-    : graph_(graph),
+    : fixed_graph_(&graph),
       config_(config),
       device_(config.device_spec),
-      finder_(graph, config.seed ^ 0xd1f1ULL),
       rng_(config.seed) {
-  const graph::Dataset& data = graph_.dataset();
-  features_ = std::make_unique<cache::PlainFeatureSource>(data, device_);
+  init_model();
+  const double time_scale = config_.time_scale > 0
+                                ? config_.time_scale
+                                : graph.dataset().mean_inter_event_gap();
+  pipes_.push_back(std::make_unique<Pipeline>(graph, device_, config_, time_scale));
+}
 
+InferenceSession::InferenceSession(GraphEpochManager& graphs, SessionConfig config)
+    : graphs_(&graphs),
+      config_(config),
+      device_(config.device_spec),
+      rng_(config.seed) {
+  init_model();
+  // Both replica pipelines share one ∆t normalisation, derived once from
+  // the base log — replicas must answer identically, so their builders
+  // must be configured identically.
+  const double time_scale = config_.time_scale > 0
+                                ? config_.time_scale
+                                : graphs.side(0).dataset().mean_inter_event_gap();
+  for (int s = 0; s < 2; ++s)
+    pipes_.push_back(
+        std::make_unique<Pipeline>(graphs.side(s), device_, config_, time_scale));
+}
+
+void InferenceSession::init_model() {
   util::Rng init_rng(config_.seed ^ 0xabcdef12345ULL);
+  const graph::Dataset& data =
+      graphs_ != nullptr ? graphs_->side(0).dataset() : fixed_graph_->dataset();
   models::ModelConfig mc;
   mc.node_feat_dim = data.node_feat_dim;
   mc.edge_feat_dim = data.edge_feat_dim;
@@ -31,23 +75,43 @@ InferenceSession::InferenceSession(graph::DynamicTCSR& graph, SessionConfig conf
   predictor_ = std::make_unique<models::EdgePredictor>(config_.hidden_dim, init_rng);
   model_->set_training(false);
   predictor_->set_training(false);
-
-  core::BuilderConfig bc;
-  bc.n = config_.n_neighbors;
-  bc.m = config_.n_neighbors;  // non-adaptive: the finder samples n directly
-  bc.policy = config_.policy;
-  bc.time_scale =
-      config_.time_scale > 0 ? config_.time_scale : data.mean_inter_event_gap();
-  builder_ = std::make_unique<core::BatchBuilder>(data, finder_, *features_, device_,
-                                                  /*sampler=*/nullptr, bc);
 }
 
 void InferenceSession::load_checkpoint(const std::string& path) {
   load_servable(*model_, *predictor_, path);
 }
 
+std::uint64_t InferenceSession::workspace_alloc_events() const {
+  std::uint64_t total = 0;
+  for (const auto& p : pipes_) total += p->builder->workspace_alloc_events();
+  return total;
+}
+
 void InferenceSession::score_links(const std::vector<LinkQuery>& queries,
                                    std::vector<float>& out) {
+  score_links(queries, /*stream_keys=*/nullptr, out);
+}
+
+void InferenceSession::score_links(const std::vector<LinkQuery>& queries,
+                                   const std::uint64_t* stream_keys,
+                                   std::vector<float>& out) {
+  if (graphs_ != nullptr) {
+    // Pin the current epoch for the whole request: builder + forward see
+    // one immutable view, fenced by the publish-time version.
+    GraphEpochManager::ReadGuard epoch = graphs_->acquire();
+    Pipeline& pipe = *pipes_[static_cast<std::size_t>(epoch.side())];
+    pipe.finder.expect_version(epoch.graph_version());
+    last_epoch_ = epoch.epoch();
+    score_on(pipe, epoch.graph(), queries, stream_keys, out);
+  } else {
+    score_on(*pipes_[0], *fixed_graph_, queries, stream_keys, out);
+  }
+}
+
+void InferenceSession::score_on(Pipeline& pipe, const graph::DynamicTCSR& graph,
+                                const std::vector<LinkQuery>& queries,
+                                const std::uint64_t* stream_keys,
+                                std::vector<float>& out) {
   TASER_CHECK_MSG(!queries.empty(), "score_links on an empty micro-batch");
   const auto B = static_cast<std::int64_t>(queries.size());
 
@@ -58,7 +122,7 @@ void InferenceSession::score_links(const std::vector<LinkQuery>& queries,
   tt::NoGradGuard no_grad;
 
   roots_.clear();
-  const auto nodes = graph_.num_nodes();
+  const auto nodes = graph.num_nodes();
   for (const LinkQuery& q : queries) {
     TASER_CHECK_MSG(q.src >= 0 && q.src < nodes && q.dst >= 0 && q.dst < nodes,
                     "link query (" << q.src << ", " << q.dst
@@ -67,7 +131,18 @@ void InferenceSession::score_links(const std::vector<LinkQuery>& queries,
   }
   for (const LinkQuery& q : queries) roots_.push(q.dst, q.t);
 
-  auto built = builder_->build(roots_, model_->num_hops(), phases_, rng_);
+  if (stream_keys != nullptr) {
+    root_keys_.resize(static_cast<std::size_t>(2 * B));
+    for (std::int64_t i = 0; i < B; ++i) {
+      const std::uint64_t key = stream_keys[static_cast<std::size_t>(i)];
+      root_keys_[static_cast<std::size_t>(i)] = util::mix_stream_key(key, kSrcRootSalt);
+      root_keys_[static_cast<std::size_t>(B + i)] =
+          util::mix_stream_key(key, kDstRootSalt);
+    }
+    pipe.finder.set_stream_keys(root_keys_);
+  }
+
+  auto built = pipe.builder->build(roots_, model_->num_hops(), phases_, rng_);
   util::ScopedPhase pp(phases_, core::phase::kPP);
   tensor::Tensor h = model_->compute_embeddings(built.inputs);
 

@@ -8,6 +8,7 @@
 #include "graph/dynamic_tcsr.h"
 #include "sampling/dynamic_finder.h"
 #include "serve/checkpoint.h"
+#include "serve/epoch_manager.h"
 
 namespace taser::serve {
 
@@ -31,8 +32,9 @@ struct SessionConfig {
   std::int64_t hidden_dim = 100;
   std::int64_t time_dim = 100;
   /// Static finder policy; serving defaults to the recency-biased
-  /// most-recent sampling (GraphMixer's training default, and the only
-  /// policy whose samples are independent of batching order).
+  /// most-recent sampling (GraphMixer's training default). Stochastic
+  /// policies (uniform / inverse-timespan) are batching-independent only
+  /// through the keyed score_links overload — the engine always uses it.
   sampling::FinderPolicy policy = sampling::FinderPolicy::kMostRecent;
   double time_scale = 0;  ///< 0 = Dataset::mean_inter_event_gap()
   std::uint64_t seed = 11;
@@ -41,11 +43,22 @@ struct SessionConfig {
 
 /// No-grad inference over a streaming graph: loads a train→serve
 /// checkpoint (serve::save_servable), samples temporal neighborhoods from
-/// the DynamicTCSR's merged view through a workspace-backed BatchBuilder
+/// a DynamicTCSR's merged view through a workspace-backed BatchBuilder
 /// (the training hot path, reused — steady-state serving is
 /// zero-allocation in the builder arena once batch shapes stabilise,
 /// asserted via workspace_alloc_events()), and runs backbone + predictor
 /// forward under NoGradGuard.
+///
+/// Two binding modes:
+///   - fixed-view (ctor over one DynamicTCSR&): one sampling pipeline
+///     bound to that graph, the PR 5 shape — callers sequence reads
+///     against writes themselves (version-fenced, as before);
+///   - epoch mode (ctor over a GraphEpochManager&): one pipeline per
+///     replica, and every score_links pins the current epoch for its
+///     duration, hands the publish-time version to the finder as the
+///     read-side fence, and scores against that immutable view. N
+///     sessions on N threads serve concurrently against the same manager
+///     while the ingest thread builds the next epoch.
 ///
 /// No-grad contract (hard assert, not a convention): every score_links
 /// call checks that the tensor runtime allocated *zero* tape nodes while
@@ -53,13 +66,17 @@ struct SessionConfig {
 /// references to its inputs, and is bitwise-equal to the training-path
 /// forward at the same parameters and inputs (test_serve pins both).
 ///
-/// Threading: a session is single-threaded like the builder it wraps — at
-/// most one score_links at a time, and calls must not overlap graph
-/// mutations (the DynamicNeighborFinder's version snapshot asserts this).
-/// The ServingEngine provides that sequencing structurally.
+/// Threading: a session is single-threaded like the builders it wraps —
+/// at most one score_links at a time. In epoch mode that is the *only*
+/// sequencing requirement: graph mutations are the epoch manager's
+/// problem, and concurrent sessions never share mutable state (each owns
+/// its model replica, builders, workspaces, device and Rng).
 class InferenceSession {
  public:
+  /// Fixed-view mode over one graph (caller sequences reads vs writes).
   InferenceSession(graph::DynamicTCSR& graph, SessionConfig config);
+  /// Epoch mode: score_links pins the manager's current epoch per call.
+  InferenceSession(GraphEpochManager& graphs, SessionConfig config);
 
   /// Restores model + predictor parameters from a save_servable bundle.
   void load_checkpoint(const std::string& path);
@@ -67,37 +84,64 @@ class InferenceSession {
   /// Scores a micro-batch of link queries: out[i] is the predictor logit
   /// for queries[i] (higher = more likely interaction). One builder pass
   /// over [srcs | dsts] roots, one backbone forward, one predictor
-  /// forward — all no-grad.
+  /// forward — all no-grad. Stochastic finder policies draw from the
+  /// session's single legacy stream, in batch order.
   void score_links(const std::vector<LinkQuery>& queries, std::vector<float>& out);
 
-  /// Builder-arena allocation events (flat in steady state — the serving
-  /// zero-allocation invariant benches and tests assert).
-  std::uint64_t workspace_alloc_events() const { return builder_->workspace_alloc_events(); }
+  /// Keyed variant: stream_keys[i] (the engine passes the request
+  /// sequence number) seeds query i's private sampling streams, so its
+  /// score is independent of micro-batch composition, batch position and
+  /// worker — 1-worker and N-worker serving are bit-identical (asserted
+  /// in test_serve). nullptr falls back to the legacy stream.
+  void score_links(const std::vector<LinkQuery>& queries,
+                   const std::uint64_t* stream_keys, std::vector<float>& out);
+
+  /// Builder-arena allocation events, summed over the session's pipelines
+  /// (flat in steady state once every replica's shapes have warmed — the
+  /// serving zero-allocation invariant benches and tests assert).
+  std::uint64_t workspace_alloc_events() const;
   /// Micro-batches scored so far.
   std::uint64_t forwards() const { return forwards_; }
+  /// Epoch id of the most recent scored batch (epoch mode; 0 before any).
+  std::uint64_t last_epoch() const { return last_epoch_; }
 
   models::TgnnModel& model() { return *model_; }
   models::EdgePredictor& predictor() { return *predictor_; }
   const SessionConfig& config() const { return config_; }
-  const graph::DynamicTCSR& graph() const { return graph_; }
   /// Accumulated NF/AS/FS/PP phase ledger across all requests.
   const util::PhaseAccumulator& phases() const { return phases_; }
 
  private:
-  graph::DynamicTCSR& graph_;
+  /// One per-replica sampling pipeline: finder + feature source + builder
+  /// (with its own BuilderWorkspace arena), all bound to one DynamicTCSR.
+  struct Pipeline {
+    Pipeline(const graph::DynamicTCSR& graph, gpusim::Device& device,
+             const SessionConfig& config, double time_scale);
+    sampling::DynamicNeighborFinder finder;
+    std::unique_ptr<cache::FeatureSource> features;
+    std::unique_ptr<core::BatchBuilder> builder;
+  };
+
+  void init_model();
+  void score_on(Pipeline& pipe, const graph::DynamicTCSR& graph,
+                const std::vector<LinkQuery>& queries,
+                const std::uint64_t* stream_keys, std::vector<float>& out);
+
+  graph::DynamicTCSR* fixed_graph_ = nullptr;  ///< fixed-view mode
+  GraphEpochManager* graphs_ = nullptr;        ///< epoch mode
   SessionConfig config_;
   gpusim::Device device_;
-  sampling::DynamicNeighborFinder finder_;
-  std::unique_ptr<cache::FeatureSource> features_;
+  std::vector<std::unique_ptr<Pipeline>> pipes_;  ///< 1 (fixed) or 2 (epoch)
   std::unique_ptr<models::TgnnModel> model_;
   std::unique_ptr<models::EdgePredictor> predictor_;
-  std::unique_ptr<core::BatchBuilder> builder_;
   util::Rng rng_;
   util::PhaseAccumulator phases_;
   std::uint64_t forwards_ = 0;
+  std::uint64_t last_epoch_ = 0;
   // score_links scratch, recycled across micro-batches.
   graph::TargetBatch roots_;
   std::vector<std::int64_t> src_idx_, dst_idx_;
+  std::vector<std::uint64_t> root_keys_;
 };
 
 }  // namespace taser::serve

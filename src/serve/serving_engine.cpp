@@ -16,68 +16,116 @@ double percentile(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
-ServingEngine::ServingEngine(InferenceSession& session, graph::DynamicTCSR& graph,
+ServingEngine::ServingEngine(GraphEpochManager& graphs,
+                             const SessionConfig& session_config,
                              EngineConfig config)
-    : session_(session), graph_(graph), config_(config),
-      last_event_time_(graph.last_time()) {
+    : graphs_(graphs), config_(config),
+      last_event_time_(graphs.last_ingest_time()) {
+  TASER_CHECK_MSG(config_.num_workers >= 1,
+                  "num_workers must be >= 1 (got " << config_.num_workers << ")");
   TASER_CHECK_MSG(config_.max_batch >= 1,
                   "max_batch must be >= 1 (got " << config_.max_batch << ")");
   TASER_CHECK_MSG(config_.max_delay_ms >= 0,
                   "max_delay_ms must be >= 0 (got " << config_.max_delay_ms << ")");
-  worker_ = std::thread([this] { worker_loop(); });
+  TASER_CHECK_MSG(config_.modeled_device_ms >= 0,
+                  "modeled_device_ms must be >= 0 (got "
+                      << config_.modeled_device_ms << ")");
+  shards_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (std::int64_t w = 0; w < config_.num_workers; ++w) {
+    auto shard = std::make_unique<Shard>();
+    // Every replica shares one seed → identical models and identical
+    // keyed sampling; the per-shard reservoir seed differs per worker so
+    // merged percentiles are deterministic yet not correlated.
+    shard->session = std::make_unique<InferenceSession>(graphs_, session_config);
+    shard->reservoir_rng.reseed(0x5e54a75ULL + static_cast<std::uint64_t>(w));
+    shards_.push_back(std::move(shard));
+  }
+  ingest_thread_ = std::thread([this] { ingest_loop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { worker_loop(*s); });
+  }
 }
 
 ServingEngine::~ServingEngine() {
+  // Stop the ingest thread first: it drains the event queue and runs a
+  // final publish, so late micro-batches score against the final epoch.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;  // the worker drains the queue before exiting
+    std::lock_guard<std::mutex> lock(front_mu_);
+    stop_ = true;
   }
-  work_ready_.notify_all();
-  worker_.join();
+  ingest_ready_.notify_all();
+  ingest_thread_.join();
+  // Workers drain their queues before exiting.
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->work_ready.notify_all();
+  }
+  for (auto& shard : shards_) shard->worker.join();
+}
+
+void ServingEngine::load_checkpoint(const std::string& path) {
+  for (auto& shard : shards_) shard->session->load_checkpoint(path);
 }
 
 std::future<float> ServingEngine::submit(const LinkQuery& query) {
   // Validate on the client thread: a malformed query must fail its
-  // caller, not crash the worker mid-batch.
-  TASER_CHECK_MSG(query.src >= 0 && query.src < graph_.num_nodes() &&
-                      query.dst >= 0 && query.dst < graph_.num_nodes(),
+  // caller, not crash a worker mid-batch.
+  const auto nodes = graphs_.num_nodes();
+  TASER_CHECK_MSG(query.src >= 0 && query.src < nodes && query.dst >= 0 &&
+                      query.dst < nodes,
                   "link query (" << query.src << ", " << query.dst
-                                 << "): node id out of range [0, "
-                                 << graph_.num_nodes() << ")");
-  std::future<float> result;
+                                 << "): node id out of range [0, " << nodes << ")");
+  std::uint64_t seq;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(front_mu_);
     TASER_CHECK_MSG(!stop_, "submit after ServingEngine shutdown");
-    Request req;
-    req.query = query;
-    req.enqueued = std::chrono::steady_clock::now();
-    result = req.result.get_future();
-    if (submitted_ == 0) first_enqueue_ = req.enqueued;
-    ++submitted_;
-    queue_.push_back(std::move(req));
+    seq = seq_++;
+    if (seq == 0) first_enqueue_ = std::chrono::steady_clock::now();
   }
-  work_ready_.notify_one();
+  const auto w = static_cast<std::size_t>(
+      config_.dispatch == EngineConfig::Dispatch::kHashSrc
+          ? util::mix_stream_key(static_cast<std::uint64_t>(query.src), 0x5aULL) %
+                static_cast<std::uint64_t>(config_.num_workers)
+          : seq % static_cast<std::uint64_t>(config_.num_workers));
+  Shard& shard = *shards_[w];
+
+  Request req;
+  req.query = query;
+  req.seq = seq;
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<float> result = req.result.get_future();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.submitted;
+    shard.queue.push_back(std::move(req));
+  }
+  shard.work_ready.notify_one();
   return result;
 }
 
 void ServingEngine::ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
                            std::vector<float> edge_feat) {
-  // All DynamicTCSR::ingest preconditions are re-checked here, on the
-  // client thread: the engine is the graph's only writer, so an event
-  // that passes these checks cannot throw later on the worker (where an
-  // escaped exception would std::terminate the server with every pending
-  // future unresolved). `last_event_time_` tracks ordering across the
-  // not-yet-applied queue tail.
-  TASER_CHECK_MSG(u >= 0 && u < graph_.num_nodes() && v >= 0 && v < graph_.num_nodes(),
-                  "streamed event (" << u << ", " << v << "): node id out of range [0, "
-                                     << graph_.num_nodes() << ")");
+  // All GraphEpochManager::ingest preconditions are re-checked here, on
+  // the client thread: an event that passes cannot throw later on the
+  // ingest thread (where an escaped exception would std::terminate the
+  // server with every pending future unresolved). `last_event_time_`
+  // tracks ordering across the not-yet-applied queue tail.
+  const auto nodes = graphs_.num_nodes();
+  TASER_CHECK_MSG(u >= 0 && u < nodes && v >= 0 && v < nodes,
+                  "streamed event (" << u << ", " << v
+                                     << "): node id out of range [0, " << nodes
+                                     << ")");
   TASER_CHECK_MSG(edge_feat.empty() ||
                       static_cast<std::int64_t>(edge_feat.size()) ==
-                          graph_.dataset().edge_feat_dim,
+                          graphs_.edge_feat_dim(),
                   "streamed edge feature row has " << edge_feat.size()
-                      << " floats, dataset expects " << graph_.dataset().edge_feat_dim);
+                      << " floats, dataset expects " << graphs_.edge_feat_dim());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(front_mu_);
     TASER_CHECK_MSG(!stop_, "ingest after ServingEngine shutdown");
     TASER_CHECK_MSG(t >= last_event_time_,
                     "streamed event at t=" << t << " regresses behind t="
@@ -87,128 +135,174 @@ void ServingEngine::ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
     ++events_submitted_;
     events_.push_back(Event{u, v, t, std::move(edge_feat)});
   }
-  work_ready_.notify_one();
+  ingest_ready_.notify_one();
 }
 
 void ServingEngine::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Applied/completed counters, not just empty queues: a popped batch or
-  // event is in flight until its results/mutation land.
+  std::unique_lock<std::mutex> lock(front_mu_);
+  // Published/completed counters, not just empty queues: a popped batch
+  // or event is in flight until its results land, and an applied event is
+  // invisible until the epoch containing it publishes.
   idle_.wait(lock, [this] {
-    return completed_ == submitted_ && events_ingested_ == events_submitted_ &&
-           queue_.empty() && events_.empty();
+    if (events_visible_ != events_submitted_ || !events_.empty()) return false;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> g(shard->mu);
+      if (shard->completed != shard->submitted || !shard->queue.empty())
+        return false;
+    }
+    return true;
   });
 }
 
-void ServingEngine::apply_events_locked(std::unique_lock<std::mutex>& lock) {
-  // The worker is the only writer; queries never run while this does
-  // (same thread), which is the whole single-writer/snapshot-read story.
-  while (!events_.empty()) {
-    Event ev = std::move(events_.front());
-    events_.pop_front();
-    lock.unlock();
-    const float* feat = ev.feat.empty() ? nullptr : ev.feat.data();
-    graph_.ingest(ev.u, ev.v, ev.t, feat);
-    bool compacted = false;
-    if (config_.compact_threshold > 0 &&
-        graph_.delta_edges() >= config_.compact_threshold) {
-      graph_.compact();
-      compacted = true;
+void ServingEngine::ingest_loop() {
+  std::unique_lock<std::mutex> lock(front_mu_);
+  for (;;) {
+    ingest_ready_.wait(lock, [this] { return stop_ || !events_.empty(); });
+    // Apply everything queued to the write side, then publish once —
+    // natural adaptive batching: the busier the epoch manager, the more
+    // events amortize into each publish.
+    while (!events_.empty()) {
+      Event ev = std::move(events_.front());
+      events_.pop_front();
+      lock.unlock();
+      graphs_.ingest(ev.u, ev.v, ev.t, std::move(ev.feat));
+      lock.lock();
+      ++events_applied_;
     }
+    const std::uint64_t applied_now = events_applied_;
+    const bool exiting = stop_ && events_.empty();
+    lock.unlock();
+    graphs_.publish();  // no-op when nothing is unpublished
     lock.lock();
-    ++events_ingested_;
-    if (compacted) ++compactions_;
+    events_visible_ = std::max(events_visible_, applied_now);
+    idle_.notify_all();
+    if (exiting && events_.empty()) return;
   }
 }
 
-void ServingEngine::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void ServingEngine::worker_loop(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu);
   for (;;) {
-    work_ready_.wait(lock, [this] {
-      return stop_ || !queue_.empty() || !events_.empty();
-    });
-    apply_events_locked(lock);
-    if (queue_.empty()) {
-      if (events_.empty()) {
-        idle_.notify_all();
-        if (stop_) return;
-      }
+    shard.work_ready.wait(lock,
+                          [&] { return shard.stop || !shard.queue.empty(); });
+    if (shard.queue.empty()) {
+      if (shard.stop) return;
       continue;
     }
 
-    // Coalescing window: run as soon as max_batch queries are pending, the
-    // oldest has waited max_delay, or shutdown wants the queue drained.
+    // Coalescing window: run as soon as max_batch queries are pending,
+    // the oldest has waited max_delay, or shutdown wants the queue
+    // drained.
     const auto deadline =
-        queue_.front().enqueued +
+        shard.queue.front().enqueued +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
             std::chrono::duration<double, std::milli>(config_.max_delay_ms));
-    work_ready_.wait_until(lock, deadline, [this] {
-      return stop_ || static_cast<std::int64_t>(queue_.size()) >= config_.max_batch;
+    shard.work_ready.wait_until(lock, deadline, [&] {
+      return shard.stop ||
+             static_cast<std::int64_t>(shard.queue.size()) >= config_.max_batch;
     });
-    // Late arrivals may have queued events too; apply them so this batch
-    // scores against the freshest graph.
-    apply_events_locked(lock);
 
     const auto take = std::min<std::size_t>(
-        queue_.size(), static_cast<std::size_t>(config_.max_batch));
-    batch_.clear();
-    batch_queries_.clear();
+        shard.queue.size(), static_cast<std::size_t>(config_.max_batch));
+    shard.batch.clear();
+    shard.batch_queries.clear();
+    shard.batch_keys.clear();
     for (std::size_t i = 0; i < take; ++i) {
-      batch_.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      batch_queries_.push_back(batch_.back().query);
+      shard.batch.push_back(std::move(shard.queue.front()));
+      shard.queue.pop_front();
+      shard.batch_queries.push_back(shard.batch.back().query);
+      shard.batch_keys.push_back(shard.batch.back().seq);
     }
     lock.unlock();
 
-    session_.score_links(batch_queries_, batch_scores_);
+    // The session pins the current epoch for the whole micro-batch; the
+    // seq keys make each score batch/worker-invariant.
+    shard.session->score_links(shard.batch_queries, shard.batch_keys.data(),
+                               shard.batch_scores);
+    if (config_.modeled_device_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.modeled_device_ms));
+    }
     const auto done = std::chrono::steady_clock::now();
 
     lock.lock();
-    for (std::size_t i = 0; i < batch_.size(); ++i) {
-      batch_[i].result.set_value(batch_scores_[i]);
-      const double ms =
-          std::chrono::duration<double, std::milli>(done - batch_[i].enqueued)
-              .count();
+    for (std::size_t i = 0; i < shard.batch.size(); ++i) {
+      shard.batch[i].result.set_value(shard.batch_scores[i]);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            done - shard.batch[i].enqueued)
+                            .count();
       // Algorithm R: uniform reservoir, O(1) state for unbounded uptime.
-      ++latency_count_;
-      if (ms > latency_max_ms_) latency_max_ms_ = ms;
-      if (latencies_ms_.size() < kLatencyReservoir) {
-        latencies_ms_.push_back(ms);
+      ++shard.latency_count;
+      if (ms > shard.latency_max_ms) shard.latency_max_ms = ms;
+      if (shard.latencies_ms.size() < kLatencyReservoir) {
+        shard.latencies_ms.push_back(ms);
       } else {
-        const std::uint64_t slot = reservoir_rng_.next_below(latency_count_);
+        const std::uint64_t slot =
+            shard.reservoir_rng.next_below(shard.latency_count);
         if (slot < kLatencyReservoir)
-          latencies_ms_[static_cast<std::size_t>(slot)] = ms;
+          shard.latencies_ms[static_cast<std::size_t>(slot)] = ms;
       }
     }
-    completed_ += batch_.size();
-    ++batches_;
-    last_complete_ = done;
-    TASER_CHECK(completed_ <= submitted_);
-    idle_.notify_all();  // drain() re-checks its full predicate
+    shard.completed += shard.batch.size();
+    ++shard.batches;
+    shard.last_complete = done;
+    TASER_CHECK(shard.completed <= shard.submitted);
+    lock.unlock();
+    {
+      // Briefly synchronize on the front lock before notifying: drain()'s
+      // predicate reads shard counters under front_mu_, so notifying
+      // without it could slip between its predicate check and its wait.
+      std::lock_guard<std::mutex> sync(front_mu_);
+      idle_.notify_all();  // drain() re-checks its full predicate
+    }
+    lock.lock();
   }
 }
 
 ServingStats ServingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   ServingStats s;
-  s.requests = completed_;
-  s.batches = batches_;
-  s.events_ingested = events_ingested_;
-  s.compactions = compactions_;
-  s.workspace_alloc_events = session_.workspace_alloc_events();
-  if (batches_ > 0)
+  std::chrono::steady_clock::time_point first_enqueue;
+  std::uint64_t submitted_total = 0;
+  {
+    std::lock_guard<std::mutex> lock(front_mu_);
+    s.events_ingested = events_visible_;
+    first_enqueue = first_enqueue_;
+    submitted_total = seq_;
+  }
+  s.epochs_published = graphs_.current_epoch();
+  s.compactions = graphs_.compactions();
+
+  // Merge shards in fixed worker order: equal runs → equal stats.
+  std::vector<double> merged;
+  std::chrono::steady_clock::time_point last_complete{};
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.requests += shard->completed;
+    s.batches += shard->batches;
+    s.worker_requests.push_back(shard->completed);
+    s.worker_occupancy.push_back(
+        shard->batches > 0 ? static_cast<double>(shard->completed) /
+                                 static_cast<double>(shard->batches)
+                           : 0.0);
+    merged.insert(merged.end(), shard->latencies_ms.begin(),
+                  shard->latencies_ms.end());
+    s.max_ms = std::max(s.max_ms, shard->latency_max_ms);
+    if (shard->completed > 0 && shard->last_complete > last_complete)
+      last_complete = shard->last_complete;
+    s.workspace_alloc_events += shard->session->workspace_alloc_events();
+  }
+  if (s.batches > 0)
     s.mean_batch_occupancy =
-        static_cast<double>(completed_) / static_cast<double>(batches_);
-  if (!latencies_ms_.empty()) {
-    std::vector<double> sorted = latencies_ms_;
-    std::sort(sorted.begin(), sorted.end());
-    s.p50_ms = percentile(sorted, 0.50);
-    s.p95_ms = percentile(sorted, 0.95);
-    s.p99_ms = percentile(sorted, 0.99);
-    s.max_ms = latency_max_ms_;
+        static_cast<double>(s.requests) / static_cast<double>(s.batches);
+  if (!merged.empty()) {
+    std::sort(merged.begin(), merged.end());
+    s.p50_ms = percentile(merged, 0.50);
+    s.p95_ms = percentile(merged, 0.95);
+    s.p99_ms = percentile(merged, 0.99);
     const double span =
-        std::chrono::duration<double>(last_complete_ - first_enqueue_).count();
-    if (span > 0) s.qps = static_cast<double>(completed_) / span;
+        std::chrono::duration<double>(last_complete - first_enqueue).count();
+    if (submitted_total > 0 && span > 0)
+      s.qps = static_cast<double>(s.requests) / span;
   }
   return s;
 }

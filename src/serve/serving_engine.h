@@ -5,95 +5,125 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/epoch_manager.h"
 #include "serve/inference_session.h"
 #include "util/rng.h"
 
 namespace taser::serve {
 
-/// Micro-batching policy + streaming knobs.
+/// Micro-batching + scale-out policy.
 struct EngineConfig {
+  /// Worker shards; each owns a queue, an InferenceSession replica (its
+  /// own model copy, builders and workspaces) and one scoring thread.
+  std::int64_t num_workers = 1;
   /// Coalesce at most this many pending queries into one forward.
   std::int64_t max_batch = 64;
   /// Launch a partial batch once the oldest pending query has waited this
   /// long (the latency/throughput trade-off knob).
   double max_delay_ms = 2.0;
-  /// Compact the DynamicTCSR once its delta backlog reaches this many
-  /// events (0 = never auto-compact). Compaction runs on the worker,
-  /// between micro-batches — inside the single-writer window.
-  std::int64_t compact_threshold = 0;
+  /// How submit() picks a shard. Round-robin balances load exactly;
+  /// hash-by-src keeps a node's queries on one worker (cache affinity).
+  /// Scores are dispatch-invariant either way — see the determinism note.
+  enum class Dispatch { kRoundRobin, kHashSrc };
+  Dispatch dispatch = Dispatch::kRoundRobin;
+  /// Modeled accelerator time per micro-batch (ms): each worker sleeps
+  /// this long after its forward, standing in for the simulated device's
+  /// kernel time (the bench_pipeline modeled-device convention). Sleeps
+  /// overlap across workers, which is exactly the effect scale-out buys —
+  /// aggregate QPS grows with worker count even on a single host core.
+  /// 0 = off.
+  double modeled_device_ms = 0;
 };
 
-/// Aggregate serving statistics (all completed requests so far).
-/// Percentiles come from a bounded uniform reservoir (Algorithm R,
-/// kLatencyReservoir samples) so a long-running engine holds O(1) stats
-/// state — beyond the reservoir size they are estimates; `max_ms`, counts
-/// and `qps` stay exact.
+/// Aggregate serving statistics (all completed requests so far), merged
+/// over shards in fixed worker order so equal runs report equal stats.
+/// Percentiles come from bounded uniform reservoirs (Algorithm R,
+/// kLatencyReservoir samples per shard) so a long-running engine holds
+/// O(workers) stats state — beyond the reservoir size they are estimates;
+/// `max_ms`, counts and `qps` stay exact.
 struct ServingStats {
   std::uint64_t requests = 0;
   std::uint64_t batches = 0;
-  std::uint64_t events_ingested = 0;
+  std::uint64_t events_ingested = 0;   ///< published & visible to queries
+  std::uint64_t epochs_published = 0;
   std::uint64_t compactions = 0;
   double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;  ///< submit→complete latency
   double qps = 0;                   ///< completed requests / serving wall time
-  double mean_batch_occupancy = 0;  ///< requests per forward
+  double mean_batch_occupancy = 0;  ///< requests per forward, all shards
   std::uint64_t workspace_alloc_events = 0;  ///< session builder arena growths
+  /// Per-worker request counts and batch occupancy, indexed by worker id.
+  std::vector<std::uint64_t> worker_requests;
+  std::vector<double> worker_occupancy;
 };
 
-/// Online serving front-end: accepts link-prediction queries and streamed
-/// edge events concurrently with inference, coalescing queries into
-/// micro-batches under a max-batch / max-delay policy and running them
-/// through one InferenceSession on a single worker thread.
+/// Sharded online serving front: link-prediction queries fan out to
+/// `num_workers` independent worker shards, each coalescing its queue
+/// into micro-batches under the max-batch / max-delay policy and scoring
+/// them on its own InferenceSession replica; streamed edge events flow to
+/// a dedicated ingest thread that builds the next graph epoch in a
+/// GraphEpochManager and publishes it, RCU-style, while workers keep
+/// serving the current epoch (see epoch_manager.h for the reclamation
+/// contract). Queries see bounded staleness: each micro-batch pins the
+/// epoch current at its start; drain() guarantees everything submitted —
+/// queries and events — is processed and published.
 ///
-/// Ordering discipline (the BatchPipeline slot/counter style, adapted to
-/// an open request queue): requests carry monotone sequence numbers;
-/// the single worker drains them FIFO, so completion order == submission
-/// order and `completed_ <= submitted_` is a standing invariant (hard
-/// TASER_CHECK). Streamed events are applied by the worker strictly
-/// *between* micro-batches — the worker is both the only graph writer and
-/// the only reader, which satisfies the DynamicTCSR single-writer/
-/// snapshot-read contract structurally; the finder's version snapshot
-/// asserts it anyway.
+/// Determinism: every request carries a global submission sequence
+/// number, which keys its private sampling streams in the session's keyed
+/// score_links. A query's score therefore depends only on (query, seq,
+/// epoch) — not on micro-batch composition, batch position, dispatch
+/// policy or worker count. 1-worker and N-worker engines are
+/// bit-identical on the same submission order (asserted in test_serve),
+/// which also fixes the PR 5 coalescing-dependence of the stochastic
+/// finder policies. Stats merge in fixed worker order.
 ///
-/// Determinism note: with the default most-recent policy a query's score
-/// is independent of which micro-batch it lands in (the builder's
-/// per-target work is batch-local and sampling is deterministic), so
-/// batching only changes latency, never answers. Stochastic policies
-/// (uniform / inverse-timespan) draw from the session's single Rng stream
-/// in batch order, so their samples do depend on coalescing.
+/// Ordering: each shard drains FIFO, so per-shard completion order ==
+/// submission order and `completed <= submitted` is a standing invariant
+/// (hard TASER_CHECK). Events apply in arrival order on the one ingest
+/// thread (single-ingest contract of the epoch manager).
 class ServingEngine {
  public:
-  ServingEngine(InferenceSession& session, graph::DynamicTCSR& graph,
+  ServingEngine(GraphEpochManager& graphs, const SessionConfig& session_config,
                 EngineConfig config);
-  /// Drains every pending request and event, then joins the worker.
+  /// Drains every pending request and event, then joins all threads.
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
 
+  /// Restores model + predictor parameters on every worker replica. Call
+  /// before submitting traffic — concurrent with scoring it would race.
+  void load_checkpoint(const std::string& path);
+
   /// Enqueues one link query; the future resolves to its predictor logit
   /// once a micro-batch containing it completes.
   std::future<float> submit(const LinkQuery& query);
 
-  /// Enqueues one streamed edge event (applied by the worker between
-  /// micro-batches, in arrival order). `edge_feat` may be empty (zero
-  /// row) or must hold edge_feat_dim floats.
+  /// Enqueues one streamed edge event (applied by the ingest thread in
+  /// arrival order, visible to queries at the next epoch publish).
+  /// `edge_feat` may be empty (zero row) or must hold edge_feat_dim
+  /// floats.
   void ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
               std::vector<float> edge_feat = {});
 
-  /// Blocks until everything submitted so far (queries and events) has
-  /// been processed.
+  /// Blocks until everything submitted so far has been processed: all
+  /// queries completed, all events applied AND published.
   void drain();
 
   ServingStats stats() const;
   const EngineConfig& config() const { return config_; }
+  std::int64_t num_workers() const { return config_.num_workers; }
+  /// Worker w's session replica (tests / model introspection).
+  InferenceSession& session(std::int64_t w) { return *shards_[static_cast<std::size_t>(w)]->session; }
 
  private:
   struct Request {
     LinkQuery query;
+    std::uint64_t seq = 0;  ///< global submission sequence (stream key)
     std::promise<float> result;
     std::chrono::steady_clock::time_point enqueued;
   };
@@ -103,49 +133,60 @@ class ServingEngine {
     std::vector<float> feat;
   };
 
-  void worker_loop();
-  /// Applies all queued events (worker only; between micro-batches).
-  void apply_events_locked(std::unique_lock<std::mutex>& lock);
+  /// One worker shard: queue + session replica + scoring thread, with its
+  /// own lock so shards never contend with each other — only submit()
+  /// touches a shard's lock from outside.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable work_ready;
+    std::deque<Request> queue;
+    bool stop = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    /// Bounded uniform latency reservoir (Algorithm R) + exact extremes.
+    std::vector<double> latencies_ms;
+    std::uint64_t latency_count = 0;
+    double latency_max_ms = 0;
+    util::Rng reservoir_rng{0};  ///< reseeded per worker id (deterministic merge)
+    std::chrono::steady_clock::time_point last_complete;
+    std::unique_ptr<InferenceSession> session;
+    std::thread worker;
+    // Worker-local batch scratch (no allocation churn per batch).
+    std::vector<Request> batch;
+    std::vector<LinkQuery> batch_queries;
+    std::vector<std::uint64_t> batch_keys;
+    std::vector<float> batch_scores;
+  };
 
-  InferenceSession& session_;
-  graph::DynamicTCSR& graph_;
+  void worker_loop(Shard& shard);
+  void ingest_loop();
+
+  GraphEpochManager& graphs_;
   EngineConfig config_;
+  static constexpr std::size_t kLatencyReservoir = 4096;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_ready_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Front lock: submission sequencing, the event queue and drain
+  /// bookkeeping. Lock order is front → shard; no path takes them the
+  /// other way around.
+  mutable std::mutex front_mu_;
+  std::condition_variable ingest_ready_;
   std::condition_variable idle_;
-  std::deque<Request> queue_;
   std::deque<Event> events_;
   bool stop_ = false;
-  /// Monotone request/event counters: completion and application happen
-  /// in submission order on the single worker; completed_ <= submitted_
-  /// and events_ingested_ <= events_submitted_ always (drain waits on
-  /// both pairs — an empty queue alone still has in-flight work).
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t batches_ = 0;
+  std::uint64_t seq_ = 0;  ///< next request sequence number
   std::uint64_t events_submitted_ = 0;
-  std::uint64_t events_ingested_ = 0;
-  std::uint64_t compactions_ = 0;
+  std::uint64_t events_applied_ = 0;  ///< applied to the write side
+  std::uint64_t events_visible_ = 0;  ///< published — visible to queries
   /// Ordering guard for streamed events, spanning the unapplied queue
-  /// tail (the graph's own check would only fire on the worker, too late
-  /// to fail the caller).
+  /// tail (the manager's own check would only fire on the ingest thread,
+  /// too late to fail the caller).
   graph::Time last_event_time_;
-  /// Bounded uniform latency reservoir (Algorithm R) + exact extremes.
-  static constexpr std::size_t kLatencyReservoir = 4096;
-  std::vector<double> latencies_ms_;
-  std::uint64_t latency_count_ = 0;
-  double latency_max_ms_ = 0;
-  util::Rng reservoir_rng_{0x5e54a75ULL};
   std::chrono::steady_clock::time_point first_enqueue_;
-  std::chrono::steady_clock::time_point last_complete_;
 
-  std::thread worker_;
-
-  // Worker-local batch scratch (no allocation churn per batch).
-  std::vector<Request> batch_;
-  std::vector<LinkQuery> batch_queries_;
-  std::vector<float> batch_scores_;
+  std::thread ingest_thread_;
 };
 
 }  // namespace taser::serve

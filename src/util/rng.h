@@ -66,4 +66,17 @@ class Rng {
   float cached_normal_ = 0.f;
 };
 
+/// Derives a child stream key from (key, salt) — a splitmix64 finalizer
+/// over the combined words. Feeding the result to Rng::reseed yields a
+/// stream that is a pure function of the (key, salt) pair, which is what
+/// lets serving give every request its own sampling stream keyed off the
+/// request sequence number: the draws a query sees no longer depend on
+/// which micro-batch (or worker) it was coalesced into.
+inline std::uint64_t mix_stream_key(std::uint64_t key, std::uint64_t salt) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL * (salt + 0x632be59bd9b4e019ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace taser::util

@@ -116,4 +116,27 @@ struct OmpThreadGuard {
   ~OmpThreadGuard() { omp_set_num_threads(saved); }
 };
 
+/// ThreadSanitizer cannot see libgomp's fork/join synchronization, so any
+/// test that spawns a real OpenMP team (team size > 1) produces false
+/// positives — including stackless reports that a suppressions file cannot
+/// match. Under TSan, clamp requested team sizes to 1: thread-count
+/// *invariance* is already proven by the OMP_NUM_THREADS={1,4} CI matrix
+/// and the sanitize (ASan+UBSan) job; the TSan job exists to check the
+/// serving engine's and pipeline's own std::thread code.
+#if defined(__SANITIZE_THREAD__)
+#define TASER_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TASER_UNDER_TSAN 1
+#endif
+#endif
+inline int tsan_safe_threads(int threads) {
+#if defined(TASER_UNDER_TSAN)
+  (void)threads;
+  return 1;
+#else
+  return threads;
+#endif
+}
+
 }  // namespace taser::testutil

@@ -211,7 +211,7 @@ TEST(Pipeline, ThreadCountInvariantBitIdentical) {
     util::PhaseAccumulator scratch;
     // 40 roots > the builder's T>32 parallelisation threshold.
     auto serial_builds = [&](Stack& st, int threads) {
-      omp_set_num_threads(threads);
+      omp_set_num_threads(testutil::tsan_safe_threads(threads));
       util::Rng master(31);
       std::vector<BatchBuilder::Built> out;
       for (int k = 0; k < kBatches; ++k) {

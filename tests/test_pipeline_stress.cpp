@@ -56,7 +56,7 @@ TEST(PipelineStress, RandomizedRingScheduleMatchesInlineReference) {
                                     << " adaptive " << adaptive << " threads "
                                     << threads);
     OmpThreadGuard guard;
-    omp_set_num_threads(threads);
+    omp_set_num_threads(testutil::tsan_safe_threads(threads));
 
     Stack piped(data, adaptive);
     Stack ref(data, adaptive);
@@ -162,7 +162,7 @@ TEST(PipelineStress, RandomizedTrainerConfigsReproducibleAndHistogramConsistent)
                                     << ada_batch << " ada_neighbor " << ada_neighbor
                                     << " threads " << threads);
     OmpThreadGuard guard;
-    omp_set_num_threads(threads);
+    omp_set_num_threads(testutil::tsan_safe_threads(threads));
 
     TrainerConfig tc;
     tc.backbone = BackboneKind::kTgat;

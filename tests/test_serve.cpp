@@ -2,16 +2,26 @@
 // (a graph grown one event at a time is query-identical to one built
 // statically), the single-writer/snapshot-read asserts, the no-grad
 // inference contract (bitwise-equal to the training-path forward, zero
-// tape nodes, flat workspace), and the micro-batching engine.
+// tape nodes, flat workspace), epoch-based reclamation (no epoch freed
+// while a reader holds it; replicas query-identical across epoch
+// boundaries and compactions), keyed per-request sampling streams
+// (scores independent of micro-batch composition and worker count), and
+// the sharded micro-batching engine.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <future>
+#include <optional>
+#include <thread>
 
 #include "graph/dynamic_tcsr.h"
 #include "graph/synthetic.h"
 #include "sampling/dynamic_finder.h"
 #include "sampling/orig_finder.h"
+#include "serve/epoch_manager.h"
 #include "serve/inference_session.h"
 #include "serve/serving_engine.h"
 #include "tensor/counters.h"
@@ -59,6 +69,13 @@ void stream_rest(graph::DynamicTCSR& g, const graph::Dataset& full, std::int64_t
     for (std::int64_t c : compact_at)
       if (e == c) g.compact();
   }
+}
+
+/// Feature row of event e as a vector (empty when the dataset has none).
+std::vector<float> feat_row(const graph::Dataset& d, std::int64_t e) {
+  if (d.edge_feat_dim == 0) return {};
+  const float* f = d.edge_feat(static_cast<graph::EdgeId>(e));
+  return std::vector<float>(f, f + d.edge_feat_dim);
 }
 
 void expect_query_identical(const graph::DynamicTCSR& a, const graph::DynamicTCSR& b) {
@@ -218,6 +235,162 @@ TEST(DynamicGraph, SingleWriterSnapshotReadAsserts) {
                std::runtime_error);
 }
 
+TEST(DynamicGraph, FrozenReplicaRejectsMutation) {
+  const graph::Dataset data = small_dataset(23);
+  graph::DynamicTCSR g(data);
+  g.set_frozen(true);
+  // A published epoch is immutable: both mutation entry points hard-fail
+  // instead of racing concurrent readers.
+  EXPECT_THROW(g.ingest(data.src[0], data.dst[0], data.ts.back() + 1),
+               std::runtime_error);
+  EXPECT_THROW(g.compact(), std::runtime_error);
+  g.set_frozen(false);
+  EXPECT_NO_THROW(g.ingest(data.src[0], data.dst[0], data.ts.back() + 1));
+}
+
+TEST(DynamicGraph, FinderEpochFenceDetectsMutationAfterAcquire) {
+  const graph::Dataset data = small_dataset(25);
+  graph::DynamicTCSR g(data);
+  sampling::DynamicNeighborFinder finder(g, 1);
+
+  // Matching expectation passes and is one-shot.
+  finder.expect_version(g.version());
+  finder.begin_batch(data.ts.back());
+  finder.begin_batch(data.ts.back());  // expectation consumed, no re-check
+
+  // A write landing between epoch acquisition (version capture) and
+  // sampling hard-fails the next begin_batch.
+  const std::uint64_t stale = g.version();
+  g.ingest(data.src[0], data.dst[0], data.ts.back() + 1);
+  finder.expect_version(stale);
+  EXPECT_THROW(finder.begin_batch(data.ts.back() + 1), std::runtime_error);
+}
+
+// ---- epoch-based reclamation ----------------------------------------------
+
+TEST(EpochManager, PublishMakesIngestedEventsVisible) {
+  const graph::Dataset full = small_dataset(27);
+  const std::int64_t cut = full.num_edges() / 2;
+  serve::GraphEpochManager mgr(prefix_dataset(full, cut));
+
+  EXPECT_EQ(mgr.current_epoch(), 0u);
+  EXPECT_FALSE(mgr.has_unpublished());
+  EXPECT_EQ(mgr.publish(), 0u);  // nothing buffered: no-op, same epoch
+
+  // Buffered events stay invisible until publish.
+  for (std::int64_t e = cut; e < cut + 10; ++e)
+    mgr.ingest(full.src[e], full.dst[e], full.ts[e], feat_row(full, e));
+  EXPECT_TRUE(mgr.has_unpublished());
+  {
+    auto g = mgr.acquire();
+    EXPECT_EQ(g.graph().dataset().num_edges(), cut);
+    EXPECT_EQ(g.epoch(), 0u);
+  }
+
+  EXPECT_EQ(mgr.publish(), 1u);
+  EXPECT_FALSE(mgr.has_unpublished());
+  EXPECT_EQ(mgr.events_published(), 10u);
+  {
+    auto g = mgr.acquire();
+    EXPECT_EQ(g.graph().dataset().num_edges(), cut + 10);
+    EXPECT_EQ(g.epoch(), 1u);
+    EXPECT_EQ(g.graph_version(), g.graph().version());
+  }
+
+  // Event validation fails the producer, at ingest time.
+  EXPECT_THROW(mgr.ingest(static_cast<graph::NodeId>(mgr.num_nodes()), 0,
+                          full.ts.back() + 1),
+               std::runtime_error);
+  EXPECT_THROW(mgr.ingest(full.src[0], full.dst[0], full.ts.front() - 1),
+               std::runtime_error);
+  EXPECT_THROW(mgr.ingest(full.src[0], full.dst[0], full.ts.back() + 1,
+                          std::vector<float>(3, 0.f)),
+               std::runtime_error);
+}
+
+TEST(EpochManager, ReplicasQueryIdenticalToStaticAcrossEpochsAndCompactions) {
+  const graph::Dataset full = small_dataset(29);
+  const std::int64_t cut = full.num_edges() / 3;
+  graph::DynamicTCSR statically_built(full);
+
+  serve::EpochConfig ec;
+  ec.compact_threshold = 64;  // several publish-time compactions on the way
+  serve::GraphEpochManager mgr(prefix_dataset(full, cut), ec);
+
+  // Stream the rest in uneven chunks, publishing between them; pins taken
+  // and dropped along the way exercise the pin bookkeeping and log trim.
+  std::int64_t e = cut;
+  const std::int64_t chunks[] = {1, 17, 90, 3, 150, full.num_edges()};
+  for (std::int64_t upto : chunks) {
+    std::optional<serve::GraphEpochManager::ReadGuard> pin;
+    if (upto % 2 == 1) pin.emplace(mgr.acquire());
+    for (; e < std::min(upto, full.num_edges()); ++e)
+      mgr.ingest(full.src[e], full.dst[e], full.ts[e], feat_row(full, e));
+    pin.reset();
+    mgr.publish();
+  }
+  EXPECT_GE(mgr.compactions(), 1u);
+  EXPECT_EQ(mgr.events_published(), static_cast<std::uint64_t>(full.num_edges() - cut));
+
+  // The current epoch equals the statically built graph...
+  {
+    auto g = mgr.acquire();
+    expect_query_identical(g.graph(), statically_built);
+  }
+  // ...and the other replica (which lags by the final chunk) catches up at
+  // the next publish — the fresh current epoch was the laggard a moment
+  // ago, and must now be query-identical to a static build of the same
+  // extended log.
+  graph::DynamicTCSR static_plus(full);
+  static_plus.ingest(full.src[0], full.dst[0], full.ts.back() + 1);
+  mgr.ingest(full.src[0], full.dst[0], full.ts.back() + 1);
+  mgr.publish();
+  {
+    auto g = mgr.acquire();
+    expect_query_identical(g.graph(), static_plus);
+  }
+}
+
+TEST(EpochManager, EpochRetiresOnlyAfterEveryReaderReleases) {
+  const graph::Dataset full = small_dataset(31);
+  const std::int64_t cut = full.num_edges() / 2;
+  serve::GraphEpochManager mgr(prefix_dataset(full, cut));
+
+  // Pin epoch 0 (replica 0). The first publish writes the *other* replica
+  // and must not block.
+  std::optional<serve::GraphEpochManager::ReadGuard> pin(mgr.acquire());
+  const int pinned_side = pin->side();
+  EXPECT_EQ(mgr.pins(pinned_side), 1);
+
+  mgr.ingest(full.src[cut], full.dst[cut], full.ts[cut], feat_row(full, cut));
+  EXPECT_EQ(mgr.publish(), 1u);
+  // The pinned epoch-0 view is untouched by the publish.
+  EXPECT_EQ(pin->graph().dataset().num_edges(), cut);
+  EXPECT_EQ(pin->graph().version(), pin->graph_version());
+
+  // The second publish needs the pinned replica back — it must block
+  // until the straggling reader releases, never reclaim underneath it.
+  mgr.ingest(full.src[cut + 1], full.dst[cut + 1], full.ts[cut + 1],
+             feat_row(full, cut + 1));
+  std::atomic<bool> published{false};
+  std::thread publisher([&] {
+    mgr.publish();
+    published.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(published.load(std::memory_order_acquire))
+      << "publish() reclaimed an epoch that a reader still holds";
+  EXPECT_EQ(mgr.current_epoch(), 1u);
+  EXPECT_EQ(pin->graph().dataset().num_edges(), cut);  // still intact
+
+  pin.reset();  // last release retires the epoch
+  publisher.join();
+  EXPECT_TRUE(published.load(std::memory_order_acquire));
+  EXPECT_EQ(mgr.current_epoch(), 2u);
+  EXPECT_EQ(mgr.pins(0), 0);
+  EXPECT_EQ(mgr.pins(1), 0);
+}
+
 // ---- no-grad inference path ------------------------------------------------
 
 serve::SessionConfig tiny_session_config() {
@@ -325,27 +498,93 @@ TEST(NoGradInference, RepeatedRequestsKeepTapeAndWorkspaceFlat) {
   EXPECT_EQ(session.forwards(), 22u);
 }
 
-// ---- micro-batching engine -------------------------------------------------
+// ---- keyed per-request sampling streams ------------------------------------
 
-TEST(ServingEngine, CoalescedBatchMatchesSingleQueryAnswers) {
-  const graph::Dataset data = small_dataset(17);
-  const std::string ckpt = temp_path("engine.ckpt");
-  {
-    util::Rng init(5);
-    models::ModelConfig mc;
-    mc.node_feat_dim = data.node_feat_dim;
-    mc.edge_feat_dim = data.edge_feat_dim;
-    mc.hidden_dim = 16;
-    mc.time_dim = 8;
-    mc.num_neighbors = 5;
-    models::GraphMixerModel m(mc, init);
-    models::EdgePredictor p(16, init);
-    serve::save_servable(m, p, ckpt);
+// With stream keys armed, a query's samples are a pure function of its
+// key + frontier + graph — the batch it rides in is irrelevant. This is
+// the property that makes stochastic policies safe to coalesce.
+TEST(KeyedStreams, ScoreIndependentOfBatchComposition) {
+  const graph::Dataset data = small_dataset(33);
+  graph::DynamicTCSR g(data);
+
+  // TGAT is multi-hop: its deeper frontiers exercise the parent→child key
+  // chaining, not just the root keys.
+  struct Case {
+    core::BackboneKind backbone;
+    sampling::FinderPolicy policy;
+  };
+  const Case cases[] = {
+      {core::BackboneKind::kGraphMixer, sampling::FinderPolicy::kUniform},
+      {core::BackboneKind::kGraphMixer, sampling::FinderPolicy::kInverseTimespan},
+      {core::BackboneKind::kTgat, sampling::FinderPolicy::kUniform},
+  };
+  for (const Case& c : cases) {
+    const auto policy = c.policy;
+    serve::SessionConfig sc = tiny_session_config();
+    sc.backbone = c.backbone;
+    sc.policy = policy;
+    serve::InferenceSession session(g, sc);
+
+    const auto queries = tiny_queries(data, 12);
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      keys.push_back(1000 + 17 * i);
+
+    // One full batch...
+    std::vector<float> batched;
+    session.score_links(queries, keys.data(), batched);
+
+    // ...vs singletons with the same keys, in scrambled order.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const std::size_t j = (i * 5 + 3) % queries.size();
+      std::vector<float> one;
+      session.score_links({queries[j]}, &keys[j], one);
+      EXPECT_EQ(one[0], batched[j]) << "query " << j << " policy " << to_string(policy);
+    }
+
+    // Unkeyed scoring draws from the legacy stream in batch order — the
+    // coalescing-dependence the keys exist to remove. (Two consecutive
+    // unkeyed batches consume different stream positions.)
+    std::vector<float> legacy1, legacy2;
+    session.score_links(queries, legacy1);
+    session.score_links(queries, legacy2);
+    EXPECT_NE(legacy1, legacy2) << "legacy stream should advance between batches";
+
+    // Keyed replay is exactly reproducible.
+    std::vector<float> replay;
+    session.score_links(queries, keys.data(), replay);
+    EXPECT_EQ(replay, batched);
   }
+}
 
+// ---- sharded micro-batching engine -----------------------------------------
+
+/// Saves a fresh random servable bundle and returns its path.
+std::string make_ckpt(const char* name, std::uint64_t seed) {
+  const std::string ckpt = temp_path(name);
+  util::Rng init(seed);
+  models::ModelConfig mc;
+  const graph::Dataset data = small_dataset(17);
+  mc.node_feat_dim = data.node_feat_dim;
+  mc.edge_feat_dim = data.edge_feat_dim;
+  mc.hidden_dim = 16;
+  mc.time_dim = 8;
+  mc.num_neighbors = 5;
+  models::GraphMixerModel m(mc, init);
+  models::EdgePredictor p(16, init);
+  serve::save_servable(m, p, ckpt);
+  return ckpt;
+}
+
+// Conformance anchor: a 1-worker engine over an epoch manager answers
+// bit-identically to the PR 5 shape — a plain fixed-view session scoring
+// the same queries directly.
+TEST(ServingEngine, SingleWorkerMatchesDirectSessionBitwise) {
+  const graph::Dataset data = small_dataset(17);
+  const std::string ckpt = make_ckpt("engine.ckpt", 5);
   const auto queries = tiny_queries(data, 8);
 
-  // Reference answers: one session, one query at a time.
+  // Reference answers: one fixed-view session, one query at a time.
   graph::DynamicTCSR g_ref(data);
   serve::InferenceSession ref(g_ref, tiny_session_config());
   ref.load_checkpoint(ckpt);
@@ -358,13 +597,13 @@ TEST(ServingEngine, CoalescedBatchMatchesSingleQueryAnswers) {
 
   // Engine path: all 8 coalesce into one micro-batch (max_batch == burst
   // size, generous delay so the slowest CI machine still coalesces).
-  graph::DynamicTCSR g(data);
-  serve::InferenceSession session(g, tiny_session_config());
-  session.load_checkpoint(ckpt);
+  serve::GraphEpochManager mgr(data);
   serve::EngineConfig ec;
+  ec.num_workers = 1;
   ec.max_batch = static_cast<std::int64_t>(queries.size());
   ec.max_delay_ms = 2000;
-  serve::ServingEngine engine(session, g, ec);
+  serve::ServingEngine engine(mgr, tiny_session_config(), ec);
+  engine.load_checkpoint(ckpt);
 
   std::vector<std::future<float>> futures;
   for (const auto& q : queries) futures.push_back(engine.submit(q));
@@ -378,21 +617,64 @@ TEST(ServingEngine, CoalescedBatchMatchesSingleQueryAnswers) {
   EXPECT_DOUBLE_EQ(s.mean_batch_occupancy, static_cast<double>(queries.size()));
   EXPECT_GT(s.qps, 0.0);
   EXPECT_GE(s.p95_ms, s.p50_ms);
+  ASSERT_EQ(s.worker_requests.size(), 1u);
+  EXPECT_EQ(s.worker_requests[0], queries.size());
   std::remove(ckpt.c_str());
 }
 
-TEST(ServingEngine, StreamsEventsBetweenBatchesAndAutoCompacts) {
+// The headline determinism claim: worker count, dispatch policy and
+// micro-batch size change latency and throughput, never answers — for
+// stochastic sampling policies included.
+TEST(ServingEngine, WorkerCountAndBatchingInvariantScores) {
+  const graph::Dataset data = small_dataset(17);
+  const auto queries = tiny_queries(data, 24);
+
+  serve::SessionConfig sc = tiny_session_config();
+  sc.policy = sampling::FinderPolicy::kUniform;  // stochastic on purpose
+
+  struct Variant {
+    std::int64_t workers;
+    std::int64_t max_batch;
+    serve::EngineConfig::Dispatch dispatch;
+  };
+  const Variant variants[] = {
+      {1, 24, serve::EngineConfig::Dispatch::kRoundRobin},
+      {4, 5, serve::EngineConfig::Dispatch::kRoundRobin},
+      {2, 1, serve::EngineConfig::Dispatch::kHashSrc},
+  };
+
+  std::vector<std::vector<float>> scores;
+  for (const Variant& v : variants) {
+    serve::GraphEpochManager mgr(data);
+    serve::EngineConfig ec;
+    ec.num_workers = v.workers;
+    ec.max_batch = v.max_batch;
+    ec.max_delay_ms = 1.0;
+    ec.dispatch = v.dispatch;
+    serve::ServingEngine engine(mgr, sc, ec);
+    std::vector<std::future<float>> futures;
+    for (const auto& q : queries) futures.push_back(engine.submit(q));
+    std::vector<float>& got = scores.emplace_back();
+    for (auto& f : futures) got.push_back(f.get());
+    engine.drain();
+  }
+  for (std::size_t v = 1; v < scores.size(); ++v)
+    EXPECT_EQ(scores[v], scores[0]) << "variant " << v
+        << " diverged from the 1-worker reference";
+}
+
+TEST(ServingEngine, StreamsEventsThroughEpochsAndAutoCompacts) {
   const graph::Dataset data = small_dataset(19);
-  graph::DynamicTCSR g(data);
-  serve::InferenceSession session(g, tiny_session_config());
+  serve::EpochConfig epoch_cfg;
+  epoch_cfg.compact_threshold = 8;
+  serve::GraphEpochManager mgr(data, epoch_cfg);
   serve::EngineConfig ec;
+  ec.num_workers = 2;
   ec.max_batch = 4;
   ec.max_delay_ms = 1.0;
-  ec.compact_threshold = 8;
-  serve::ServingEngine engine(session, g, ec);
+  serve::ServingEngine engine(mgr, tiny_session_config(), ec);
 
-  const std::int64_t edges_before = g.dataset().num_edges();
-  const std::int64_t deg_before = g.degree(data.src[0]);
+  const std::int64_t edges_before = data.num_edges();
   std::vector<float> feat(static_cast<std::size_t>(data.edge_feat_dim), 0.5f);
   graph::Time t = data.ts.back();
   std::vector<std::future<float>> futures;
@@ -400,7 +682,8 @@ TEST(ServingEngine, StreamsEventsBetweenBatchesAndAutoCompacts) {
     t += 1.0;
     engine.ingest(data.src[static_cast<std::size_t>(k) % data.src.size()],
                   data.dst[static_cast<std::size_t>(k) % data.dst.size()], t, feat);
-    // Interleave queries with the event stream: the worker sequences them.
+    // Interleave queries with the event stream; each micro-batch pins
+    // whatever epoch is current when it runs.
     futures.push_back(engine.submit({data.src[0], data.dst[0], t + 0.5}));
   }
   for (auto& f : futures) f.get();
@@ -408,18 +691,19 @@ TEST(ServingEngine, StreamsEventsBetweenBatchesAndAutoCompacts) {
 
   const serve::ServingStats s = engine.stats();
   EXPECT_EQ(s.events_ingested, 24u);
-  EXPECT_EQ(g.dataset().num_edges(), edges_before + 24);
-  EXPECT_GE(s.compactions, 2u);  // 24 events / threshold 8
-  EXPECT_LT(g.delta_edges(), 8);
   EXPECT_EQ(s.requests, 24u);
-  // The streamed edges are visible in the merged view (event k=0 touched
-  // src[0]), whether they were compacted into the base or not.
-  EXPECT_GT(g.degree(data.src[0]), deg_before);
-  EXPECT_EQ(g.pivot_count(data.src[0], t + 1), g.degree(data.src[0]));
+  EXPECT_GE(s.epochs_published, 1u);
+  {
+    // drain() guarantees publication: all 24 events visible right now.
+    auto g = mgr.acquire();
+    EXPECT_EQ(g.graph().dataset().num_edges(), edges_before + 24);
+    EXPECT_EQ(g.graph().pivot_count(data.src[0], t + 1), g.graph().degree(data.src[0]));
+  }
+  EXPECT_GE(s.compactions, 1u);
 
-  // Malformed traffic fails the *caller*, never the worker: an engine
-  // whose worker died would leave every later future unresolved.
-  EXPECT_THROW(engine.submit({static_cast<graph::NodeId>(g.num_nodes()), 0, t + 2}),
+  // Malformed traffic fails the *caller*, never a worker or the ingest
+  // thread: a dead worker would leave every later future unresolved.
+  EXPECT_THROW(engine.submit({static_cast<graph::NodeId>(mgr.num_nodes()), 0, t + 2}),
                std::runtime_error);
   EXPECT_THROW(engine.ingest(data.src[0], data.dst[0], t - 100), std::runtime_error);
   EXPECT_THROW(engine.ingest(data.src[0], data.dst[0], t + 2,
@@ -427,6 +711,116 @@ TEST(ServingEngine, StreamsEventsBetweenBatchesAndAutoCompacts) {
                std::runtime_error);
   // The engine still serves after rejecting them.
   EXPECT_NO_THROW(engine.submit({data.src[0], data.dst[0], t + 2}).get());
+}
+
+// Scores under interleaved ingest equal a statically built graph's
+// answers once everything is drained — the incremental ≡ static
+// equivalence lifted through epochs, worker shards and compactions.
+TEST(ServingEngine, PostDrainScoresMatchStaticGraphSession) {
+  const graph::Dataset full = small_dataset(35);
+  const std::int64_t cut = full.num_edges() / 2;
+
+  serve::SessionConfig sc = tiny_session_config();
+  sc.time_scale = 1.0;  // pin: engine sessions derive theirs from the prefix
+
+  serve::EpochConfig epoch_cfg;
+  epoch_cfg.compact_threshold = 100;
+  serve::GraphEpochManager mgr(prefix_dataset(full, cut), epoch_cfg);
+  serve::EngineConfig ec;
+  ec.num_workers = 2;
+  ec.max_batch = 6;
+  ec.max_delay_ms = 1.0;
+  serve::ServingEngine engine(mgr, sc, ec);
+
+  for (std::int64_t e = cut; e < full.num_edges(); ++e)
+    engine.ingest(full.src[e], full.dst[e], full.ts[e], feat_row(full, e));
+  engine.drain();
+
+  const auto queries = tiny_queries(full, 10);
+  std::vector<std::future<float>> futures;
+  for (const auto& q : queries) futures.push_back(engine.submit(q));
+
+  graph::DynamicTCSR g_static(full);
+  serve::InferenceSession ref(g_static, sc);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::vector<float> one;
+    ref.score_links({queries[i]}, one);
+    EXPECT_EQ(futures[i].get(), one[0]) << "query " << i;
+  }
+  EXPECT_GE(mgr.compactions(), 1u);
+}
+
+// Concurrency fuzz: hammer submit/ingest/stats/drain from several client
+// threads across worker counts. Nothing here checks exact scores (epoch
+// staleness is workload-dependent); it checks that every future resolves
+// finite, every event publishes, counters stay coherent, and no epoch is
+// reclaimed while held (the session asserts the version fence on every
+// micro-batch — a torn view would throw and fail the future).
+TEST(ServingEngineStress, ConcurrentSubmitIngestDrain) {
+  const graph::Dataset data = small_dataset(37);
+  for (std::int64_t workers : {1, 2, 4}) {
+    serve::EpochConfig epoch_cfg;
+    epoch_cfg.compact_threshold = 50;
+    serve::GraphEpochManager mgr(data, epoch_cfg);
+    serve::SessionConfig sc = tiny_session_config();
+    sc.policy = sampling::FinderPolicy::kUniform;
+    serve::EngineConfig ec;
+    ec.num_workers = workers;
+    ec.max_batch = 8;
+    ec.max_delay_ms = 0.2;
+    serve::ServingEngine engine(mgr, sc, ec);
+
+    constexpr int kClients = 3;
+    constexpr int kPerClient = 60;
+    constexpr int kEvents = 120;
+    const graph::Time t_query = data.ts.back() + kEvents + 10;
+
+    std::vector<std::thread> clients;
+    std::vector<std::vector<std::future<float>>> futures(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i) {
+          const auto idx = static_cast<std::size_t>(c * kPerClient + i);
+          futures[static_cast<std::size_t>(c)].push_back(engine.submit(
+              {data.src[idx % data.src.size()], data.dst[idx % data.dst.size()],
+               t_query}));
+          if (i % 16 == 0) (void)engine.stats();
+        }
+      });
+    }
+    // One event producer (the engine's ingest() is externally-ordered by
+    // time, so a single producer mirrors the real deployment).
+    std::thread producer([&] {
+      graph::Time t = data.ts.back();
+      for (int k = 0; k < kEvents; ++k) {
+        t += 1.0;
+        engine.ingest(data.src[static_cast<std::size_t>(k) % data.src.size()],
+                      data.dst[static_cast<std::size_t>(k) % data.dst.size()], t);
+        if (k == kEvents / 2) engine.drain();  // drain while traffic flows
+      }
+    });
+    for (auto& th : clients) th.join();
+    producer.join();
+
+    for (auto& fs : futures)
+      for (auto& f : fs) EXPECT_TRUE(std::isfinite(f.get()));
+    engine.drain();
+
+    const serve::ServingStats s = engine.stats();
+    EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients * kPerClient));
+    EXPECT_EQ(s.events_ingested, static_cast<std::uint64_t>(kEvents));
+    EXPECT_GE(s.epochs_published, 1u);
+    std::uint64_t per_worker_total = 0;
+    ASSERT_EQ(s.worker_requests.size(), static_cast<std::size_t>(workers));
+    for (std::uint64_t r : s.worker_requests) per_worker_total += r;
+    EXPECT_EQ(per_worker_total, s.requests);
+    {
+      auto g = mgr.acquire();
+      EXPECT_EQ(g.graph().dataset().num_edges(), data.num_edges() + kEvents);
+    }
+    EXPECT_EQ(mgr.pins(0), 0);
+    EXPECT_EQ(mgr.pins(1), 0);
+  }
 }
 
 }  // namespace
