@@ -35,12 +35,29 @@ class DynamicTCSR::WriteScope {
 
 DynamicTCSR::DynamicTCSR(Dataset base)
     : data_(std::move(base)),
+      log_(&data_),
       base_(data_),
       delta_(static_cast<std::size_t>(data_.num_nodes)),
       last_time_(data_.ts.empty() ? -std::numeric_limits<Time>::infinity()
                                   : data_.ts.back()) {}
 
+DynamicTCSR::DynamicTCSR(const Dataset& shared_log, int shard_id, int num_shards)
+    : log_(&shared_log),
+      shard_id_(shard_id),
+      num_shards_(num_shards),
+      base_(shared_log, shard_id, num_shards),
+      delta_(static_cast<std::size_t>(shared_log.num_nodes)),
+      last_time_(shared_log.ts.empty() ? -std::numeric_limits<Time>::infinity()
+                                       : shared_log.ts.back()) {
+  TASER_CHECK_MSG(num_shards >= 1 && shard_id >= 0 && shard_id < num_shards,
+                  "DynamicTCSR shard (" << shard_id << ", " << num_shards
+                                        << "): shard_id must lie in [0, num_shards)");
+}
+
 EdgeId DynamicTCSR::ingest(NodeId u, NodeId v, Time t, const float* edge_feat) {
+  TASER_CHECK_MSG(owns_log(),
+                  "ingest on a shard-mode DynamicTCSR — shard replicas replay "
+                  "the shared container log via apply_event, they never append");
   WriteScope write(*this);
   TASER_CHECK_MSG(u >= 0 && u < data_.num_nodes && v >= 0 && v < data_.num_nodes,
                   "ingest(" << u << ", " << v << "): node id out of range [0, "
@@ -71,18 +88,49 @@ EdgeId DynamicTCSR::ingest(NodeId u, NodeId v, Time t, const float* edge_feat) {
   return eid;
 }
 
+int DynamicTCSR::apply_event(NodeId u, NodeId v, Time t, EdgeId eid) {
+  TASER_CHECK_MSG(!owns_log(),
+                  "apply_event on an owner-mode DynamicTCSR — the owner appends "
+                  "and indexes in one step via ingest()");
+  const bool own_u = shard_of(u, num_shards_) == shard_id_;
+  const bool own_v = shard_of(v, num_shards_) == shard_id_;
+  // Unowned rows skip the writer guard entirely: that is what lets every
+  // shard of a container scan the same log slice concurrently, each
+  // touching only its own state.
+  if (!own_u && !own_v) return 0;
+  WriteScope write(*this);
+  TASER_CHECK_MSG(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+                  "apply_event(" << u << ", " << v
+                                 << "): node id out of range [0, " << num_nodes()
+                                 << ")");
+  TASER_CHECK_MSG(t >= last_time_,
+                  "apply_event at t=" << t
+                                      << " regresses behind the latest event t="
+                                      << last_time_
+                                      << " — a globally time-ordered log stays "
+                                         "time-ordered within every shard slice");
+  if (own_u) delta_[static_cast<std::size_t>(u)].push_back({v, t, eid});
+  if (own_v) delta_[static_cast<std::size_t>(v)].push_back({u, t, eid});
+  ++delta_edge_count_;
+  last_time_ = t;
+  return (own_u ? 1 : 0) + (own_v ? 1 : 0);
+}
+
 void DynamicTCSR::compact() {
   WriteScope write(*this);
   if (delta_edge_count_ == 0) return;
   // The event log is the source of truth; the linear TCSR construction
   // over it reproduces base-then-delta per node (events are appended in
-  // time order), which is what makes compaction invisible to queries.
-  base_ = TCSR(data_);
+  // time order), which is what makes compaction invisible to queries. In
+  // shard mode the rebuild re-applies the ownership filter, so an owned
+  // node's list still matches the unfiltered build.
+  base_ = TCSR(*log_, shard_id_, num_shards_);
   for (auto& d : delta_) d.clear();  // capacity retained for the next wave
   delta_edge_count_ = 0;
 }
 
 std::int64_t DynamicTCSR::pivot_count(NodeId v, Time t) const {
+  check_node(v);
   const std::int64_t in_base = base_.pivot(v, t) - base_.begin(v);
   const auto& d = delta_[static_cast<std::size_t>(v)];
   // Delta timestamps all >= the node's base timestamps, so the merged

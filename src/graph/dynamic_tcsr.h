@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "graph/tcsr.h"
+#include "util/check.h"
 
 namespace taser::graph {
 
@@ -40,18 +41,42 @@ namespace taser::graph {
 /// The graph owns its growing event log (`dataset()`): ingest appends
 /// src/dst/ts and the edge-feature row, so EdgeIds stay dense and
 /// feature sources indexed by EdgeId keep working for streamed edges.
+///
+/// Shard mode (hash-partitioned ingest, PR 7): constructed against an
+/// *external* shared event log with a (shard_id, num_shards) ownership
+/// filter, the graph keeps only the adjacency lists of nodes it owns —
+/// base is a shard-filtered TCSR, deltas grow via `apply_event` replay of
+/// log rows (never `ingest`, which is owner-mode only). An owned node's
+/// merged list is byte-identical to the owner-mode list for the same log,
+/// which is what makes the 1-shard sharded container bit-identical to the
+/// pre-sharding path. ShardedDynamicTCSR routes queries to owners.
 class DynamicTCSR {
  public:
   /// Takes the base event log by value (serving owns its own copy — the
   /// log grows with every ingested event).
   explicit DynamicTCSR(Dataset base);
 
+  /// Shard mode: a view-like replica over `shared_log` (not owned — the
+  /// caller appends rows and replays them here via `apply_event`) that
+  /// keeps only nodes with `shard_of(v, num_shards) == shard_id`.
+  DynamicTCSR(const Dataset& shared_log, int shard_id, int num_shards);
+
   /// Appends one interaction event (both directions, like TCSR) and
   /// returns its EdgeId. `t` must be >= the latest event time already in
   /// the graph; `u`, `v` must be existing node ids. `edge_feat`, when the
   /// dataset carries edge features, points at `edge_feat_dim` floats
-  /// (nullptr = zero row). Writer-exclusive; bumps version().
+  /// (nullptr = zero row). Writer-exclusive; bumps version(). Owner-mode
+  /// only (shard-mode graphs replay the shared log via apply_event).
   EdgeId ingest(NodeId u, NodeId v, Time t, const float* edge_feat = nullptr);
+
+  /// Shard-mode replay of one shared-log row: pushes the directions this
+  /// shard owns (0, 1, or 2 — a non-self-loop event whose endpoints hash
+  /// to the same shard contributes both) and returns that count. The row
+  /// `eid` must already be present in the shared log. Unowned events are
+  /// a cheap no-op *before* the writer guard, so distinct shards of one
+  /// container can replay disjoint slices concurrently. Writer-exclusive
+  /// per shard; bumps version() when any direction lands.
+  int apply_event(NodeId u, NodeId v, Time t, EdgeId eid);
 
   /// Folds the delta into the base CSR (O(total edges) rebuild) and
   /// clears the delta buffers (capacity retained). The merged view is
@@ -60,8 +85,15 @@ class DynamicTCSR {
   void compact();
 
   std::int64_t num_nodes() const { return base_.num_nodes(); }
-  /// Events not yet folded into the base (compaction backlog).
+  /// Events not yet folded into the base (compaction backlog). In shard
+  /// mode, counts events that touched this shard (an event split across
+  /// two shards counts once in each).
   std::int64_t delta_edges() const { return delta_edge_count_; }
+  /// True when this graph owns its event log (classic mode); false for
+  /// shard-mode replicas over a shared log.
+  bool owns_log() const { return log_ == &data_; }
+  int shard_id() const { return shard_id_; }
+  int num_shards() const { return num_shards_; }
   /// Latest event timestamp in the graph (base or delta).
   Time last_time() const { return last_time_; }
 
@@ -85,7 +117,16 @@ class DynamicTCSR {
   // delta segment [base_degree(v), degree(v)), both timestamp-ascending,
   // the concatenation timestamp-ascending by the ingest ordering rule.
 
+  // Bounds discipline (PR 7): an out-of-range NodeId from a buggy caller
+  // used to be silent UB in Release. The per-batch-granularity entry
+  // points (degree, pivot_count) carry always-on TASER_CHECKs — one
+  // predictable compare next to a binary search is free. The per-slot
+  // accessors (nbr / nbr_ts / nbr_eid) sit on the sampling inner loop and
+  // use TASER_DCHECK: on in debug and in the -DTASER_DEBUG_CHECKS
+  // sanitizer CI builds, compiled out in plain Release.
+
   std::int64_t degree(NodeId v) const {
+    check_node(v);
     return base_.degree(v) + static_cast<std::int64_t>(delta_[static_cast<std::size_t>(v)].size());
   }
 
@@ -95,24 +136,29 @@ class DynamicTCSR {
   std::int64_t pivot_count(NodeId v, Time t) const;
 
   NodeId nbr(NodeId v, std::int64_t j) const {
+    dcheck_slot(v, j);
     const std::int64_t b = base_.degree(v);
     return j < b ? base_.nbr_at(base_.begin(v) + j)
                  : delta_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j - b)].nbr;
   }
   Time nbr_ts(NodeId v, std::int64_t j) const {
+    dcheck_slot(v, j);
     const std::int64_t b = base_.degree(v);
     return j < b ? base_.ts_at(base_.begin(v) + j)
                  : delta_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j - b)].ts;
   }
   EdgeId nbr_eid(NodeId v, std::int64_t j) const {
+    dcheck_slot(v, j);
     const std::int64_t b = base_.degree(v);
     return j < b ? base_.eid_at(base_.begin(v) + j)
                  : delta_[static_cast<std::size_t>(v)][static_cast<std::size_t>(j - b)].eid;
   }
 
-  /// The growing event log + features. Stable reference: feature sources
-  /// and builders constructed against it keep seeing appended rows.
-  const Dataset& dataset() const { return data_; }
+  /// The event log + features (owner mode: the growing log this graph
+  /// owns; shard mode: the shared container log). Stable reference:
+  /// feature sources and builders constructed against it keep seeing
+  /// appended rows.
+  const Dataset& dataset() const { return *log_; }
   const TCSR& base() const { return base_; }
 
  private:
@@ -125,7 +171,26 @@ class DynamicTCSR {
   /// RAII writer-exclusivity guard: entering a second writer throws.
   class WriteScope;
 
-  Dataset data_;
+  void check_node(NodeId v) const {
+    TASER_CHECK_MSG(v >= 0 && v < num_nodes(), "DynamicTCSR: node id "
+                                                   << v << " out of range [0, "
+                                                   << num_nodes() << ")");
+  }
+  void dcheck_slot(NodeId v, std::int64_t j) const {
+    TASER_DCHECK_MSG(v >= 0 && v < num_nodes(),
+                     "DynamicTCSR: node id " << v << " out of range [0, "
+                                             << num_nodes() << ")");
+    TASER_DCHECK_MSG(
+        j >= 0 && j < base_.degree(v) +
+                          static_cast<std::int64_t>(
+                              delta_[static_cast<std::size_t>(v)].size()),
+        "DynamicTCSR: slot " << j << " out of range [0, degree(" << v << "))");
+  }
+
+  Dataset data_;          ///< owner-mode event log (empty in shard mode)
+  const Dataset* log_;    ///< == &data_ in owner mode, external in shard mode
+  int shard_id_ = 0;
+  int num_shards_ = 1;
   TCSR base_;
   std::vector<std::vector<DeltaEntry>> delta_;  ///< per-node, ts-ordered
   std::int64_t delta_edge_count_ = 0;

@@ -17,6 +17,14 @@ class TCSR {
  public:
   explicit TCSR(const Dataset& dataset);
 
+  /// Shard-filtered construction: keeps only the adjacency lists of nodes
+  /// owned by `shard_id` under `shard_of(v, num_shards)`; unowned nodes
+  /// get empty ranges. `indptr` still spans the full node space, so
+  /// NodeIds (and the dense global EdgeIds) are unchanged — an owned
+  /// node's list is byte-identical to the unfiltered build's list.
+  /// (0, 1) is the unfiltered construction.
+  TCSR(const Dataset& dataset, int shard_id, int num_shards);
+
   std::int64_t num_nodes() const { return num_nodes_; }
 
   std::int64_t degree(NodeId v) const {

@@ -12,6 +12,21 @@ using Time = double;
 constexpr NodeId kInvalidNode = -1;
 constexpr EdgeId kInvalidEdge = -1;
 
+/// Hash-partitioned node-space ownership: which of `num_shards` shards
+/// owns node `v`. A splitmix64 finalizer over the id (same mix as
+/// util::mix_stream_key) spreads hub nodes across shards regardless of
+/// id locality. shard_of(v, 1) == 0 for every v, so one shard is the
+/// degenerate unsharded case.
+inline int shard_of(NodeId v, int num_shards) {
+  if (num_shards <= 1) return 0;
+  std::uint64_t z =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(num_shards));
+}
+
 /// A batch of (node, timestamp) roots for which temporal neighborhoods
 /// are requested. The timestamp is exclusive: only interactions strictly
 /// earlier than `times[i]` are eligible (paper §II-A).

@@ -23,11 +23,11 @@ void DynamicNeighborFinder::set_stream_keys(const std::vector<std::uint64_t>& ro
 
 void DynamicNeighborFinder::begin_batch(Time batch_time) {
   (void)batch_time;  // any batch order is fine; the version is the snapshot
-  TASER_CHECK_MSG(!graph_.writer_active(),
+  TASER_CHECK_MSG(!graph_writer_active(),
                   "begin_batch during a DynamicTCSR mutation — readers must be "
                   "sequenced after the writer (single-writer/snapshot-read "
                   "contract)");
-  version_at_batch_ = graph_.version();
+  version_at_batch_ = graph_version();
   if (has_expected_version_) {
     TASER_CHECK_MSG(version_at_batch_ == expected_version_,
                     "epoch fence: replica version " << version_at_batch_
@@ -48,9 +48,9 @@ void DynamicNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t
   TASER_CHECK_MSG(version_at_batch_ != kNoBatch,
                   "sample_into before begin_batch — the dynamic finder needs a "
                   "version snapshot to assert the read window");
-  TASER_CHECK_MSG(graph_.version() == version_at_batch_,
+  TASER_CHECK_MSG(graph_version() == version_at_batch_,
                   "DynamicTCSR mutated inside a sampling window (version "
-                      << graph_.version() << " != snapshot " << version_at_batch_
+                      << graph_version() << " != snapshot " << version_at_batch_
                       << ") — ingest/compact must happen between batches, then "
                          "begin_batch again");
   out.resize(static_cast<std::int64_t>(targets.size()), budget);
@@ -90,7 +90,10 @@ void DynamicNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t
     const NodeId v = targets.nodes[i];
     const Time t = targets.times[i];
     if (v == graph::kInvalidNode) continue;
-    const std::int64_t eligible = graph_.pivot_count(v, t);
+    // Per-root shard routing: all merged-view reads for this target go to
+    // the one graph owning v's list (degenerate in single-graph mode).
+    const graph::DynamicTCSR& g = route(v);
+    const std::int64_t eligible = g.pivot_count(v, t);
     if (eligible == 0) continue;
     const std::int64_t take = std::min(budget, eligible);
 
@@ -105,9 +108,9 @@ void DynamicNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t
     auto emit = [&](std::int64_t j) {
       const auto s = static_cast<std::size_t>(
           out.slot(static_cast<std::int64_t>(i), written++));
-      out.nbr[s] = graph_.nbr(v, j);
-      out.ts[s] = graph_.nbr_ts(v, j);
-      out.eid[s] = graph_.nbr_eid(v, j);
+      out.nbr[s] = g.nbr(v, j);
+      out.ts[s] = g.nbr_ts(v, j);
+      out.eid[s] = g.nbr_eid(v, j);
     };
 
     switch (policy) {
@@ -136,7 +139,7 @@ void DynamicNeighborFinder::sample_into(const TargetBatch& targets, std::int64_t
         // TGAT's heuristic: p(j) ∝ 1 / (t - t_j + δ), without replacement.
         w_.resize(static_cast<std::size_t>(eligible));
         for (std::int64_t j = 0; j < eligible; ++j)
-          w_[static_cast<std::size_t>(j)] = 1.0 / (t - graph_.nbr_ts(v, j) + 1e-6);
+          w_[static_cast<std::size_t>(j)] = 1.0 / (t - g.nbr_ts(v, j) + 1e-6);
         for (std::int64_t j = 0; j < take; ++j) {
           const std::size_t pick = r->next_weighted(w_);
           w_[pick] = 0.0;

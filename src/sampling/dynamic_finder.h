@@ -1,6 +1,7 @@
 #pragma once
 
 #include "graph/dynamic_tcsr.h"
+#include "graph/sharded_tcsr.h"
 #include "sampling/neighbor_finder.h"
 
 namespace taser::sampling {
@@ -44,11 +45,21 @@ namespace taser::sampling {
 /// Serial per-target loop with capacity-reusing member scratch: serving
 /// micro-batches are small, and both stream modes keep the sample
 /// sequence independent of thread count by construction.
+/// Sharded binding: constructed over a ShardedDynamicTCSR, every root
+/// routes to the shard owning its adjacency list (`shard_for`); because an
+/// owned node's merged list is byte-identical to the unsharded one, the
+/// sample sequence — and therefore every score — is independent of the
+/// shard count (test_serve's S ∈ {1,2,4} anchor). The version fence spans
+/// the whole container (summed shard versions).
 class DynamicNeighborFinder : public NeighborFinder {
  public:
   explicit DynamicNeighborFinder(const graph::DynamicTCSR& graph,
                                  std::uint64_t seed = 1)
-      : graph_(graph), rng_(seed) {}
+      : single_(&graph), rng_(seed) {}
+
+  explicit DynamicNeighborFinder(const graph::ShardedDynamicTCSR& graph,
+                                 std::uint64_t seed = 1)
+      : sharded_(&graph), rng_(seed) {}
 
   void begin_batch(Time batch_time) override;
 
@@ -70,7 +81,21 @@ class DynamicNeighborFinder : public NeighborFinder {
  private:
   static constexpr std::uint64_t kNoBatch = ~std::uint64_t{0};
 
-  const graph::DynamicTCSR& graph_;
+  std::uint64_t graph_version() const {
+    return single_ != nullptr ? single_->version() : sharded_->version();
+  }
+  bool graph_writer_active() const {
+    return single_ != nullptr ? single_->writer_active() : sharded_->writer_active();
+  }
+  /// The graph holding root v's adjacency list (per-root shard routing;
+  /// degenerate in single-graph mode).
+  const graph::DynamicTCSR& route(graph::NodeId v) const {
+    return single_ != nullptr ? *single_ : sharded_->shard_for(v);
+  }
+
+  // Exactly one of the two bindings is non-null (set by the ctor used).
+  const graph::DynamicTCSR* single_ = nullptr;
+  const graph::ShardedDynamicTCSR* sharded_ = nullptr;
   util::Rng rng_;
   std::uint64_t version_at_batch_ = kNoBatch;
   std::uint64_t expected_version_ = 0;

@@ -1,6 +1,8 @@
 #include "serve/epoch_manager.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "util/check.h"
 
@@ -11,8 +13,14 @@ GraphEpochManager::GraphEpochManager(graph::Dataset base, EpochConfig config)
   TASER_CHECK_MSG(config_.compact_threshold >= 0,
                   "compact_threshold must be >= 0 (got "
                       << config_.compact_threshold << ")");
-  sides_[0] = std::make_unique<graph::DynamicTCSR>(base);
-  sides_[1] = std::make_unique<graph::DynamicTCSR>(std::move(base));
+  TASER_CHECK_MSG(config_.num_shards >= 1,
+                  "num_shards must be >= 1 (got " << config_.num_shards << ")");
+  TASER_CHECK_MSG(config_.modeled_apply_us >= 0.0,
+                  "modeled_apply_us must be >= 0 (got "
+                      << config_.modeled_apply_us << ")");
+  sides_[0] = std::make_unique<graph::ShardedDynamicTCSR>(base, config_.num_shards);
+  sides_[1] =
+      std::make_unique<graph::ShardedDynamicTCSR>(std::move(base), config_.num_shards);
   // Both replicas start frozen: epoch 0 is the base snapshot, and the
   // write side thaws only inside publish() once it has retired.
   sides_[0]->set_frozen(true);
@@ -74,8 +82,27 @@ std::uint64_t GraphEpochManager::publish() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     target = log_offset_ + log_.size();
-    if (applied_[current_] == target) return epoch_id_;  // nothing unpublished
     w = 1 - current_;
+    if (applied_[current_] == target) {
+      // Nothing unpublished — the current epoch stays. But the *lagging*
+      // replica may still be behind: before the PR 7 fix this branch
+      // returned unconditionally, so once the stream went quiescent the
+      // laggard never caught up and the inter-epoch log tail (entries
+      // above min(applied_)) was retained forever. Catch it up now when
+      // it is unpinned (never block a no-op publish on a straggling
+      // reader; its pin count can only fall, so the next quiescent
+      // publish gets it) and trim the log to empty.
+      if (applied_[w] == target || pins_[w] != 0) return epoch_id_;
+      lock.unlock();
+      const bool compacted = catch_up(w, target);
+      const std::uint64_t version = sides_[w]->version();
+      lock.lock();
+      applied_[w] = target;
+      published_version_[w] = version;
+      if (compacted) ++compactions_;
+      trim_log_locked();
+      return epoch_id_;
+    }
     // RCU retirement: the write side may still be pinned by readers that
     // acquired it while it was the current epoch. It is reclaimed for
     // writing only once every one of them has released.
@@ -83,23 +110,8 @@ std::uint64_t GraphEpochManager::publish() {
     TASER_CHECK(pins_[w] == 0);
   }
 
-  // Catch-up runs unlocked: the retired side is unreachable for readers
-  // (acquire only pins `current_`), and log entries [applied_[w], target)
-  // are stable — only this thread appends, and trimming never passes the
-  // minimum applied watermark.
-  graph::DynamicTCSR& g = *sides_[w];
-  g.set_frozen(false);
-  for (std::uint64_t i = applied_[w]; i < target; ++i) {
-    const Event& ev = log_[static_cast<std::size_t>(i - log_offset_)];
-    g.ingest(ev.u, ev.v, ev.t, ev.feat.empty() ? nullptr : ev.feat.data());
-  }
-  bool compacted = false;
-  if (config_.compact_threshold > 0 && g.delta_edges() >= config_.compact_threshold) {
-    g.compact();
-    compacted = true;
-  }
-  g.set_frozen(true);
-  const std::uint64_t version = g.version();
+  const bool compacted = catch_up(w, target);
+  const std::uint64_t version = sides_[w]->version();
 
   std::uint64_t epoch;
   {
@@ -109,13 +121,75 @@ std::uint64_t GraphEpochManager::publish() {
     current_ = w;
     epoch = ++epoch_id_;
     if (compacted) ++compactions_;
-    const std::uint64_t keep_from = std::min(applied_[0], applied_[1]);
-    while (log_offset_ < keep_from) {
-      log_.pop_front();
-      ++log_offset_;
-    }
+    trim_log_locked();
   }
   return epoch;
+}
+
+bool GraphEpochManager::catch_up(int w, std::uint64_t target) {
+  // Runs unlocked: the retired side is unreachable for readers (acquire
+  // only pins `current_`), and log entries [applied_[w], target) are
+  // stable — only this thread appends, and trimming never passes the
+  // minimum applied watermark.
+  graph::ShardedDynamicTCSR& g = *sides_[w];
+  g.set_frozen(false);
+
+  // Phase 1, serial: append the pending rows to the replica's shared log.
+  // Cheap (a few vector pushes per event) and must not overlap phase 2 —
+  // appends can reallocate the log vectors the shard threads read.
+  const auto e0 = static_cast<graph::EdgeId>(g.dataset().num_edges());
+  for (std::uint64_t i = applied_[w]; i < target; ++i) {
+    const Event& ev = log_[static_cast<std::size_t>(i - log_offset_)];
+    g.append_event(ev.u, ev.v, ev.t, ev.feat.empty() ? nullptr : ev.feat.data());
+  }
+  const auto e1 = static_cast<graph::EdgeId>(g.dataset().num_edges());
+
+  // Phase 2, parallel: index the slice into every shard, each on its own
+  // thread — disjoint node sets, disjoint state. The modeled apply cost
+  // (per owned direction) sleeps concurrently across shards, standing in
+  // for per-event device work exactly like the engine's modeled_device_ms
+  // stands in for forward-pass time.
+  const int S = g.num_shards();
+  auto replay = [&](int s) {
+    const std::int64_t directions = g.apply_slice_to_shard(s, e0, e1);
+    if (config_.modeled_apply_us > 0.0 && directions > 0) {
+      const auto ns = static_cast<std::int64_t>(
+          static_cast<double>(directions) * config_.modeled_apply_us * 1e3);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+  };
+  if (S == 1) {
+    replay(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s) threads.emplace_back(replay, s);
+    for (auto& t : threads) t.join();
+  }
+
+  bool compacted = false;
+  if (config_.compact_threshold > 0 && g.delta_edges() >= config_.compact_threshold) {
+    if (S == 1) {
+      g.compact();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(S));
+      for (int s = 0; s < S; ++s)
+        threads.emplace_back([&g, s] { g.compact_shard(s); });
+      for (auto& t : threads) t.join();
+    }
+    compacted = true;
+  }
+  g.set_frozen(true);
+  return compacted;
+}
+
+void GraphEpochManager::trim_log_locked() {
+  const std::uint64_t keep_from = std::min(applied_[0], applied_[1]);
+  while (log_offset_ < keep_from) {
+    log_.pop_front();
+    ++log_offset_;
+  }
 }
 
 bool GraphEpochManager::has_unpublished() const {
@@ -141,6 +215,11 @@ std::uint64_t GraphEpochManager::events_published() const {
 std::uint64_t GraphEpochManager::compactions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return compactions_;
+}
+
+std::size_t GraphEpochManager::log_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
 }
 
 std::int64_t GraphEpochManager::pins(int side) const {

@@ -8,7 +8,7 @@
 #include <mutex>
 #include <vector>
 
-#include "graph/dynamic_tcsr.h"
+#include "graph/sharded_tcsr.h"
 
 namespace taser::serve {
 
@@ -19,11 +19,23 @@ struct EpochConfig {
   /// compaction stays invisible to queries by construction, not just by
   /// the DynamicTCSR equivalence argument.
   std::int64_t compact_threshold = 0;
+  /// Hash-partition the node space into this many shards per replica
+  /// (>= 1). Publish-time catch-up indexes each shard's slice of the
+  /// event log on its own thread; 1 shard is the pre-sharding serial
+  /// path, bit-identical. Query answers are shard-count-invariant.
+  int num_shards = 1;
+  /// Modeled accelerator time per applied edge direction during catch-up,
+  /// in microseconds (0 = none). Stands in for the per-event device work
+  /// an event-driven model does (e.g. a TGN memory update per endpoint),
+  /// following the repo's modeled-device convention: the sleeps overlap
+  /// across shard threads, which is exactly the win parallel ingest buys
+  /// (bench_serve's shard sweep gates >= 2x at 4 shards on it).
+  double modeled_apply_us = 0.0;
 };
 
 /// Left-right epoch manager: promotes the PR 5 single-writer/snapshot-read
 /// contract from a structural accident of one thread into a concurrency
-/// design. Two DynamicTCSR replicas of the same event log alternate
+/// design. Two ShardedDynamicTCSR replicas of the same event log alternate
 /// between two roles:
 ///
 ///   - the *current epoch*: frozen (DynamicTCSR::set_frozen), served
@@ -47,6 +59,15 @@ struct EpochConfig {
 /// twice total) instead of the graph being copied per epoch; publish is
 /// O(new events) plus a pointer swap. Memory is two full replicas — the
 /// price of lock-free-shaped reads with zero reader-visible mutation.
+///
+/// Sharded catch-up (PR 7): each replica is hash-partitioned into
+/// `num_shards` disjoint DynamicTCSR shards over ONE shared log. publish()
+/// appends the pending log slice serially (cheap), then replays it into
+/// the S shards on S plain std::threads (the expensive indexing +
+/// modeled per-direction device work, embarrassingly parallel because
+/// shards own disjoint node sets), then swaps ALL shards atomically
+/// behind the single epoch id — one epoch counter, one pin counter per
+/// side, one event log, so the read-side contract is unchanged at any S.
 ///
 /// Threading contract (hard checks where cheap):
 ///   - ingest() and publish() are single-ingest-thread only (concurrent
@@ -75,23 +96,23 @@ class GraphEpochManager {
     ReadGuard& operator=(const ReadGuard&) = delete;
     ~ReadGuard();
 
-    const graph::DynamicTCSR& graph() const { return *graph_; }
+    const graph::ShardedDynamicTCSR& graph() const { return *graph_; }
     /// Monotone epoch number (0 = the base snapshot before any publish).
     std::uint64_t epoch() const { return epoch_; }
     /// Which replica this epoch lives on (session pipeline selector).
     int side() const { return side_; }
-    /// DynamicTCSR::version() captured when this epoch was published —
-    /// the read-side fence value to hand DynamicNeighborFinder.
+    /// Replica version (summed over shards) captured when this epoch was
+    /// published — the read-side fence value to hand DynamicNeighborFinder.
     std::uint64_t graph_version() const { return version_; }
 
    private:
     friend class GraphEpochManager;
     ReadGuard(GraphEpochManager* mgr, int side, std::uint64_t epoch,
-              std::uint64_t version, const graph::DynamicTCSR* graph)
+              std::uint64_t version, const graph::ShardedDynamicTCSR* graph)
         : mgr_(mgr), graph_(graph), side_(side), epoch_(epoch), version_(version) {}
 
     GraphEpochManager* mgr_;
-    const graph::DynamicTCSR* graph_;
+    const graph::ShardedDynamicTCSR* graph_;
     int side_;
     std::uint64_t epoch_;
     std::uint64_t version_;
@@ -110,8 +131,12 @@ class GraphEpochManager {
 
   /// Catches the write side up with every buffered event and publishes it
   /// as the new current epoch. Blocks until the write side has retired
-  /// (reader pins released). No-op (returns the current epoch id) when
-  /// nothing is unpublished. Returns the new current epoch id.
+  /// (reader pins released). Returns the new current epoch id. When
+  /// nothing is unpublished, keeps the current epoch (id unchanged) but
+  /// still catches the *lagging* replica up — if it is unpinned — and
+  /// trims the log, so a quiescent stream converges to both replicas
+  /// fully applied and an empty log instead of retaining the inter-epoch
+  /// tail forever (the PR 7 idle-stream fix).
   std::uint64_t publish();
 
   /// True when buffered events are not yet visible in the current epoch.
@@ -125,6 +150,10 @@ class GraphEpochManager {
   /// Events visible in the current epoch.
   std::uint64_t events_published() const;
   std::uint64_t compactions() const;
+  /// Entries currently retained in the pending/replay log (unpublished
+  /// events plus the tail kept for the lagging replica). An idle, fully
+  /// caught-up manager holds zero.
+  std::size_t log_size() const;
   /// Reader pins currently held on replica `side` (tests assert the
   /// no-reclaim-while-held invariant with this).
   std::int64_t pins(int side) const;
@@ -137,7 +166,7 @@ class GraphEpochManager {
   /// Direct replica access for session pipeline binding and tests. The
   /// replica addresses are stable for the manager's lifetime; treat the
   /// graphs as read-only.
-  const graph::DynamicTCSR& side(int i) const { return *sides_[i]; }
+  const graph::ShardedDynamicTCSR& side(int i) const { return *sides_[i]; }
 
  private:
   struct Event {
@@ -147,9 +176,17 @@ class GraphEpochManager {
   };
 
   void release(int side);
+  /// Replays log entries [applied_[w], target) into replica w: serial
+  /// append to the shared log, parallel per-shard indexing (+ modeled
+  /// apply cost), optional compaction wave, re-freeze. Runs unlocked;
+  /// returns whether a compaction happened. Caller must hold the
+  /// publishing_ flag and have verified pins_[w] == 0.
+  bool catch_up(int w, std::uint64_t target);
+  /// Drops log entries below min(applied_). Caller holds mu_.
+  void trim_log_locked();
 
   EpochConfig config_;
-  std::unique_ptr<graph::DynamicTCSR> sides_[2];
+  std::unique_ptr<graph::ShardedDynamicTCSR> sides_[2];
 
   mutable std::mutex mu_;
   std::condition_variable retire_cv_;  ///< signaled when a pin count hits 0

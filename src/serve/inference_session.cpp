@@ -28,6 +28,23 @@ InferenceSession::Pipeline::Pipeline(const graph::DynamicTCSR& graph,
                                                  device, /*sampler=*/nullptr, bc);
 }
 
+InferenceSession::Pipeline::Pipeline(const graph::ShardedDynamicTCSR& graph,
+                                     gpusim::Device& device,
+                                     const SessionConfig& config, double time_scale)
+    : finder(graph, config.seed ^ 0xd1f1ULL) {
+  // Feature source and builder bind the container's shared log — EdgeIds
+  // are dense and global regardless of shard count, so feature lookups
+  // are untouched by sharding.
+  features = std::make_unique<cache::PlainFeatureSource>(graph.dataset(), device);
+  core::BuilderConfig bc;
+  bc.n = config.n_neighbors;
+  bc.m = config.n_neighbors;  // non-adaptive: the finder samples n directly
+  bc.policy = config.policy;
+  bc.time_scale = time_scale;
+  builder = std::make_unique<core::BatchBuilder>(graph.dataset(), finder, *features,
+                                                 device, /*sampler=*/nullptr, bc);
+}
+
 InferenceSession::InferenceSession(graph::DynamicTCSR& graph, SessionConfig config)
     : fixed_graph_(&graph),
       config_(config),
@@ -102,13 +119,13 @@ void InferenceSession::score_links(const std::vector<LinkQuery>& queries,
     Pipeline& pipe = *pipes_[static_cast<std::size_t>(epoch.side())];
     pipe.finder.expect_version(epoch.graph_version());
     last_epoch_ = epoch.epoch();
-    score_on(pipe, epoch.graph(), queries, stream_keys, out);
+    score_on(pipe, epoch.graph().num_nodes(), queries, stream_keys, out);
   } else {
-    score_on(*pipes_[0], *fixed_graph_, queries, stream_keys, out);
+    score_on(*pipes_[0], fixed_graph_->num_nodes(), queries, stream_keys, out);
   }
 }
 
-void InferenceSession::score_on(Pipeline& pipe, const graph::DynamicTCSR& graph,
+void InferenceSession::score_on(Pipeline& pipe, std::int64_t num_nodes,
                                 const std::vector<LinkQuery>& queries,
                                 const std::uint64_t* stream_keys,
                                 std::vector<float>& out) {
@@ -122,7 +139,7 @@ void InferenceSession::score_on(Pipeline& pipe, const graph::DynamicTCSR& graph,
   tt::NoGradGuard no_grad;
 
   roots_.clear();
-  const auto nodes = graph.num_nodes();
+  const auto nodes = num_nodes;
   for (const LinkQuery& q : queries) {
     TASER_CHECK_MSG(q.src >= 0 && q.src < nodes && q.dst >= 0 && q.dst < nodes,
                     "link query (" << q.src << ", " << q.dst

@@ -113,9 +113,13 @@ class InferenceSession {
 
  private:
   /// One per-replica sampling pipeline: finder + feature source + builder
-  /// (with its own BuilderWorkspace arena), all bound to one DynamicTCSR.
+  /// (with its own BuilderWorkspace arena), all bound to one graph — a
+  /// plain DynamicTCSR (fixed-view mode) or a sharded replica (epoch
+  /// mode, where the finder routes each root to its owning shard).
   struct Pipeline {
     Pipeline(const graph::DynamicTCSR& graph, gpusim::Device& device,
+             const SessionConfig& config, double time_scale);
+    Pipeline(const graph::ShardedDynamicTCSR& graph, gpusim::Device& device,
              const SessionConfig& config, double time_scale);
     sampling::DynamicNeighborFinder finder;
     std::unique_ptr<cache::FeatureSource> features;
@@ -123,7 +127,7 @@ class InferenceSession {
   };
 
   void init_model();
-  void score_on(Pipeline& pipe, const graph::DynamicTCSR& graph,
+  void score_on(Pipeline& pipe, std::int64_t num_nodes,
                 const std::vector<LinkQuery>& queries,
                 const std::uint64_t* stream_keys, std::vector<float>& out);
 

@@ -2,19 +2,9 @@
 
 #include <algorithm>
 
+#include "serve/stats_merge.h"
+
 namespace taser::serve {
-
-namespace {
-
-/// Nearest-rank percentile of a sorted sample.
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
-
-}  // namespace
 
 ServingEngine::ServingEngine(GraphEpochManager& graphs,
                              const SessionConfig& session_config,
@@ -272,8 +262,14 @@ ServingStats ServingEngine::stats() const {
   s.epochs_published = graphs_.current_epoch();
   s.compactions = graphs_.compactions();
 
-  // Merge shards in fixed worker order: equal runs → equal stats.
-  std::vector<double> merged;
+  // Merge shards in fixed worker order: equal runs → equal stats. Each
+  // shard contributes its bounded reservoir *plus* its true request
+  // count; the percentile merge weights samples by represented requests
+  // (stats_merge.h) — a plain concatenation would bias toward
+  // lightly-loaded workers under skewed dispatch.
+  std::vector<ReservoirSlice> slices;
+  slices.reserve(shards_.size());
+  bool any_samples = false;
   std::chrono::steady_clock::time_point last_complete{};
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -284,8 +280,8 @@ ServingStats ServingEngine::stats() const {
         shard->batches > 0 ? static_cast<double>(shard->completed) /
                                  static_cast<double>(shard->batches)
                            : 0.0);
-    merged.insert(merged.end(), shard->latencies_ms.begin(),
-                  shard->latencies_ms.end());
+    slices.push_back(ReservoirSlice{shard->latencies_ms, shard->latency_count});
+    any_samples = any_samples || !shard->latencies_ms.empty();
     s.max_ms = std::max(s.max_ms, shard->latency_max_ms);
     if (shard->completed > 0 && shard->last_complete > last_complete)
       last_complete = shard->last_complete;
@@ -294,11 +290,10 @@ ServingStats ServingEngine::stats() const {
   if (s.batches > 0)
     s.mean_batch_occupancy =
         static_cast<double>(s.requests) / static_cast<double>(s.batches);
-  if (!merged.empty()) {
-    std::sort(merged.begin(), merged.end());
-    s.p50_ms = percentile(merged, 0.50);
-    s.p95_ms = percentile(merged, 0.95);
-    s.p99_ms = percentile(merged, 0.99);
+  if (any_samples) {
+    s.p50_ms = merged_percentile(slices, 0.50);
+    s.p95_ms = merged_percentile(slices, 0.95);
+    s.p99_ms = merged_percentile(slices, 0.99);
     const double span =
         std::chrono::duration<double>(last_complete - first_enqueue).count();
     if (submitted_total > 0 && span > 0)

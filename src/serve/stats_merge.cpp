@@ -1,0 +1,42 @@
+#include "serve/stats_merge.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace taser::serve {
+
+double merged_percentile(const std::vector<ReservoirSlice>& slices, double p) {
+  TASER_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                  "merged_percentile: p=" << p << " outside [0, 1]");
+  struct Weighted {
+    double ms;
+    double weight;
+  };
+  std::vector<Weighted> all;
+  double total_weight = 0.0;
+  for (const ReservoirSlice& slice : slices) {
+    if (slice.samples.empty()) continue;
+    // Each retained sample stands for count/|samples| real requests; the
+    // per-slice weights sum back to the slice's true request count.
+    const double w = static_cast<double>(slice.count) /
+                     static_cast<double>(slice.samples.size());
+    for (double ms : slice.samples) all.push_back({ms, w});
+    total_weight += static_cast<double>(slice.count);
+  }
+  if (all.empty()) return 0.0;
+
+  std::sort(all.begin(), all.end(),
+            [](const Weighted& a, const Weighted& b) { return a.ms < b.ms; });
+  // Weighted nearest-rank: smallest latency whose cumulative represented
+  // request count reaches p of the total.
+  const double threshold = p * total_weight;
+  double cumulative = 0.0;
+  for (const Weighted& s : all) {
+    cumulative += s.weight;
+    if (cumulative >= threshold) return s.ms;
+  }
+  return all.back().ms;  // p == 1 with floating-point shortfall
+}
+
+}  // namespace taser::serve

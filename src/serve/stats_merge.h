@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace taser::serve {
+
+/// One worker shard's latency reservoir as the stats merge sees it:
+/// `samples` is the bounded Algorithm-R reservoir (a uniform sample of
+/// that shard's completed requests), `count` the true number of requests
+/// it stands for.
+struct ReservoirSlice {
+  std::vector<double> samples;
+  std::uint64_t count = 0;
+};
+
+/// Count-weighted nearest-rank percentile over per-shard reservoirs.
+///
+/// Concatenating the reservoirs and taking a plain percentile — the old
+/// merge — weights every *retained sample* equally, but once any
+/// reservoir has overflowed, a retained sample from a heavily-loaded
+/// shard stands for many more real requests than one from a
+/// lightly-loaded shard (hash-on-src dispatch skews load routinely), so
+/// the merged p50/p95/p99 drifted toward the light shards. Here each
+/// sample carries weight `count / samples.size()` — the number of real
+/// requests it represents — and the percentile is the smallest latency
+/// whose cumulative weight reaches `p` of the total request count
+/// (weighted nearest-rank). With equal per-shard loads this reduces to
+/// the plain merge; `p` must lie in [0, 1]. Empty slices are skipped;
+/// returns 0 when no slice has samples.
+double merged_percentile(const std::vector<ReservoirSlice>& slices, double p);
+
+}  // namespace taser::serve

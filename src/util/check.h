@@ -34,3 +34,32 @@ namespace taser::util {
       ::taser::util::check_failed(#cond, __FILE__, __LINE__, os_.str());   \
     }                                                                      \
   } while (0)
+
+// Debug-only variant for guards that sit on genuinely hot inner loops
+// (per-slot merged-view accessors and the like), where an always-on
+// branch per element would be measurable. Enabled whenever NDEBUG is
+// off, and force-enabled via -DTASER_DEBUG_CHECKS so sanitizer CI jobs
+// (which build RelWithDebInfo, i.e. with NDEBUG) still exercise them.
+#if !defined(NDEBUG) && !defined(TASER_DEBUG_CHECKS)
+#define TASER_DEBUG_CHECKS 1
+#endif
+
+#ifdef TASER_DEBUG_CHECKS
+#define TASER_DCHECK(cond) TASER_CHECK(cond)
+#define TASER_DCHECK_MSG(cond, msg) TASER_CHECK_MSG(cond, msg)
+#else
+// Disabled: the operands stay compiled (no unused-variable warnings, no
+// bit-rot) but sit behind `if (false)`, which the optimizer removes.
+#define TASER_DCHECK(cond)                  \
+  do {                                      \
+    if (false) static_cast<void>(cond);     \
+  } while (0)
+#define TASER_DCHECK_MSG(cond, msg)         \
+  do {                                      \
+    if (false) {                            \
+      static_cast<void>(cond);              \
+      std::ostringstream os_;               \
+      os_ << msg;                           \
+    }                                       \
+  } while (0)
+#endif

@@ -18,12 +18,14 @@
 #include <thread>
 
 #include "graph/dynamic_tcsr.h"
+#include "graph/sharded_tcsr.h"
 #include "graph/synthetic.h"
 #include "sampling/dynamic_finder.h"
 #include "sampling/orig_finder.h"
 #include "serve/epoch_manager.h"
 #include "serve/inference_session.h"
 #include "serve/serving_engine.h"
+#include "serve/stats_merge.h"
 #include "tensor/counters.h"
 #include "tensor/ops.h"
 
@@ -78,7 +80,11 @@ std::vector<float> feat_row(const graph::Dataset& d, std::int64_t e) {
   return std::vector<float>(f, f + d.edge_feat_dim);
 }
 
-void expect_query_identical(const graph::DynamicTCSR& a, const graph::DynamicTCSR& b) {
+/// Works across graph backends (DynamicTCSR and ShardedDynamicTCSR at any
+/// shard count expose the same merged-view surface) — the sharded
+/// conformance suites compare mixed pairs.
+template <class GraphA, class GraphB>
+void expect_query_identical(const GraphA& a, const GraphB& b) {
   ASSERT_EQ(a.num_nodes(), b.num_nodes());
   ASSERT_EQ(a.dataset().num_edges(), b.dataset().num_edges());
   EXPECT_EQ(a.dataset().src, b.dataset().src);
@@ -266,6 +272,101 @@ TEST(DynamicGraph, FinderEpochFenceDetectsMutationAfterAcquire) {
   EXPECT_THROW(finder.begin_batch(data.ts.back() + 1), std::runtime_error);
 }
 
+// Merged-view accessors take caller-supplied NodeIds straight from the
+// request path; an out-of-range id must fail loudly instead of indexing
+// delta_ out of bounds. Batch-granularity guards (degree / pivot_count)
+// are always on; per-slot guards compile in whenever TASER_DEBUG_CHECKS
+// is set (debug builds and the sanitizer CI jobs).
+TEST(DynamicGraph, MergedViewAccessorsBoundsChecked) {
+  const graph::Dataset data = small_dataset(45);
+  graph::DynamicTCSR g(data);
+  const auto n = static_cast<graph::NodeId>(g.num_nodes());
+
+  EXPECT_THROW(g.degree(n), std::runtime_error);
+  EXPECT_THROW(g.degree(-1), std::runtime_error);
+  EXPECT_THROW(g.pivot_count(n, data.ts.back()), std::runtime_error);
+  EXPECT_THROW(g.pivot_count(-1, data.ts.back()), std::runtime_error);
+#ifdef TASER_DEBUG_CHECKS
+  EXPECT_THROW(g.nbr(n, 0), std::runtime_error);
+  EXPECT_THROW(g.nbr_ts(-1, 0), std::runtime_error);
+  EXPECT_THROW(g.nbr_eid(n, 0), std::runtime_error);
+  const graph::NodeId v = data.src[0];
+  ASSERT_GT(g.degree(v), 0);
+  EXPECT_THROW(g.nbr(v, g.degree(v)), std::runtime_error);
+  EXPECT_THROW(g.nbr(v, -1), std::runtime_error);
+#endif
+  // In-range queries still work after the failed probes.
+  EXPECT_NO_THROW(g.degree(data.src[0]));
+}
+
+// ---- hash-partitioned shards -----------------------------------------------
+
+// The tentpole conformance anchor: a sharded container's merged view is
+// query-identical to an unsharded graph over the same log, at every shard
+// count, through streaming ingest and compactions (which shards compact
+// independently, at different effective thresholds).
+TEST(ShardedGraph, MergedViewMatchesUnshardedAcrossShardCounts) {
+  const graph::Dataset full = small_dataset(47);
+  const std::int64_t cut = full.num_edges() * 2 / 3;
+  graph::DynamicTCSR reference(full);
+
+  for (int num_shards : {1, 2, 4, 7}) {
+    graph::ShardedDynamicTCSR sharded(prefix_dataset(full, cut), num_shards);
+    EXPECT_EQ(sharded.num_shards(), num_shards);
+    for (std::int64_t e = cut; e < full.num_edges(); ++e) {
+      const float* feat = full.edge_feat_dim > 0
+                              ? full.edge_feat(static_cast<graph::EdgeId>(e))
+                              : nullptr;
+      const graph::EdgeId eid = sharded.ingest(full.src[e], full.dst[e], full.ts[e], feat);
+      EXPECT_EQ(eid, static_cast<graph::EdgeId>(e));  // EdgeIds stay dense + global
+      if (e == cut + 100) sharded.compact();
+    }
+    ASSERT_GT(sharded.delta_edges(), 0) << num_shards << " shards";
+    expect_query_identical(sharded, reference);
+
+    sharded.compact();
+    EXPECT_EQ(sharded.delta_edges(), 0) << num_shards << " shards";
+    expect_query_identical(sharded, reference);
+  }
+}
+
+TEST(ShardedGraph, ShardOwnershipAndModeGuards) {
+  const graph::Dataset data = small_dataset(49);
+  graph::ShardedDynamicTCSR sharded(data, 4);
+
+  // Version is summed over shards and strictly grows per event.
+  const std::uint64_t v0 = sharded.version();
+  const graph::Time t1 = data.ts.back() + 1;
+  sharded.ingest(data.src[0], data.dst[0], t1);
+  EXPECT_GT(sharded.version(), v0);
+
+  // Every node's list lives in exactly the shard shard_of names, and the
+  // routed merged view agrees with asking the owner directly.
+  for (graph::NodeId v : {data.src[0], data.dst[0]}) {
+    const graph::DynamicTCSR& owner = sharded.shard_for(v);
+    EXPECT_EQ(owner.shard_id(), graph::shard_of(v, 4));
+    EXPECT_EQ(owner.degree(v), sharded.degree(v));
+  }
+  // shard_of is total over the node range and degenerates to 0 at S=1.
+  for (graph::NodeId v = 0; v < data.num_nodes; ++v) {
+    const int s = graph::shard_of(v, 4);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+    EXPECT_EQ(graph::shard_of(v, 1), 0);
+  }
+
+  // Mode guards: an owner-mode graph never replays an external log...
+  graph::DynamicTCSR owner_mode(data);
+  EXPECT_THROW(owner_mode.apply_event(data.src[0], data.dst[0], t1 + 1, 0),
+               std::runtime_error);
+  // ...and a frozen sharded container rejects appends like a frozen
+  // replica does (published epochs stay immutable at any shard count).
+  sharded.set_frozen(true);
+  EXPECT_THROW(sharded.ingest(data.src[0], data.dst[0], t1 + 2), std::runtime_error);
+  sharded.set_frozen(false);
+  EXPECT_NO_THROW(sharded.ingest(data.src[0], data.dst[0], t1 + 2));
+}
+
 // ---- epoch-based reclamation ----------------------------------------------
 
 TEST(EpochManager, PublishMakesIngestedEventsVisible) {
@@ -313,42 +414,134 @@ TEST(EpochManager, ReplicasQueryIdenticalToStaticAcrossEpochsAndCompactions) {
   const std::int64_t cut = full.num_edges() / 3;
   graph::DynamicTCSR statically_built(full);
 
-  serve::EpochConfig ec;
-  ec.compact_threshold = 64;  // several publish-time compactions on the way
-  serve::GraphEpochManager mgr(prefix_dataset(full, cut), ec);
+  // The PR 6 anchors must hold at every shard count (ISSUE acceptance:
+  // S in {1, 2, 4}); S = 1 is the pre-sharding serial path.
+  for (int num_shards : {1, 2, 4}) {
+    serve::EpochConfig ec;
+    ec.compact_threshold = 64;  // several publish-time compactions on the way
+    ec.num_shards = num_shards;
+    serve::GraphEpochManager mgr(prefix_dataset(full, cut), ec);
 
-  // Stream the rest in uneven chunks, publishing between them; pins taken
-  // and dropped along the way exercise the pin bookkeeping and log trim.
-  std::int64_t e = cut;
-  const std::int64_t chunks[] = {1, 17, 90, 3, 150, full.num_edges()};
-  for (std::int64_t upto : chunks) {
-    std::optional<serve::GraphEpochManager::ReadGuard> pin;
-    if (upto % 2 == 1) pin.emplace(mgr.acquire());
-    for (; e < std::min(upto, full.num_edges()); ++e)
-      mgr.ingest(full.src[e], full.dst[e], full.ts[e], feat_row(full, e));
-    pin.reset();
+    // Stream the rest in uneven chunks, publishing between them; pins taken
+    // and dropped along the way exercise the pin bookkeeping and log trim.
+    std::int64_t e = cut;
+    const std::int64_t chunks[] = {1, 17, 90, 3, 150, full.num_edges()};
+    for (std::int64_t upto : chunks) {
+      std::optional<serve::GraphEpochManager::ReadGuard> pin;
+      if (upto % 2 == 1) pin.emplace(mgr.acquire());
+      for (; e < std::min(upto, full.num_edges()); ++e)
+        mgr.ingest(full.src[e], full.dst[e], full.ts[e], feat_row(full, e));
+      pin.reset();
+      mgr.publish();
+    }
+    EXPECT_GE(mgr.compactions(), 1u);
+    EXPECT_EQ(mgr.events_published(), static_cast<std::uint64_t>(full.num_edges() - cut));
+
+    // The current epoch equals the statically built graph...
+    {
+      auto g = mgr.acquire();
+      expect_query_identical(g.graph(), statically_built);
+    }
+    // ...and the other replica (which lags by the final chunk) catches up at
+    // the next publish — the fresh current epoch was the laggard a moment
+    // ago, and must now be query-identical to a static build of the same
+    // extended log.
+    graph::DynamicTCSR static_plus(full);
+    static_plus.ingest(full.src[0], full.dst[0], full.ts.back() + 1);
+    mgr.ingest(full.src[0], full.dst[0], full.ts.back() + 1);
     mgr.publish();
+    {
+      auto g = mgr.acquire();
+      expect_query_identical(g.graph(), static_plus);
+    }
   }
-  EXPECT_GE(mgr.compactions(), 1u);
-  EXPECT_EQ(mgr.events_published(), static_cast<std::uint64_t>(full.num_edges() - cut));
+}
 
-  // The current epoch equals the statically built graph...
-  {
-    auto g = mgr.acquire();
-    expect_query_identical(g.graph(), statically_built);
+// Quiescent-stream convergence (the PR 7 idle-stream retention fix):
+// when nothing is buffered, publish() still catches the lagging replica
+// up — if it is unpinned — and trims the log, instead of returning
+// immediately and retaining the inter-epoch tail forever.
+TEST(EpochManager, IdlePublishCatchesUpLaggardAndTrimsLog) {
+  const graph::Dataset full = small_dataset(41);
+  const std::int64_t cut = full.num_edges() / 2;
+  for (int num_shards : {1, 4}) {
+    serve::EpochConfig ec;
+    ec.num_shards = num_shards;
+    serve::GraphEpochManager mgr(prefix_dataset(full, cut), ec);
+
+    for (std::int64_t e = cut; e < cut + 10; ++e)
+      mgr.ingest(full.src[e], full.dst[e], full.ts[e], feat_row(full, e));
+    EXPECT_EQ(mgr.publish(), 1u);
+    // The laggard replica has not applied the batch: the tail is retained.
+    EXPECT_EQ(mgr.log_size(), 10u);
+
+    // A quiescent second publish must converge the system — laggard caught
+    // up, log empty — WITHOUT bumping the epoch. Before the fix this
+    // returned at the has-nothing-to-publish check and the 10 entries (and
+    // their feature payloads) were pinned in memory until the next real
+    // publish, i.e. forever on an idle stream.
+    EXPECT_EQ(mgr.publish(), 1u);
+    EXPECT_EQ(mgr.log_size(), 0u);
+    EXPECT_EQ(mgr.current_epoch(), 1u);
+    expect_query_identical(mgr.side(0), mgr.side(1));
+
+    // A pinned laggard is skipped, not waited on: idle publish() must stay
+    // non-blocking (it is called from the serving hot path via drain)...
+    {
+      auto pin = mgr.acquire();
+      mgr.ingest(full.src[cut + 10], full.dst[cut + 10], full.ts.back() + 1);
+      EXPECT_EQ(mgr.publish(), 2u);  // flips; `pin` now holds the laggard
+      EXPECT_EQ(mgr.publish(), 2u);  // idle + laggard pinned: no-op, no hang
+      EXPECT_EQ(mgr.log_size(), 1u);
+    }
+    // ...and caught up once the straggler releases.
+    EXPECT_EQ(mgr.publish(), 2u);
+    EXPECT_EQ(mgr.log_size(), 0u);
+    expect_query_identical(mgr.side(0), mgr.side(1));
   }
-  // ...and the other replica (which lags by the final chunk) catches up at
-  // the next publish — the fresh current epoch was the laggard a moment
-  // ago, and must now be query-identical to a static build of the same
-  // extended log.
-  graph::DynamicTCSR static_plus(full);
-  static_plus.ingest(full.src[0], full.dst[0], full.ts.back() + 1);
-  mgr.ingest(full.src[0], full.dst[0], full.ts.back() + 1);
-  mgr.publish();
+}
+
+// ReadGuard is move-only; a moved-from guard must not release the pin it
+// no longer owns (a double-release would let publish() retire an epoch a
+// live reader still holds — the exact use-after-free the pin exists to
+// prevent).
+TEST(EpochManager, ReadGuardMoveDoesNotDoubleRelease) {
+  const graph::Dataset data = small_dataset(43);
+  serve::GraphEpochManager mgr(data);
   {
-    auto g = mgr.acquire();
-    expect_query_identical(g.graph(), static_plus);
+    serve::GraphEpochManager::ReadGuard a = mgr.acquire();
+    const int side = a.side();
+    const std::uint64_t epoch = a.epoch();
+    const std::uint64_t version = a.graph_version();
+    EXPECT_EQ(mgr.pins(side), 1);
+
+    // A move chain transfers the one pin; it never re-pins or releases.
+    serve::GraphEpochManager::ReadGuard b = std::move(a);
+    EXPECT_EQ(mgr.pins(side), 1);
+    serve::GraphEpochManager::ReadGuard c = std::move(b);
+    EXPECT_EQ(mgr.pins(side), 1);
+
+    // The surviving guard carries the full epoch identity.
+    EXPECT_EQ(c.side(), side);
+    EXPECT_EQ(c.epoch(), epoch);
+    EXPECT_EQ(c.graph_version(), version);
+    EXPECT_EQ(c.graph().num_nodes(), data.num_nodes);
+    // Scope end destroys c, b, a — pins must balance to zero exactly.
   }
+  EXPECT_EQ(mgr.pins(0), 0);
+  EXPECT_EQ(mgr.pins(1), 0);
+
+  // Moved-from guard dying BEFORE the live one: its destructor must be a
+  // no-op while the live guard still holds the pin.
+  {
+    std::optional<serve::GraphEpochManager::ReadGuard> a(mgr.acquire());
+    serve::GraphEpochManager::ReadGuard b = std::move(*a);
+    a.reset();
+    EXPECT_EQ(mgr.pins(b.side()), 1);
+    EXPECT_EQ(b.graph().num_nodes(), data.num_nodes);
+  }
+  EXPECT_EQ(mgr.pins(0), 0);
+  EXPECT_EQ(mgr.pins(1), 0);
 }
 
 TEST(EpochManager, EpochRetiresOnlyAfterEveryReaderReleases) {
@@ -663,6 +856,92 @@ TEST(ServingEngine, WorkerCountAndBatchingInvariantScores) {
         << " diverged from the 1-worker reference";
 }
 
+// Shard count is an ingest-throughput knob, never a semantics knob: the
+// same query stream over the same event stream scores bit-identically at
+// S in {1, 2, 4} (keyed sampling streams make this hold for stochastic
+// policies too). Together with SingleWorkerMatchesDirectSessionBitwise,
+// this anchors every shard count to the pre-sharding serving path.
+TEST(ServingEngine, ShardCountInvariantScores) {
+  const graph::Dataset full = small_dataset(17);
+  const std::int64_t cut = full.num_edges() / 2;
+
+  serve::SessionConfig sc = tiny_session_config();
+  sc.policy = sampling::FinderPolicy::kUniform;  // stochastic on purpose
+  sc.time_scale = 1.0;  // pin: engine sessions derive theirs from the prefix
+
+  std::vector<std::vector<float>> scores;
+  for (int num_shards : {1, 2, 4}) {
+    serve::EpochConfig epoch_cfg;
+    epoch_cfg.compact_threshold = 60;  // compaction cadence differs per shard
+    epoch_cfg.num_shards = num_shards;
+    serve::GraphEpochManager mgr(prefix_dataset(full, cut), epoch_cfg);
+    serve::EngineConfig ec;
+    ec.num_workers = 2;
+    ec.max_batch = 6;
+    ec.max_delay_ms = 1.0;
+    serve::ServingEngine engine(mgr, sc, ec);
+
+    for (std::int64_t e = cut; e < full.num_edges(); ++e)
+      engine.ingest(full.src[e], full.dst[e], full.ts[e], feat_row(full, e));
+    engine.drain();
+
+    const auto queries = tiny_queries(full, 16);
+    std::vector<std::future<float>> futures;
+    for (const auto& q : queries) futures.push_back(engine.submit(q));
+    std::vector<float>& got = scores.emplace_back();
+    for (auto& f : futures) got.push_back(f.get());
+    engine.drain();
+  }
+  for (std::size_t v = 1; v < scores.size(); ++v)
+    EXPECT_EQ(scores[v], scores[0]) << "shard count variant " << v
+        << " diverged from the 1-shard reference";
+}
+
+// ---- stats merge ------------------------------------------------------------
+
+// Satellite 1 regression: merged percentiles must weight per-shard
+// reservoirs by the request counts they represent. The old merge
+// concatenated retained samples, so once any reservoir overflowed, a
+// lightly-loaded shard's samples counted as much per-sample as a
+// heavily-loaded shard's — under hash-dispatch skew the merged p50
+// tracked the shard serving 3% of the traffic.
+TEST(StatsMerge, SkewedLoadWeightsByCount) {
+  // Heavy shard: 9000 requests at ~1 ms, reservoir capped at 100 retained
+  // samples. Light shard: 300 requests at ~10 ms, all retained.
+  serve::ReservoirSlice heavy;
+  heavy.samples.assign(100, 1.0);
+  heavy.count = 9000;
+  serve::ReservoirSlice light;
+  light.samples.assign(300, 10.0);
+  light.count = 300;
+  const std::vector<serve::ReservoirSlice> slices = {heavy, light};
+
+  // 97% of requests were fast: p50 and p95 sit on the heavy shard, only
+  // the p99 tail reaches the slow one.
+  EXPECT_DOUBLE_EQ(serve::merged_percentile(slices, 0.50), 1.0);
+  EXPECT_DOUBLE_EQ(serve::merged_percentile(slices, 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(serve::merged_percentile(slices, 0.99), 10.0);
+
+  // The exact bias this fixes: sample-equal concatenation reports a p50
+  // of 10 ms for a system that answered 97% of requests in 1 ms.
+  std::vector<double> concat;
+  concat.insert(concat.end(), heavy.samples.begin(), heavy.samples.end());
+  concat.insert(concat.end(), light.samples.begin(), light.samples.end());
+  std::sort(concat.begin(), concat.end());
+  EXPECT_DOUBLE_EQ(concat[concat.size() / 2], 10.0);
+
+  // Equal per-shard loads reduce to the plain merge.
+  const serve::ReservoirSlice a{{1.0, 2.0, 3.0, 4.0}, 4};
+  const serve::ReservoirSlice b{{5.0, 6.0, 7.0, 8.0}, 4};
+  EXPECT_DOUBLE_EQ(serve::merged_percentile({a, b}, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(serve::merged_percentile({a, b}, 1.0), 8.0);
+
+  // Empty reservoirs are skipped; an all-empty merge reports zero.
+  EXPECT_DOUBLE_EQ(serve::merged_percentile({serve::ReservoirSlice{}, a}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(serve::merged_percentile({serve::ReservoirSlice{}}, 0.5), 0.0);
+  EXPECT_THROW(serve::merged_percentile(slices, 1.5), std::runtime_error);
+}
+
 TEST(ServingEngine, StreamsEventsThroughEpochsAndAutoCompacts) {
   const graph::Dataset data = small_dataset(19);
   serve::EpochConfig epoch_cfg;
@@ -756,71 +1035,86 @@ TEST(ServingEngine, PostDrainScoresMatchStaticGraphSession) {
 // finite, every event publishes, counters stay coherent, and no epoch is
 // reclaimed while held (the session asserts the version fence on every
 // micro-batch — a torn view would throw and fail the future).
-TEST(ServingEngineStress, ConcurrentSubmitIngestDrain) {
+void run_submit_ingest_drain_stress(std::int64_t workers, int num_shards) {
+  SCOPED_TRACE(::testing::Message() << workers << " workers, " << num_shards
+                                    << " shards");
   const graph::Dataset data = small_dataset(37);
-  for (std::int64_t workers : {1, 2, 4}) {
-    serve::EpochConfig epoch_cfg;
-    epoch_cfg.compact_threshold = 50;
-    serve::GraphEpochManager mgr(data, epoch_cfg);
-    serve::SessionConfig sc = tiny_session_config();
-    sc.policy = sampling::FinderPolicy::kUniform;
-    serve::EngineConfig ec;
-    ec.num_workers = workers;
-    ec.max_batch = 8;
-    ec.max_delay_ms = 0.2;
-    serve::ServingEngine engine(mgr, sc, ec);
+  serve::EpochConfig epoch_cfg;
+  epoch_cfg.compact_threshold = 50;
+  epoch_cfg.num_shards = num_shards;
+  serve::GraphEpochManager mgr(data, epoch_cfg);
+  serve::SessionConfig sc = tiny_session_config();
+  sc.policy = sampling::FinderPolicy::kUniform;
+  serve::EngineConfig ec;
+  ec.num_workers = workers;
+  ec.max_batch = 8;
+  ec.max_delay_ms = 0.2;
+  serve::ServingEngine engine(mgr, sc, ec);
 
-    constexpr int kClients = 3;
-    constexpr int kPerClient = 60;
-    constexpr int kEvents = 120;
-    const graph::Time t_query = data.ts.back() + kEvents + 10;
+  constexpr int kClients = 3;
+  constexpr int kPerClient = 60;
+  constexpr int kEvents = 120;
+  const graph::Time t_query = data.ts.back() + kEvents + 10;
 
-    std::vector<std::thread> clients;
-    std::vector<std::vector<std::future<float>>> futures(kClients);
-    for (int c = 0; c < kClients; ++c) {
-      clients.emplace_back([&, c] {
-        for (int i = 0; i < kPerClient; ++i) {
-          const auto idx = static_cast<std::size_t>(c * kPerClient + i);
-          futures[static_cast<std::size_t>(c)].push_back(engine.submit(
-              {data.src[idx % data.src.size()], data.dst[idx % data.dst.size()],
-               t_query}));
-          if (i % 16 == 0) (void)engine.stats();
-        }
-      });
-    }
-    // One event producer (the engine's ingest() is externally-ordered by
-    // time, so a single producer mirrors the real deployment).
-    std::thread producer([&] {
-      graph::Time t = data.ts.back();
-      for (int k = 0; k < kEvents; ++k) {
-        t += 1.0;
-        engine.ingest(data.src[static_cast<std::size_t>(k) % data.src.size()],
-                      data.dst[static_cast<std::size_t>(k) % data.dst.size()], t);
-        if (k == kEvents / 2) engine.drain();  // drain while traffic flows
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<float>>> futures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto idx = static_cast<std::size_t>(c * kPerClient + i);
+        futures[static_cast<std::size_t>(c)].push_back(engine.submit(
+            {data.src[idx % data.src.size()], data.dst[idx % data.dst.size()],
+             t_query}));
+        if (i % 16 == 0) (void)engine.stats();
       }
     });
-    for (auto& th : clients) th.join();
-    producer.join();
-
-    for (auto& fs : futures)
-      for (auto& f : fs) EXPECT_TRUE(std::isfinite(f.get()));
-    engine.drain();
-
-    const serve::ServingStats s = engine.stats();
-    EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients * kPerClient));
-    EXPECT_EQ(s.events_ingested, static_cast<std::uint64_t>(kEvents));
-    EXPECT_GE(s.epochs_published, 1u);
-    std::uint64_t per_worker_total = 0;
-    ASSERT_EQ(s.worker_requests.size(), static_cast<std::size_t>(workers));
-    for (std::uint64_t r : s.worker_requests) per_worker_total += r;
-    EXPECT_EQ(per_worker_total, s.requests);
-    {
-      auto g = mgr.acquire();
-      EXPECT_EQ(g.graph().dataset().num_edges(), data.num_edges() + kEvents);
-    }
-    EXPECT_EQ(mgr.pins(0), 0);
-    EXPECT_EQ(mgr.pins(1), 0);
   }
+  // One event producer (the engine's ingest() is externally-ordered by
+  // time, so a single producer mirrors the real deployment).
+  std::thread producer([&] {
+    graph::Time t = data.ts.back();
+    for (int k = 0; k < kEvents; ++k) {
+      t += 1.0;
+      engine.ingest(data.src[static_cast<std::size_t>(k) % data.src.size()],
+                    data.dst[static_cast<std::size_t>(k) % data.dst.size()], t);
+      if (k == kEvents / 2) engine.drain();  // drain while traffic flows
+    }
+  });
+  for (auto& th : clients) th.join();
+  producer.join();
+
+  for (auto& fs : futures)
+    for (auto& f : fs) EXPECT_TRUE(std::isfinite(f.get()));
+  engine.drain();
+
+  const serve::ServingStats s = engine.stats();
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.events_ingested, static_cast<std::uint64_t>(kEvents));
+  EXPECT_GE(s.epochs_published, 1u);
+  std::uint64_t per_worker_total = 0;
+  ASSERT_EQ(s.worker_requests.size(), static_cast<std::size_t>(workers));
+  for (std::uint64_t r : s.worker_requests) per_worker_total += r;
+  EXPECT_EQ(per_worker_total, s.requests);
+  {
+    auto g = mgr.acquire();
+    EXPECT_EQ(g.graph().dataset().num_edges(), data.num_edges() + kEvents);
+  }
+  EXPECT_EQ(mgr.pins(0), 0);
+  EXPECT_EQ(mgr.pins(1), 0);
+}
+
+TEST(ServingEngineStress, ConcurrentSubmitIngestDrain) {
+  for (std::int64_t workers : {1, 2, 4})
+    run_submit_ingest_drain_stress(workers, /*num_shards=*/1);
+}
+
+// Same fuzz with sharded replicas: publish-time catch-up now runs S
+// replay threads concurrently with reader pins and the drain-in-flight
+// traffic — the configuration the TSan CI job targets for the parallel
+// ingest path.
+TEST(ServingEngineStress, ConcurrentSubmitIngestDrainSharded) {
+  for (int num_shards : {2, 4})
+    run_submit_ingest_drain_stress(/*workers=*/2, num_shards);
 }
 
 }  // namespace
