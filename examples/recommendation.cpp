@@ -72,6 +72,14 @@ int main() {
   ec.num_workers = 2;
   ec.max_batch = 64;
   ec.max_delay_ms = 2.0;
+  // Production posture (PR 8): bound both queues and give every query a
+  // generous completion deadline. kBlock backpressures this (in-process)
+  // producer instead of dropping its traffic; a real RPC front-end would
+  // pick kReject and surface the typed RejectedError as HTTP 429.
+  ec.admission = serve::EngineConfig::AdmissionPolicy::kBlock;
+  ec.max_queue_per_worker = 256;
+  ec.max_pending_events = 1024;
+  ec.default_deadline_ms = 250;
   serve::ServingEngine engine(live_graph, sc, ec);
   engine.load_checkpoint(ckpt);
 
@@ -125,5 +133,15 @@ int main() {
     std::printf("  worker %zu: %llu requests, occupancy %.1f\n", w,
                 static_cast<unsigned long long>(st.worker_requests[w]),
                 st.worker_occupancy[w]);
+  // The overload/fault ledger — all zero on this gentle workload, but
+  // these are the counters an operator alarms on.
+  std::printf(
+      "  shed: %llu rejected, %llu expired | faults: %llu batches, "
+      "%llu events, %llu publish retries\n",
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.expired),
+      static_cast<unsigned long long>(st.faulted),
+      static_cast<unsigned long long>(st.events_faulted),
+      static_cast<unsigned long long>(st.publish_faults));
   return 0;
 }

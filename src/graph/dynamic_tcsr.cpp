@@ -47,6 +47,7 @@ DynamicTCSR::DynamicTCSR(const Dataset& shared_log, int shard_id, int num_shards
       num_shards_(num_shards),
       base_(shared_log, shard_id, num_shards),
       delta_(static_cast<std::size_t>(shared_log.num_nodes)),
+      applied_through_(static_cast<EdgeId>(shared_log.num_edges())),
       last_time_(shared_log.ts.empty() ? -std::numeric_limits<Time>::infinity()
                                        : shared_log.ts.back()) {
   TASER_CHECK_MSG(num_shards >= 1 && shard_id >= 0 && shard_id < num_shards,
@@ -92,12 +93,22 @@ int DynamicTCSR::apply_event(NodeId u, NodeId v, Time t, EdgeId eid) {
   TASER_CHECK_MSG(!owns_log(),
                   "apply_event on an owner-mode DynamicTCSR — the owner appends "
                   "and indexes in one step via ingest()");
+  TASER_CHECK_MSG(eid == applied_through_,
+                  "apply_event: row " << eid << " out of order — this shard has "
+                      "replayed through " << applied_through_
+                      << "; slices must be driven gaplessly in log order "
+                         "(apply_slice_to_shard clamps retries for you)");
   const bool own_u = shard_of(u, num_shards_) == shard_id_;
   const bool own_v = shard_of(v, num_shards_) == shard_id_;
   // Unowned rows skip the writer guard entirely: that is what lets every
   // shard of a container scan the same log slice concurrently, each
-  // touching only its own state.
-  if (!own_u && !own_v) return 0;
+  // touching only its own state. They still advance the replay watermark
+  // (a plain shard-local member — only this shard's applier thread reads
+  // or writes it).
+  if (!own_u && !own_v) {
+    applied_through_ = eid + 1;
+    return 0;
+  }
   WriteScope write(*this);
   TASER_CHECK_MSG(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
                   "apply_event(" << u << ", " << v
@@ -112,6 +123,7 @@ int DynamicTCSR::apply_event(NodeId u, NodeId v, Time t, EdgeId eid) {
   if (own_u) delta_[static_cast<std::size_t>(u)].push_back({v, t, eid});
   if (own_v) delta_[static_cast<std::size_t>(v)].push_back({u, t, eid});
   ++delta_edge_count_;
+  applied_through_ = eid + 1;
   last_time_ = t;
   return (own_u ? 1 : 0) + (own_v ? 1 : 0);
 }

@@ -92,6 +92,13 @@ class DynamicTCSR {
   /// True when this graph owns its event log (classic mode); false for
   /// shard-mode replicas over a shared log.
   bool owns_log() const { return log_ == &data_; }
+  /// Shard mode: the exclusive upper bound of shared-log rows this shard
+  /// has already replayed (owned or not — unowned rows advance it too).
+  /// ShardedDynamicTCSR::apply_slice_to_shard clamps its slice start to
+  /// this watermark, which is what makes a publish-time catch-up retry
+  /// after a mid-replay fault idempotent: a row is never indexed twice
+  /// into one shard no matter how many times the slice is re-driven.
+  EdgeId applied_through() const { return applied_through_; }
   int shard_id() const { return shard_id_; }
   int num_shards() const { return num_shards_; }
   /// Latest event timestamp in the graph (base or delta).
@@ -194,6 +201,7 @@ class DynamicTCSR {
   TCSR base_;
   std::vector<std::vector<DeltaEntry>> delta_;  ///< per-node, ts-ordered
   std::int64_t delta_edge_count_ = 0;
+  EdgeId applied_through_ = 0;  ///< shard mode: replayed-row watermark
   Time last_time_;
   std::atomic<std::uint64_t> version_{0};
   std::atomic<bool> writing_{false};

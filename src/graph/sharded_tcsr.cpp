@@ -1,5 +1,6 @@
 #include "graph/sharded_tcsr.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/check.h"
@@ -81,8 +82,11 @@ std::int64_t ShardedDynamicTCSR::apply_slice_to_shard(int s, EdgeId e0, EdgeId e
                                                   << ") outside the log of "
                                                   << data_.num_edges() << " rows");
   DynamicTCSR& g = *shards_[static_cast<std::size_t>(s)];
+  // Clamp to the shard's replay watermark: re-driving a slice after a
+  // mid-replay fault (the epoch manager's publish retry) skips rows this
+  // shard already indexed instead of double-applying them.
   std::int64_t directions = 0;
-  for (EdgeId e = e0; e < e1; ++e) {
+  for (EdgeId e = std::max(e0, g.applied_through()); e < e1; ++e) {
     const auto i = static_cast<std::size_t>(e);
     directions += g.apply_event(data_.src[i], data_.dst[i], data_.ts[i], e);
   }

@@ -1,8 +1,10 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <utility>
 
 #include "util/check.h"
 
@@ -67,7 +69,7 @@ void save_parameters(const Module& module, const std::string& path) {
   TASER_CHECK_MSG(os.good(), "write failed for " << path);
 }
 
-void load_parameters(Module& module, const std::string& path) {
+ParameterBundle read_parameters(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   TASER_CHECK_MSG(is.good(), "cannot open " << path);
   std::uint32_t magic = 0;
@@ -83,28 +85,58 @@ void load_parameters(Module& module, const std::string& path) {
                        << "; this build reads version " << kFormatVersion
                        << " only — upgrade the serving binary, not the checkpoint");
 
+  ParameterBundle bundle;
+  const std::uint64_t count = read_u64(is);
+  TASER_CHECK_MSG(count < (1u << 20), "corrupt checkpoint: parameter count " << count);
+  bundle.entries.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    ParameterBundle::Entry entry;
+    entry.name = read_string(is);
+    const std::uint64_t rank = read_u64(is);
+    TASER_CHECK_MSG(rank < 16, "corrupt checkpoint: rank " << rank << " for '"
+                                                           << entry.name << "'");
+    entry.shape.resize(rank);
+    std::uint64_t numel = 1;
+    for (auto& d : entry.shape) {
+      d = static_cast<std::int64_t>(read_u64(is));
+      numel *= static_cast<std::uint64_t>(d);
+    }
+    entry.data.resize(numel);
+    is.read(reinterpret_cast<char*>(entry.data.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    TASER_CHECK_MSG(is.good(), "truncated checkpoint at '" << entry.name << "'");
+    bundle.entries.push_back(std::move(entry));
+  }
+  return bundle;
+}
+
+void install_parameters(Module& module, const ParameterBundle& bundle) {
   auto named = module.named_parameters();
   std::map<std::string, Tensor> by_name(named.begin(), named.end());
-
-  const std::uint64_t count = read_u64(is);
-  TASER_CHECK_MSG(count == by_name.size(),
-                  "checkpoint has " << count << " parameters, model expects "
+  TASER_CHECK_MSG(bundle.entries.size() == by_name.size(),
+                  "checkpoint has " << bundle.entries.size()
+                                    << " parameters, model expects "
                                     << by_name.size());
-  for (std::uint64_t k = 0; k < count; ++k) {
-    const std::string name = read_string(is);
-    auto it = by_name.find(name);
-    TASER_CHECK_MSG(it != by_name.end(), "unknown parameter '" << name << "'");
-    const std::uint64_t rank = read_u64(is);
-    tensor::Shape shape(rank);
-    for (auto& d : shape) d = static_cast<std::int64_t>(read_u64(is));
-    TASER_CHECK_MSG(shape == it->second.shape(),
-                    "shape mismatch for '" << name << "': checkpoint "
-                                           << tensor::shape_str(shape) << " vs model "
+  // Two passes — validate EVERYTHING, then copy: a name or shape mismatch
+  // must leave the module untouched, not half-overwritten (the
+  // all-or-nothing load contract).
+  for (const auto& entry : bundle.entries) {
+    auto it = by_name.find(entry.name);
+    TASER_CHECK_MSG(it != by_name.end(), "unknown parameter '" << entry.name << "'");
+    TASER_CHECK_MSG(entry.shape == it->second.shape(),
+                    "shape mismatch for '" << entry.name << "': checkpoint "
+                                           << tensor::shape_str(entry.shape)
+                                           << " vs model "
                                            << tensor::shape_str(it->second.shape()));
-    is.read(reinterpret_cast<char*>(it->second.data()),
-            static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
-    TASER_CHECK_MSG(is.good(), "truncated checkpoint at '" << name << "'");
   }
+  for (const auto& entry : bundle.entries) {
+    Tensor& t = by_name.find(entry.name)->second;
+    std::copy(entry.data.begin(), entry.data.end(), t.data());
+  }
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  install_parameters(module, read_parameters(path));
 }
 
 }  // namespace taser::nn

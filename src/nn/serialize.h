@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
 
@@ -15,6 +16,30 @@ namespace taser::nn {
 /// are rejected with a clear error instead of being misparsed, keeping
 /// serving checkpoints forward-compatible.
 void save_parameters(const Module& module, const std::string& path);
+
+/// A fully parsed checkpoint held off to the side: the staging half of
+/// the all-or-nothing load contract. read_parameters absorbs every
+/// file-level failure (missing file, bad magic/version, truncation)
+/// without touching any model; install_parameters validates the ENTIRE
+/// name/shape mapping against the module before copying a single float,
+/// so a mismatch leaves the module bit-identical to its pre-call state.
+/// One bundle can be installed into any number of identically-configured
+/// replicas (the ServingEngine loads once, installs per worker).
+struct ParameterBundle {
+  struct Entry {
+    std::string name;
+    tensor::Shape shape;
+    std::vector<float> data;
+  };
+  std::vector<Entry> entries;
+};
+
+ParameterBundle read_parameters(const std::string& path);
+void install_parameters(Module& module, const ParameterBundle& bundle);
+
+/// read + install — now all-or-nothing even for a single module: the
+/// historical in-place streaming load could leave earlier parameters
+/// overwritten when a later one failed its shape check or hit EOF.
 void load_parameters(Module& module, const std::string& path);
 
 }  // namespace taser::nn

@@ -1,6 +1,7 @@
 #include "sampling/dynamic_finder.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/check.h"
 
@@ -29,12 +30,18 @@ void DynamicNeighborFinder::begin_batch(Time batch_time) {
                   "contract)");
   version_at_batch_ = graph_version();
   if (has_expected_version_) {
-    TASER_CHECK_MSG(version_at_batch_ == expected_version_,
-                    "epoch fence: replica version " << version_at_batch_
-                        << " != published epoch version " << expected_version_
-                        << " — the graph mutated between epoch acquisition and "
-                           "sampling");
+    // Consume the expectation before any possible throw: a worker that
+    // catches TornViewError and retries re-arms the fence from a fresh
+    // epoch acquisition; a stale expectation must not leak into it.
+    const std::uint64_t expected = expected_version_;
     has_expected_version_ = false;
+    if (version_at_batch_ != expected) {
+      std::ostringstream os;
+      os << "epoch fence: replica version " << version_at_batch_
+         << " != published epoch version " << expected
+         << " — the graph mutated between epoch acquisition and sampling";
+      throw TornViewError(os.str());
+    }
   }
   keyed_ = keys_pending_;
   keys_pending_ = false;

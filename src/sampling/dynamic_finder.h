@@ -1,10 +1,23 @@
 #pragma once
 
+#include <stdexcept>
+
 #include "graph/dynamic_tcsr.h"
 #include "graph/sharded_tcsr.h"
 #include "sampling/neighbor_finder.h"
 
 namespace taser::sampling {
+
+/// Thrown by the epoch fence: the replica under a pinned epoch no longer
+/// matches the version captured at publish — the reader's view is torn.
+/// A typed error (rather than the generic TASER_CHECK runtime_error)
+/// because torn views are the one worker-forward fault that is safe to
+/// retry: the ServingEngine re-pins the current epoch and re-runs the
+/// batch once before failing it.
+class TornViewError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// NeighborFinder over a streaming DynamicTCSR: the thin serving-side
 /// adapter that samples from the merged base+delta view. All three static

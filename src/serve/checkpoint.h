@@ -32,11 +32,27 @@ inline void save_servable(models::TgnnModel& model, models::EdgePredictor& predi
 
 /// Restores a bundle written by save_servable into an identically
 /// configured model + predictor pair. Throws on any name/shape/format
-/// mismatch.
+/// mismatch — all-or-nothing: a throw leaves model and predictor
+/// bit-identical to their pre-call state (nn::load_parameters stages the
+/// whole file before installing).
 inline void load_servable(models::TgnnModel& model, models::EdgePredictor& predictor,
                           const std::string& path) {
   ServableBundle bundle(model, predictor);
   nn::load_parameters(bundle, path);
+}
+
+/// Staged variant for multi-replica installs (the ServingEngine): parse +
+/// validate the file once, then install the staged copy into each worker
+/// replica — file faults can no longer strike mid-fleet.
+inline nn::ParameterBundle read_servable(const std::string& path) {
+  return nn::read_parameters(path);
+}
+
+inline void install_servable(models::TgnnModel& model,
+                             models::EdgePredictor& predictor,
+                             const nn::ParameterBundle& staged) {
+  ServableBundle bundle(model, predictor);
+  nn::install_parameters(bundle, staged);
 }
 
 }  // namespace taser::serve

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <thread>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace taser::serve {
 
@@ -27,6 +29,7 @@ GraphEpochManager::GraphEpochManager(graph::Dataset base, EpochConfig config)
   sides_[1]->set_frozen(true);
   published_version_[0] = sides_[0]->version();
   published_version_[1] = sides_[1]->version();
+  base_edges_ = static_cast<std::uint64_t>(sides_[0]->dataset().num_edges());
   last_time_ = sides_[0]->last_time();
 }
 
@@ -131,56 +134,82 @@ bool GraphEpochManager::catch_up(int w, std::uint64_t target) {
   // only pins `current_`), and log entries [applied_[w], target) are
   // stable — only this thread appends, and trimming never passes the
   // minimum applied watermark.
+  //
+  // Fault containment: this function is safe to re-drive after a throw
+  // anywhere inside it. The replica re-freezes on every exit path (scope
+  // guard), the append phase resumes from the replica's own appended-row
+  // count, and the replay phase is idempotent per shard (each shard
+  // clamps to its applied_through watermark) — so the engine's ingest
+  // loop can simply retry publish() after a fault and converge instead
+  // of serving a permanently torn write side.
+  TASER_FAILPOINT("serve.epoch.publish");
   graph::ShardedDynamicTCSR& g = *sides_[w];
   g.set_frozen(false);
+  struct Refreeze {
+    graph::ShardedDynamicTCSR& g;
+    ~Refreeze() { g.set_frozen(true); }
+  } refreeze{g};
 
   // Phase 1, serial: append the pending rows to the replica's shared log.
   // Cheap (a few vector pushes per event) and must not overlap phase 2 —
-  // appends can reallocate the log vectors the shard threads read.
-  const auto e0 = static_cast<graph::EdgeId>(g.dataset().num_edges());
-  for (std::uint64_t i = applied_[w]; i < target; ++i) {
+  // appends can reallocate the log vectors the shard threads read. A
+  // prior faulted catch-up may have appended past applied_[w] already;
+  // resume from what this replica's log actually holds.
+  const std::uint64_t appended =
+      static_cast<std::uint64_t>(g.dataset().num_edges()) - base_edges_;
+  for (std::uint64_t i = appended; i < target; ++i) {
     const Event& ev = log_[static_cast<std::size_t>(i - log_offset_)];
     g.append_event(ev.u, ev.v, ev.t, ev.feat.empty() ? nullptr : ev.feat.data());
   }
+  // Replay everything between the durable watermark and the log end —
+  // not just this call's appends: a faulted predecessor may have left
+  // appended rows unindexed (per-shard clamps skip any already done).
+  const auto e0 = static_cast<graph::EdgeId>(base_edges_ + applied_[w]);
   const auto e1 = static_cast<graph::EdgeId>(g.dataset().num_edges());
 
   // Phase 2, parallel: index the slice into every shard, each on its own
   // thread — disjoint node sets, disjoint state. The modeled apply cost
   // (per owned direction) sleeps concurrently across shards, standing in
   // for per-event device work exactly like the engine's modeled_device_ms
-  // stands in for forward-pass time.
+  // stands in for forward-pass time. A shard thread's exception is
+  // captured and rethrown after ALL threads join (first shard wins) —
+  // an uncaught throw on a plain std::thread would std::terminate.
   const int S = g.num_shards();
-  auto replay = [&](int s) {
+  auto run_on_shards = [S](auto&& fn) {
+    if (S == 1) {
+      fn(0);
+      return;
+    }
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(S));
+    threads.reserve(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s)
+      threads.emplace_back([&fn, &errors, s] {
+        try {
+          fn(s);
+        } catch (...) {
+          errors[static_cast<std::size_t>(s)] = std::current_exception();
+        }
+      });
+    for (auto& t : threads) t.join();
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  };
+  run_on_shards([&](int s) {
+    TASER_FAILPOINT("serve.epoch.shard_replay");
     const std::int64_t directions = g.apply_slice_to_shard(s, e0, e1);
     if (config_.modeled_apply_us > 0.0 && directions > 0) {
       const auto ns = static_cast<std::int64_t>(
           static_cast<double>(directions) * config_.modeled_apply_us * 1e3);
       std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
     }
-  };
-  if (S == 1) {
-    replay(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(S));
-    for (int s = 0; s < S; ++s) threads.emplace_back(replay, s);
-    for (auto& t : threads) t.join();
-  }
+  });
 
   bool compacted = false;
   if (config_.compact_threshold > 0 && g.delta_edges() >= config_.compact_threshold) {
-    if (S == 1) {
-      g.compact();
-    } else {
-      std::vector<std::thread> threads;
-      threads.reserve(static_cast<std::size_t>(S));
-      for (int s = 0; s < S; ++s)
-        threads.emplace_back([&g, s] { g.compact_shard(s); });
-      for (auto& t : threads) t.join();
-    }
+    run_on_shards([&](int s) { g.compact_shard(s); });
     compacted = true;
   }
-  g.set_frozen(true);
   return compacted;
 }
 

@@ -180,7 +180,11 @@ class GraphEpochManager {
   /// append to the shared log, parallel per-shard indexing (+ modeled
   /// apply cost), optional compaction wave, re-freeze. Runs unlocked;
   /// returns whether a compaction happened. Caller must hold the
-  /// publishing_ flag and have verified pins_[w] == 0.
+  /// publishing_ flag and have verified pins_[w] == 0. Exception-safe
+  /// and re-drivable: on a throw (shard-thread exceptions are captured
+  /// and rethrown after joining) the replica is re-frozen and a later
+  /// call resumes — appends from the replica's log length, replays from
+  /// per-shard watermarks — so a faulted publish retries to convergence.
   bool catch_up(int w, std::uint64_t target);
   /// Drops log entries below min(applied_). Caller holds mu_.
   void trim_log_locked();
@@ -196,7 +200,14 @@ class GraphEpochManager {
   /// Replica versions captured at publish (ReadGuard fence values).
   std::uint64_t published_version_[2];
   /// Absolute applied-event watermark per replica into the logical log.
+  /// Advances only when a catch-up completes; a faulted catch-up leaves
+  /// it put, and the retry resumes from it (per-shard clamps make the
+  /// overlap idempotent).
   std::uint64_t applied_[2] = {0, 0};
+  /// Rows in the base log at construction: replica EdgeId of streamed
+  /// event i is base_edges_ + i, the anchor the resumable append phase
+  /// and the replay slice bounds are computed from.
+  std::uint64_t base_edges_ = 0;
   std::uint64_t compactions_ = 0;
   graph::Time last_time_;
 

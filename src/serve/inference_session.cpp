@@ -98,6 +98,10 @@ void InferenceSession::load_checkpoint(const std::string& path) {
   load_servable(*model_, *predictor_, path);
 }
 
+void InferenceSession::install_checkpoint(const nn::ParameterBundle& staged) {
+  install_servable(*model_, *predictor_, staged);
+}
+
 std::uint64_t InferenceSession::workspace_alloc_events() const {
   std::uint64_t total = 0;
   for (const auto& p : pipes_) total += p->builder->workspace_alloc_events();

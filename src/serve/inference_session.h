@@ -19,6 +19,14 @@ struct LinkQuery {
   graph::NodeId src = 0;
   graph::NodeId dst = 0;
   graph::Time t = 0;
+  /// Per-query completion deadline in milliseconds from submit(), the
+  /// ServingEngine's shedding knob: 0 inherits EngineConfig::
+  /// default_deadline_ms, negative disables the deadline even when a
+  /// default is configured. A request whose deadline passes while it
+  /// waits in a shard queue is shed at dequeue time (its future fails
+  /// with DeadlineExceededError). Ignored by direct InferenceSession
+  /// calls — sessions score synchronously, nothing queues.
+  double deadline_ms = 0;
 };
 
 /// Model-side serving configuration. The architecture fields must match
@@ -79,7 +87,11 @@ class InferenceSession {
   InferenceSession(GraphEpochManager& graphs, SessionConfig config);
 
   /// Restores model + predictor parameters from a save_servable bundle.
+  /// All-or-nothing: any failure leaves the replica on its old parameters.
   void load_checkpoint(const std::string& path);
+  /// Installs an already-staged bundle (serve::read_servable) — the
+  /// ServingEngine's per-replica half of its all-or-nothing load.
+  void install_checkpoint(const nn::ParameterBundle& staged);
 
   /// Scores a micro-batch of link queries: out[i] is the predictor logit
   /// for queries[i] (higher = more likely interaction). One builder pass

@@ -1,10 +1,19 @@
 #include "serve/serving_engine.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "serve/stats_merge.h"
+#include "util/failpoint.h"
 
 namespace taser::serve {
+
+namespace {
+/// Bounded retries for the final shutdown publish: a permanently faulting
+/// publish must not hang the destructor (each retry's backoff lives in
+/// the ingest loop's timed wait).
+constexpr std::uint64_t kShutdownPublishRetries = 64;
+}  // namespace
 
 ServingEngine::ServingEngine(GraphEpochManager& graphs,
                              const SessionConfig& session_config,
@@ -20,6 +29,12 @@ ServingEngine::ServingEngine(GraphEpochManager& graphs,
   TASER_CHECK_MSG(config_.modeled_device_ms >= 0,
                   "modeled_device_ms must be >= 0 (got "
                       << config_.modeled_device_ms << ")");
+  TASER_CHECK_MSG(config_.max_queue_per_worker >= 0,
+                  "max_queue_per_worker must be >= 0 (got "
+                      << config_.max_queue_per_worker << ")");
+  TASER_CHECK_MSG(config_.max_pending_events >= 0,
+                  "max_pending_events must be >= 0 (got "
+                      << config_.max_pending_events << ")");
   shards_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (std::int64_t w = 0; w < config_.num_workers; ++w) {
     auto shard = std::make_unique<Shard>();
@@ -37,7 +52,9 @@ ServingEngine::ServingEngine(GraphEpochManager& graphs,
   }
 }
 
-ServingEngine::~ServingEngine() {
+ServingEngine::~ServingEngine() { shutdown(); }
+
+void ServingEngine::shutdown() {
   // Stop the ingest thread first: it drains the event queue and runs a
   // final publish, so late micro-batches score against the final epoch.
   {
@@ -45,20 +62,31 @@ ServingEngine::~ServingEngine() {
     stop_ = true;
   }
   ingest_ready_.notify_all();
-  ingest_thread_.join();
-  // Workers drain their queues before exiting.
+  event_space_.notify_all();  // blocked ingest() producers fail typed
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  // Workers drain their queues before exiting (shedding/faults included —
+  // every queued promise still resolves exactly once).
   for (auto& shard : shards_) {
     {
       std::lock_guard<std::mutex> lock(shard->mu);
       shard->stop = true;
     }
     shard->work_ready.notify_all();
+    shard->space_ready.notify_all();  // blocked submit()ters fail typed
   }
-  for (auto& shard : shards_) shard->worker.join();
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
 }
 
 void ServingEngine::load_checkpoint(const std::string& path) {
-  for (auto& shard : shards_) shard->session->load_checkpoint(path);
+  // All-or-nothing across the worker fleet: stage the whole bundle first
+  // (every file/format/truncation fault lands HERE, touching no replica),
+  // then install from memory — and installs themselves validate the full
+  // name/shape mapping before copying a float, so even a config mismatch
+  // leaves all replicas on their previous parameters.
+  const nn::ParameterBundle staged = read_servable(path);
+  TASER_FAILPOINT("serve.checkpoint.load");
+  for (auto& shard : shards_) shard->session->install_checkpoint(staged);
 }
 
 std::future<float> ServingEngine::submit(const LinkQuery& query) {
@@ -72,7 +100,7 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
   std::uint64_t seq;
   {
     std::lock_guard<std::mutex> lock(front_mu_);
-    TASER_CHECK_MSG(!stop_, "submit after ServingEngine shutdown");
+    if (stop_) throw EngineStoppedError("submit after ServingEngine shutdown");
     seq = seq_++;
     if (seq == 0) first_enqueue_ = std::chrono::steady_clock::now();
   }
@@ -87,9 +115,49 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
   req.query = query;
   req.seq = seq;
   req.enqueued = std::chrono::steady_clock::now();
+  // Deadline resolution: per-query override > engine default; negative
+  // per-query disables even a configured default.
+  const double deadline_ms =
+      query.deadline_ms != 0 ? query.deadline_ms : config_.default_deadline_ms;
+  req.has_deadline = deadline_ms > 0;
+  if (req.has_deadline)
+    req.deadline = req.enqueued +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(deadline_ms));
   std::future<float> result = req.result.get_future();
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    std::unique_lock<std::mutex> lock(shard.mu);
+    // Admission control. The seq is already assigned, so admission never
+    // re-orders the sequence of accepted requests relative to an
+    // unbounded run — the bitwise-determinism anchor survives bounds that
+    // never trip. A rejected request consumes its seq; scores are per-seq
+    // pure functions, so gaps change nothing downstream.
+    if (config_.max_queue_per_worker > 0 &&
+        static_cast<std::int64_t>(shard.queue.size()) >=
+            config_.max_queue_per_worker) {
+      if (config_.admission == EngineConfig::AdmissionPolicy::kReject) {
+        ++shard.rejected;
+        req.result.set_exception(std::make_exception_ptr(RejectedError(
+            "serving queue full: worker " + std::to_string(w) + " holds " +
+            std::to_string(shard.queue.size()) + " pending queries")));
+        return result;
+      }
+      // kBlock: backpressure the producer until the worker frees space or
+      // shutdown wins the race (then the future fails typed — it must
+      // still resolve exactly once).
+      shard.space_ready.wait(lock, [&] {
+        return shard.stop ||
+               static_cast<std::int64_t>(shard.queue.size()) <
+                   config_.max_queue_per_worker;
+      });
+      if (shard.stop) {
+        ++shard.rejected;
+        req.result.set_exception(std::make_exception_ptr(
+            EngineStoppedError("engine shut down while submit was blocked on "
+                               "a full queue")));
+        return result;
+      }
+    }
     ++shard.submitted;
     shard.queue.push_back(std::move(req));
   }
@@ -115,12 +183,38 @@ void ServingEngine::ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
                   "streamed edge feature row has " << edge_feat.size()
                       << " floats, dataset expects " << graphs_.edge_feat_dim());
   {
-    std::lock_guard<std::mutex> lock(front_mu_);
-    TASER_CHECK_MSG(!stop_, "ingest after ServingEngine shutdown");
+    std::unique_lock<std::mutex> lock(front_mu_);
+    if (stop_) throw EngineStoppedError("ingest after ServingEngine shutdown");
     TASER_CHECK_MSG(t >= last_event_time_,
                     "streamed event at t=" << t << " regresses behind t="
                         << last_event_time_
                         << " — events must arrive in time order");
+    // Admission before the time-order update: a shed event must not
+    // advance the ordering guard.
+    if (config_.max_pending_events > 0 &&
+        static_cast<std::int64_t>(events_.size()) >= config_.max_pending_events) {
+      if (config_.admission == EngineConfig::AdmissionPolicy::kReject) {
+        ++events_rejected_;
+        throw RejectedError("event queue full: " +
+                            std::to_string(events_.size()) +
+                            " events pending ingest");
+      }
+      // kBlock: backpressure the producer until the ingest thread pops or
+      // shutdown begins.
+      event_space_.wait(lock, [this] {
+        return stop_ || static_cast<std::int64_t>(events_.size()) <
+                            config_.max_pending_events;
+      });
+      if (stop_)
+        throw EngineStoppedError(
+            "engine shut down while ingest was blocked on a full event queue");
+      TASER_CHECK_MSG(t >= last_event_time_,
+                      "streamed event at t=" << t << " regresses behind t="
+                          << last_event_time_
+                          << " — events must arrive in time order (re-checked "
+                             "after backpressure: another producer advanced "
+                             "the stream while this one was blocked)");
+    }
     last_event_time_ = t;
     ++events_submitted_;
     events_.push_back(Event{u, v, t, std::move(edge_feat)});
@@ -137,7 +231,12 @@ void ServingEngine::drain() {
     if (events_visible_ != events_submitted_ || !events_.empty()) return false;
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> g(shard->mu);
-      if (shard->completed != shard->submitted || !shard->queue.empty())
+      // Every enqueued request must have resolved — with a value OR an
+      // exception. Shed and faulted requests count as settled: drain()
+      // means "no request in flight", not "no request failed".
+      if (shard->completed + shard->expired + shard->faulted !=
+              shard->submitted ||
+          !shard->queue.empty())
         return false;
     }
     return true;
@@ -146,27 +245,66 @@ void ServingEngine::drain() {
 
 void ServingEngine::ingest_loop() {
   std::unique_lock<std::mutex> lock(front_mu_);
+  std::uint64_t publish_backoff = 0;
   for (;;) {
-    ingest_ready_.wait(lock, [this] { return stop_ || !events_.empty(); });
+    if (publish_backoff == 0) {
+      ingest_ready_.wait(lock, [this] { return stop_ || !events_.empty(); });
+    } else {
+      // A publish fault left applied events invisible; keep waking to
+      // retry (catch_up is idempotent via the per-shard replay
+      // watermarks) without hot-spinning on a persistent fault.
+      ingest_ready_.wait_for(lock, std::chrono::milliseconds(1),
+                             [this] { return stop_ || !events_.empty(); });
+    }
     // Apply everything queued to the write side, then publish once —
     // natural adaptive batching: the busier the epoch manager, the more
     // events amortize into each publish.
     while (!events_.empty()) {
       Event ev = std::move(events_.front());
       events_.pop_front();
+      event_space_.notify_all();  // backpressured producers re-check
       lock.unlock();
-      graphs_.ingest(ev.u, ev.v, ev.t, std::move(ev.feat));
+      // Fault boundary: an apply fault drops exactly this event (it still
+      // advances events_applied_ so drain() terminates) and is counted —
+      // it must not kill the ingest thread and strand every later event.
+      bool ok = true;
+      try {
+        TASER_FAILPOINT("serve.ingest.apply");
+        graphs_.ingest(ev.u, ev.v, ev.t, std::move(ev.feat));
+      } catch (...) {
+        ok = false;
+      }
       lock.lock();
       ++events_applied_;
+      if (!ok) ++events_faulted_;
     }
     const std::uint64_t applied_now = events_applied_;
     const bool exiting = stop_ && events_.empty();
     lock.unlock();
-    graphs_.publish();  // no-op when nothing is unpublished
+    // Publish fault boundary: catch_up throws propagate here with the
+    // replay watermarks untouched, so the next publish retries the same
+    // slice idempotently. Visibility only advances on success.
+    bool published = true;
+    try {
+      graphs_.publish();  // no-op when nothing is unpublished
+    } catch (...) {
+      published = false;
+    }
     lock.lock();
-    events_visible_ = std::max(events_visible_, applied_now);
+    if (published) {
+      events_visible_ = std::max(events_visible_, applied_now);
+      publish_backoff = 0;
+    } else {
+      ++publish_faults_;
+      ++publish_backoff;
+    }
     idle_.notify_all();
-    if (exiting && events_.empty()) return;
+    // A permanently faulting publish must not hang shutdown: give up after
+    // a bounded number of retries (drain() callers see the stall through
+    // publish_faults_/events_visible_ instead).
+    if (exiting && events_.empty() &&
+        (published || publish_backoff > kShutdownPublishRetries))
+      return;
   }
 }
 
@@ -192,51 +330,112 @@ void ServingEngine::worker_loop(Shard& shard) {
              static_cast<std::int64_t>(shard.queue.size()) >= config_.max_batch;
     });
 
-    const auto take = std::min<std::size_t>(
-        shard.queue.size(), static_cast<std::size_t>(config_.max_batch));
+    // Dequeue with deadline shedding: an expired request is cheap to fail
+    // here and expensive to score — shedding it protects every request
+    // behind it. Shed before the forward, never after (a scored request
+    // always delivers its value, even if it finished late).
+    const auto now = std::chrono::steady_clock::now();
     shard.batch.clear();
     shard.batch_queries.clear();
     shard.batch_keys.clear();
-    for (std::size_t i = 0; i < take; ++i) {
-      shard.batch.push_back(std::move(shard.queue.front()));
+    while (!shard.queue.empty() &&
+           static_cast<std::int64_t>(shard.batch.size()) < config_.max_batch) {
+      Request& front = shard.queue.front();
+      if (front.has_deadline && now >= front.deadline) {
+        front.result.set_exception(std::make_exception_ptr(DeadlineExceededError(
+            "deadline exceeded after " +
+            std::to_string(std::chrono::duration<double, std::milli>(
+                               now - front.enqueued)
+                               .count()) +
+            " ms in queue")));
+        ++shard.expired;
+        shard.queue.pop_front();
+        continue;
+      }
+      shard.batch.push_back(std::move(front));
       shard.queue.pop_front();
       shard.batch_queries.push_back(shard.batch.back().query);
       shard.batch_keys.push_back(shard.batch.back().seq);
     }
+    if (config_.max_queue_per_worker > 0)
+      shard.space_ready.notify_all();  // backpressured submit()ters re-check
+    if (shard.batch.empty()) {
+      // Everything popped was shed — report progress (drain() counts
+      // expired) and go back to waiting.
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> sync(front_mu_);
+        idle_.notify_all();
+      }
+      lock.lock();
+      continue;
+    }
     lock.unlock();
 
-    // The session pins the current epoch for the whole micro-batch; the
-    // seq keys make each score batch/worker-invariant.
-    shard.session->score_links(shard.batch_queries, shard.batch_keys.data(),
-                               shard.batch_scores);
-    if (config_.modeled_device_ms > 0) {
+    // Fault boundary around the forward: an exception fails exactly this
+    // batch's promises and the worker keeps serving. A torn view (replica
+    // version sliding under the pinned epoch) retries once — the retry
+    // re-pins the now-current epoch; scores stay per-seq pure functions,
+    // so the retried batch is bitwise what it would have scored anyway.
+    std::exception_ptr fault;
+    bool scored = false;
+    bool torn_retry = false;
+    auto run = [&] {
+      TASER_FAILPOINT("serve.worker.forward");
+      // The session pins the current epoch for the whole micro-batch; the
+      // seq keys make each score batch/worker-invariant.
+      shard.session->score_links(shard.batch_queries, shard.batch_keys.data(),
+                                 shard.batch_scores);
+    };
+    try {
+      run();
+      scored = true;
+    } catch (const sampling::TornViewError&) {
+      torn_retry = true;
+      try {
+        run();
+        scored = true;
+      } catch (...) {
+        fault = std::current_exception();
+      }
+    } catch (...) {
+      fault = std::current_exception();
+    }
+    if (scored && config_.modeled_device_ms > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           config_.modeled_device_ms));
     }
     const auto done = std::chrono::steady_clock::now();
 
     lock.lock();
-    for (std::size_t i = 0; i < shard.batch.size(); ++i) {
-      shard.batch[i].result.set_value(shard.batch_scores[i]);
-      const double ms = std::chrono::duration<double, std::milli>(
-                            done - shard.batch[i].enqueued)
-                            .count();
-      // Algorithm R: uniform reservoir, O(1) state for unbounded uptime.
-      ++shard.latency_count;
-      if (ms > shard.latency_max_ms) shard.latency_max_ms = ms;
-      if (shard.latencies_ms.size() < kLatencyReservoir) {
-        shard.latencies_ms.push_back(ms);
-      } else {
-        const std::uint64_t slot =
-            shard.reservoir_rng.next_below(shard.latency_count);
-        if (slot < kLatencyReservoir)
-          shard.latencies_ms[static_cast<std::size_t>(slot)] = ms;
+    if (torn_retry) ++shard.torn_retries;
+    if (scored) {
+      for (std::size_t i = 0; i < shard.batch.size(); ++i) {
+        shard.batch[i].result.set_value(shard.batch_scores[i]);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              done - shard.batch[i].enqueued)
+                              .count();
+        // Algorithm R: uniform reservoir, O(1) state for unbounded uptime.
+        ++shard.latency_count;
+        if (ms > shard.latency_max_ms) shard.latency_max_ms = ms;
+        if (shard.latencies_ms.size() < kLatencyReservoir) {
+          shard.latencies_ms.push_back(ms);
+        } else {
+          const std::uint64_t slot =
+              shard.reservoir_rng.next_below(shard.latency_count);
+          if (slot < kLatencyReservoir)
+            shard.latencies_ms[static_cast<std::size_t>(slot)] = ms;
+        }
       }
+      shard.completed += shard.batch.size();
+      ++shard.batches;  // faulted batches are excluded from occupancy
+    } else {
+      for (auto& r : shard.batch) r.result.set_exception(fault);
+      shard.faulted += shard.batch.size();
     }
-    shard.completed += shard.batch.size();
-    ++shard.batches;
     shard.last_complete = done;
-    TASER_CHECK(shard.completed <= shard.submitted);
+    TASER_CHECK(shard.completed + shard.expired + shard.faulted <=
+                shard.submitted);
     lock.unlock();
     {
       // Briefly synchronize on the front lock before notifying: drain()'s
@@ -255,7 +454,15 @@ ServingStats ServingEngine::stats() const {
   std::uint64_t submitted_total = 0;
   {
     std::lock_guard<std::mutex> lock(front_mu_);
-    s.events_ingested = events_visible_;
+    // events_ingested = events actually in the graph; faulted applies
+    // advanced visibility for drain() but added no edge.
+    s.events_ingested =
+        events_visible_ > events_faulted_ ? events_visible_ - events_faulted_ : 0;
+    s.events_rejected = events_rejected_;
+    s.events_faulted = events_faulted_;
+    s.publish_faults = publish_faults_;
+    s.event_queue_depth = static_cast<std::int64_t>(events_.size());
+    s.submitted = seq_;
     first_enqueue = first_enqueue_;
     submitted_total = seq_;
   }
@@ -274,6 +481,11 @@ ServingStats ServingEngine::stats() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.requests += shard->completed;
+    s.rejected += shard->rejected;
+    s.expired += shard->expired;
+    s.faulted += shard->faulted;
+    s.torn_view_retries += shard->torn_retries;
+    s.queue_depth += static_cast<std::int64_t>(shard->queue.size());
     s.batches += shard->batches;
     s.worker_requests.push_back(shard->completed);
     s.worker_occupancy.push_back(

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "serve/epoch_manager.h"
+#include "serve/errors.h"
 #include "serve/inference_session.h"
 #include "util/rng.h"
 
@@ -38,6 +39,29 @@ struct EngineConfig {
   /// aggregate QPS grows with worker count even on a single host core.
   /// 0 = off.
   double modeled_device_ms = 0;
+
+  // ---- overload policy (admission control + deadlines) --------------------
+
+  /// What a full queue does to the producer. kBlock backpressures: the
+  /// call waits for space (classic bounded-queue flow control). kReject
+  /// sheds at admission: submit() returns a future already failed with
+  /// RejectedError, ingest() throws it — the producer learns immediately
+  /// and can retry or drop.
+  enum class AdmissionPolicy { kBlock, kReject };
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Bound on each shard's pending-query queue (0 = unbounded, the
+  /// pre-admission-control behavior).
+  std::int64_t max_queue_per_worker = 0;
+  /// Bound on the pending-event queue feeding the ingest thread (0 =
+  /// unbounded). With a bound, ingest() backpressures (or rejects) the
+  /// producer instead of growing events_ without limit when the epoch
+  /// manager cannot keep up.
+  std::int64_t max_pending_events = 0;
+  /// Default per-request deadline in ms from submit() (0 = none). A
+  /// request still queued when its deadline passes is shed at dequeue
+  /// time — before any forward work — failing its future with
+  /// DeadlineExceededError. LinkQuery::deadline_ms overrides per query.
+  double default_deadline_ms = 0;
 };
 
 /// Aggregate serving statistics (all completed requests so far), merged
@@ -47,11 +71,26 @@ struct EngineConfig {
 /// O(workers) stats state — beyond the reservoir size they are estimates;
 /// `max_ms`, counts and `qps` stay exact.
 struct ServingStats {
-  std::uint64_t requests = 0;
-  std::uint64_t batches = 0;
+  std::uint64_t requests = 0;  ///< completed with a value
+  std::uint64_t batches = 0;   ///< micro-batches scored (faulted ones excluded)
   std::uint64_t events_ingested = 0;   ///< published & visible to queries
   std::uint64_t epochs_published = 0;
   std::uint64_t compactions = 0;
+  // ---- overload + fault accounting (tentpole PR 8) ------------------------
+  // Standing invariant, fuzz-asserted in test_serve_faults: every future
+  // submit() ever returned resolves exactly once, so
+  //   requests + rejected + expired + faulted == submitted.
+  std::uint64_t submitted = 0;  ///< futures handed out (= sequence numbers)
+  std::uint64_t rejected = 0;   ///< admission-shed (RejectedError) or
+                                ///< stop-raced (EngineStoppedError) futures
+  std::uint64_t expired = 0;    ///< deadline-shed at dequeue (DeadlineExceededError)
+  std::uint64_t faulted = 0;    ///< failed by a worker-forward fault
+  std::uint64_t torn_view_retries = 0;  ///< torn-view batches re-run once
+  std::uint64_t events_rejected = 0;  ///< ingest() admission rejections
+  std::uint64_t events_faulted = 0;   ///< events dropped by an ingest-apply fault
+  std::uint64_t publish_faults = 0;   ///< publish() attempts that threw (retried)
+  std::int64_t queue_depth = 0;        ///< queries queued right now (gauge)
+  std::int64_t event_queue_depth = 0;  ///< events queued right now (gauge)
   double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;  ///< submit→complete latency
   double qps = 0;                   ///< completed requests / serving wall time
   double mean_batch_occupancy = 0;  ///< requests per forward, all shards
@@ -82,9 +121,21 @@ struct ServingStats {
 /// finder policies. Stats merge in fixed worker order.
 ///
 /// Ordering: each shard drains FIFO, so per-shard completion order ==
-/// submission order and `completed <= submitted` is a standing invariant
-/// (hard TASER_CHECK). Events apply in arrival order on the one ingest
-/// thread (single-ingest contract of the epoch manager).
+/// submission order and `completed + expired + faulted <= submitted` is a
+/// standing invariant (hard TASER_CHECK). Events apply in arrival order
+/// on the one ingest thread (single-ingest contract of the epoch manager).
+///
+/// Overload + faults (PR 8, see src/serve/README.md "Overload behavior"
+/// and "Fault model"): bounded queues admission-control submit()/ingest()
+/// (block or reject, typed RejectedError), queued requests shed on
+/// expired deadlines (DeadlineExceededError, at dequeue — before the
+/// forward), and each micro-batch forward runs inside a fault boundary —
+/// an exception fails exactly that batch's futures and the worker keeps
+/// serving; a torn-view fence trip re-pins the current epoch and retries
+/// the batch once. Every future submit() ever returned resolves exactly
+/// once, value or exception, through every fault. With no shedding or
+/// faults triggered, scores stay bitwise-identical to the PR 7 engine at
+/// any (workers, shards) — admission never re-orders sequence assignment.
 class ServingEngine {
  public:
   ServingEngine(GraphEpochManager& graphs, const SessionConfig& session_config,
@@ -97,21 +148,38 @@ class ServingEngine {
 
   /// Restores model + predictor parameters on every worker replica. Call
   /// before submitting traffic — concurrent with scoring it would race.
+  /// All-or-nothing: the bundle is read + validated ONCE into a staging
+  /// copy, then installed on each replica from memory — a load/validation
+  /// fault leaves every worker on its previous parameters (never workers
+  /// 0..k-1 new, the rest old).
   void load_checkpoint(const std::string& path);
 
+  /// Begins shutdown, drains pending work, joins all threads. Idempotent;
+  /// the destructor calls it. After it starts, submit()/ingest() fail with
+  /// EngineStoppedError instead of racing the teardown.
+  void shutdown();
+
   /// Enqueues one link query; the future resolves to its predictor logit
-  /// once a micro-batch containing it completes.
+  /// once a micro-batch containing it completes — or exceptionally:
+  /// RejectedError (admission, kReject + full queue), DeadlineExceededError
+  /// (shed while queued), EngineStoppedError (shutdown won a race with a
+  /// blocked submit), or the captured fault of its micro-batch. Throws
+  /// EngineStoppedError when called after shutdown began. With kBlock and
+  /// a full queue, blocks until the shard worker frees space.
   std::future<float> submit(const LinkQuery& query);
 
   /// Enqueues one streamed edge event (applied by the ingest thread in
   /// arrival order, visible to queries at the next epoch publish).
   /// `edge_feat` may be empty (zero row) or must hold edge_feat_dim
-  /// floats.
+  /// floats. With max_pending_events bound: kBlock waits for queue space,
+  /// kReject throws RejectedError. Throws EngineStoppedError after
+  /// shutdown begins.
   void ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
               std::vector<float> edge_feat = {});
 
   /// Blocks until everything submitted so far has been processed: all
-  /// queries completed, all events applied AND published.
+  /// queries resolved (value or exception), all events applied AND
+  /// published. Correct with failed/shed requests in flight.
   void drain();
 
   ServingStats stats() const;
@@ -126,6 +194,8 @@ class ServingEngine {
     std::uint64_t seq = 0;  ///< global submission sequence (stream key)
     std::promise<float> result;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  ///< shed-after point
+    bool has_deadline = false;
   };
   struct Event {
     graph::NodeId u, v;
@@ -139,10 +209,17 @@ class ServingEngine {
   struct Shard {
     std::mutex mu;
     std::condition_variable work_ready;
+    /// Signals bounded-queue space to kBlock submitters (notified by the
+    /// worker after every batch formation, and by shutdown).
+    std::condition_variable space_ready;
     std::deque<Request> queue;
     bool stop = false;
-    std::uint64_t submitted = 0;
-    std::uint64_t completed = 0;
+    std::uint64_t submitted = 0;  ///< enqueued (excludes rejected)
+    std::uint64_t completed = 0;  ///< resolved with a value
+    std::uint64_t rejected = 0;   ///< future failed at admission/stop-race
+    std::uint64_t expired = 0;    ///< shed at dequeue (deadline passed)
+    std::uint64_t faulted = 0;    ///< failed by a worker-forward fault
+    std::uint64_t torn_retries = 0;  ///< torn-view batches re-run
     std::uint64_t batches = 0;
     /// Bounded uniform latency reservoir (Algorithm R) + exact extremes.
     std::vector<double> latencies_ms;
@@ -174,12 +251,18 @@ class ServingEngine {
   mutable std::mutex front_mu_;
   std::condition_variable ingest_ready_;
   std::condition_variable idle_;
+  /// Signals bounded-event-queue space to kBlock producers (notified by
+  /// the ingest thread after every pop, and by shutdown).
+  std::condition_variable event_space_;
   std::deque<Event> events_;
   bool stop_ = false;
   std::uint64_t seq_ = 0;  ///< next request sequence number
   std::uint64_t events_submitted_ = 0;
-  std::uint64_t events_applied_ = 0;  ///< applied to the write side
+  std::uint64_t events_applied_ = 0;  ///< applied to the write side (or dropped faulted)
   std::uint64_t events_visible_ = 0;  ///< published — visible to queries
+  std::uint64_t events_rejected_ = 0;  ///< admission-rejected events
+  std::uint64_t events_faulted_ = 0;   ///< events dropped by an apply fault
+  std::uint64_t publish_faults_ = 0;   ///< publish() throws (each retried)
   /// Ordering guard for streamed events, spanning the unapplied queue
   /// tail (the manager's own check would only fire on the ingest thread,
   /// too late to fail the caller).

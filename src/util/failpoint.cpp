@@ -1,0 +1,99 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+namespace taser::util::failpoints {
+
+namespace {
+
+struct Entry {
+  FailpointConfig config;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+// One process-wide registry behind one mutex. Only ever contended while a
+// test has points armed; the inert fast path never touches it.
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, Entry>& registry() {
+  static std::unordered_map<std::string, Entry> map;
+  return map;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<int> g_armed{0};
+
+void hit(const char* name) {
+  double delay_ms = 0;
+  std::exception_ptr ex;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu());
+    auto it = registry().find(name);
+    if (it == registry().end()) return;
+    Entry& e = it->second;
+    ++e.hits;
+    const FailpointConfig& c = e.config;
+    if (c.max_fires > 0 && e.fires >= c.max_fires) return;
+    if (e.hits < c.first_hit) return;
+    if ((e.hits - c.first_hit) % (c.every_nth > 0 ? c.every_nth : 1) != 0) return;
+    ++e.fires;
+    if (c.action == FailpointConfig::Action::kDelay) {
+      delay_ms = c.delay_ms;
+    } else {
+      ex = c.make_exception ? c.make_exception()
+                            : std::make_exception_ptr(FailpointError(name));
+    }
+  }
+  // Sleep / throw outside the lock so a firing point cannot serialize or
+  // deadlock other sites.
+  if (delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+  if (ex) std::rethrow_exception(ex);
+}
+
+}  // namespace detail
+
+void activate(const std::string& name, FailpointConfig config) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  auto [it, inserted] = registry().try_emplace(name);
+  it->second = Entry{std::move(config), 0, 0};
+  if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void deactivate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  if (registry().erase(name) > 0)
+    detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void deactivate_all() {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  detail::g_armed.fetch_sub(static_cast<int>(registry().size()),
+                            std::memory_order_relaxed);
+  registry().clear();
+}
+
+std::uint64_t hits(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fires(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  auto it = registry().find(name);
+  return it == registry().end() ? 0 : it->second.fires;
+}
+
+}  // namespace taser::util::failpoints

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+// Compile-time switch for the whole harness: -DTASER_FAILPOINTS=OFF (the
+// CMake option) defines TASER_FAILPOINTS_ENABLED=0 and every
+// TASER_FAILPOINT site compiles to nothing — zero code, zero data, no
+// atomic load. Default ON.
+#ifndef TASER_FAILPOINTS_ENABLED
+#define TASER_FAILPOINTS_ENABLED 1
+#endif
+
+namespace taser::util::failpoints {
+
+/// Deterministic fault injection for tests: production code marks
+/// checkpoints with `TASER_FAILPOINT("serve.worker.forward")`, and a test
+/// activates a named point to throw or delay on an exact hit schedule
+/// (every Nth hit, starting from a given hit, bounded fire count). The
+/// serving fault-containment suite is built on this: it is the only way
+/// to make "worker forward throws on batch 7" a reproducible fixture
+/// instead of a heisenbug.
+///
+/// Cost when inert (no point active anywhere): ONE relaxed atomic load
+/// per site — the macro checks a global armed counter before taking the
+/// registry mutex, so un-activated failpoints never serialize the hot
+/// path. Cost when compiled out (-DTASER_FAILPOINTS=OFF): zero.
+///
+/// Hit schedules are per-activation and counted under the registry lock,
+/// so concurrent threads hitting one point see a single global hit
+/// sequence — "every 7th batch across the engine", not per worker.
+struct FailpointConfig {
+  enum class Action { kThrow, kDelay };
+  Action action = Action::kThrow;
+  /// Fire on hits first_hit, first_hit + every_nth, ... (1-based count).
+  std::uint64_t every_nth = 1;
+  std::uint64_t first_hit = 1;
+  /// Stop firing after this many fires (0 = unbounded). Tests that leave
+  /// a point active across engine shutdown should bound this so the
+  /// drain/destructor path stays live.
+  std::uint64_t max_fires = 0;
+  /// kDelay: how long each fire sleeps.
+  double delay_ms = 0;
+  /// kThrow: what each fire throws. Defaults to FailpointError(name);
+  /// override to inject typed errors (e.g. a torn-view fault).
+  std::function<std::exception_ptr()> make_exception;
+};
+
+/// What an un-customized kThrow fire throws.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& name)
+      : std::runtime_error("injected failpoint fault: " + name) {}
+};
+
+/// True when the harness is compiled in (-DTASER_FAILPOINTS=ON); tests
+/// gate on this and skip otherwise.
+constexpr bool compiled_in() { return TASER_FAILPOINTS_ENABLED != 0; }
+
+/// Arms `name` with `config` (replacing any previous activation and
+/// resetting its hit/fire counts). Thread-safe.
+void activate(const std::string& name, FailpointConfig config);
+/// Disarms `name` (no-op when inactive).
+void deactivate(const std::string& name);
+/// Disarms everything — test teardown safety net.
+void deactivate_all();
+/// Times the site was reached / actually fired since activation (0 when
+/// inactive).
+std::uint64_t hits(const std::string& name);
+std::uint64_t fires(const std::string& name);
+
+/// RAII activation for exception-safe tests: arms in the constructor,
+/// disarms in the destructor.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FailpointConfig config)
+      : name_(std::move(name)) {
+    activate(name_, std::move(config));
+  }
+  ~ScopedFailpoint() { deactivate(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+namespace detail {
+/// Number of currently-armed failpoints; the macro's fast-path gate.
+extern std::atomic<int> g_armed;
+/// Slow path: look `name` up, count the hit, fire if the schedule says so
+/// (throws or sleeps outside the registry lock).
+void hit(const char* name);
+}  // namespace detail
+
+}  // namespace taser::util::failpoints
+
+#if TASER_FAILPOINTS_ENABLED
+#define TASER_FAILPOINT(name)                                               \
+  do {                                                                      \
+    if (::taser::util::failpoints::detail::g_armed.load(                    \
+            std::memory_order_relaxed) != 0)                                \
+      ::taser::util::failpoints::detail::hit(name);                         \
+  } while (0)
+#else
+#define TASER_FAILPOINT(name) \
+  do {                        \
+  } while (0)
+#endif
