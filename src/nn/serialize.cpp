@@ -96,10 +96,23 @@ ParameterBundle read_parameters(const std::string& path) {
     TASER_CHECK_MSG(rank < 16, "corrupt checkpoint: rank " << rank << " for '"
                                                            << entry.name << "'");
     entry.shape.resize(rank);
+    // Bound each dimension and the running element count: a corrupt dim
+    // must fail with a clear error here, not wrap numel (2^32 x 2^32 → 0
+    // reads zero floats and misparses everything after) or overflow the
+    // byte count handed to read(). Each factor and the running product
+    // stay ≤ 2^31, so the u64 multiply below cannot wrap before the check.
+    constexpr std::uint64_t kMaxNumel = 1ull << 31;
     std::uint64_t numel = 1;
     for (auto& d : entry.shape) {
-      d = static_cast<std::int64_t>(read_u64(is));
-      numel *= static_cast<std::uint64_t>(d);
+      const std::uint64_t raw = read_u64(is);
+      TASER_CHECK_MSG(raw <= kMaxNumel, "corrupt checkpoint: dimension "
+                                            << raw << " for '" << entry.name
+                                            << "'");
+      d = static_cast<std::int64_t>(raw);
+      numel *= raw;
+      TASER_CHECK_MSG(numel <= kMaxNumel, "corrupt checkpoint: '"
+                                              << entry.name << "' claims "
+                                              << numel << " elements");
     }
     entry.data.resize(numel);
     is.read(reinterpret_cast<char*>(entry.data.data()),

@@ -104,6 +104,10 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
     seq = seq_++;
     if (seq == 0) first_enqueue_ = std::chrono::steady_clock::now();
   }
+  // Test-only window between the front stop gate and the shard enqueue
+  // (delay schedules only: the seq is already consumed, so a throw here
+  // would leak it from the stats identity).
+  TASER_FAILPOINT("serve.submit.dispatch");
   const auto w = static_cast<std::size_t>(
       config_.dispatch == EngineConfig::Dispatch::kHashSrc
           ? util::mix_stream_key(static_cast<std::uint64_t>(query.src), 0x5aULL) %
@@ -127,6 +131,18 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
   std::future<float> result = req.result.get_future();
   {
     std::unique_lock<std::mutex> lock(shard.mu);
+    // Re-check stop under the shard lock: shutdown() can run to
+    // completion between the front-gate stop_ check and here (it sets
+    // shard.stop and joins the worker), and a request pushed onto a dead
+    // shard's queue would never resolve — drain() would hang on it
+    // forever. Fail typed instead, mirroring the kBlock wake-on-stop
+    // path below.
+    if (shard.stop) {
+      ++shard.rejected;
+      req.result.set_exception(std::make_exception_ptr(EngineStoppedError(
+          "engine shut down while submit was dispatching to its shard")));
+      return result;
+    }
     // Admission control. The seq is already assigned, so admission never
     // re-orders the sequence of accepted requests relative to an
     // unbounded run — the bitwise-determinism anchor survives bounds that
@@ -144,7 +160,10 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
       }
       // kBlock: backpressure the producer until the worker frees space or
       // shutdown wins the race (then the future fails typed — it must
-      // still resolve exactly once).
+      // still resolve exactly once). Wake order among multiple blocked
+      // producers is arbitrary, so backpressure can enqueue requests on
+      // this shard out of seq order — harmless (scores are per-seq pure
+      // functions) and documented in the header's ordering note.
       shard.space_ready.wait(lock, [&] {
         return shard.stop ||
                static_cast<std::int64_t>(shard.queue.size()) <
@@ -228,7 +247,14 @@ void ServingEngine::drain() {
   // or event is in flight until its results land, and an applied event is
   // invisible until the epoch containing it publishes.
   idle_.wait(lock, [this] {
-    if (events_visible_ != events_submitted_ || !events_.empty()) return false;
+    // publish_abandoned_: shutdown exhausted its bounded retries against
+    // a persistently faulting publish and the ingest thread exited —
+    // events_visible_ can never advance again, so waiting on it would
+    // block forever. The stall stays observable via stats()
+    // (publish_abandoned / publish_faults).
+    if (!publish_abandoned_ &&
+        (events_visible_ != events_submitted_ || !events_.empty()))
+      return false;
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> g(shard->mu);
       // Every enqueued request must have resolved — with a value OR an
@@ -300,11 +326,19 @@ void ServingEngine::ingest_loop() {
     }
     idle_.notify_all();
     // A permanently faulting publish must not hang shutdown: give up after
-    // a bounded number of retries (drain() callers see the stall through
-    // publish_faults_/events_visible_ instead).
+    // a bounded number of retries. The abandonment is flagged so drain()
+    // unblocks (nothing can ever advance visibility once this thread
+    // exits) and stats() reports the stall (publish_abandoned +
+    // publish_faults). Still under front_mu_, so concurrent drain()ers
+    // re-check their predicate only after the flag is set.
     if (exiting && events_.empty() &&
-        (published || publish_backoff > kShutdownPublishRetries))
+        (published || publish_backoff > kShutdownPublishRetries)) {
+      if (!published) {
+        publish_abandoned_ = true;
+        idle_.notify_all();
+      }
       return;
+    }
   }
 }
 
@@ -461,6 +495,7 @@ ServingStats ServingEngine::stats() const {
     s.events_rejected = events_rejected_;
     s.events_faulted = events_faulted_;
     s.publish_faults = publish_faults_;
+    s.publish_abandoned = publish_abandoned_;
     s.event_queue_depth = static_cast<std::int64_t>(events_.size());
     s.submitted = seq_;
     first_enqueue = first_enqueue_;

@@ -89,6 +89,9 @@ struct ServingStats {
   std::uint64_t events_rejected = 0;  ///< ingest() admission rejections
   std::uint64_t events_faulted = 0;   ///< events dropped by an ingest-apply fault
   std::uint64_t publish_faults = 0;   ///< publish() attempts that threw (retried)
+  /// Shutdown exhausted its bounded publish retries against a persistent
+  /// fault: applied events past events_ingested never became visible.
+  bool publish_abandoned = false;
   std::int64_t queue_depth = 0;        ///< queries queued right now (gauge)
   std::int64_t event_queue_depth = 0;  ///< events queued right now (gauge)
   double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;  ///< submit→complete latency
@@ -120,10 +123,16 @@ struct ServingStats {
 /// which also fixes the PR 5 coalescing-dependence of the stochastic
 /// finder policies. Stats merge in fixed worker order.
 ///
-/// Ordering: each shard drains FIFO, so per-shard completion order ==
-/// submission order and `completed + expired + faulted <= submitted` is a
-/// standing invariant (hard TASER_CHECK). Events apply in arrival order
-/// on the one ingest thread (single-ingest contract of the epoch manager).
+/// Ordering: each shard drains its queue FIFO, so per-shard completion
+/// order == per-shard *enqueue* order, and `completed + expired + faulted
+/// <= submitted` is a standing invariant (hard TASER_CHECK). Enqueue
+/// order equals seq order for a single submitting thread; concurrent
+/// submitters can interleave between seq assignment and the shard
+/// enqueue — in particular, kBlock backpressure wakes blocked producers
+/// in arbitrary order — so per-shard enqueue order is NOT guaranteed to
+/// be seq order under contention. Scores never depend on it (they are
+/// per-seq pure functions). Events apply in arrival order on the one
+/// ingest thread (single-ingest contract of the epoch manager).
 ///
 /// Overload + faults (PR 8, see src/serve/README.md "Overload behavior"
 /// and "Fault model"): bounded queues admission-control submit()/ingest()
@@ -179,7 +188,10 @@ class ServingEngine {
 
   /// Blocks until everything submitted so far has been processed: all
   /// queries resolved (value or exception), all events applied AND
-  /// published. Correct with failed/shed requests in flight.
+  /// published. Correct with failed/shed requests in flight. If shutdown
+  /// abandoned a persistently faulting final publish, drain() returns
+  /// rather than waiting forever on visibility that can no longer
+  /// advance — the stall is reported via ServingStats::publish_abandoned.
   void drain();
 
   ServingStats stats() const;
@@ -263,6 +275,11 @@ class ServingEngine {
   std::uint64_t events_rejected_ = 0;  ///< admission-rejected events
   std::uint64_t events_faulted_ = 0;   ///< events dropped by an apply fault
   std::uint64_t publish_faults_ = 0;   ///< publish() throws (each retried)
+  /// Set by the ingest thread when shutdown gives up on a persistently
+  /// faulting final publish (bounded retries exhausted). Visibility can
+  /// never advance past events_visible_ again; drain() keys off this so
+  /// it cannot block forever on the dead watermark.
+  bool publish_abandoned_ = false;
   /// Ordering guard for streamed events, spanning the unapplied queue
   /// tail (the manager's own check would only fire on the ingest thread,
   /// too late to fail the caller).

@@ -94,6 +94,42 @@ TEST(Serialize, RejectsLegacyUnversionedMagic) {
   std::remove(path.c_str());
 }
 
+TEST(Serialize, RejectsCorruptHugeDimensions) {
+  // A corrupt entry claiming 2^32 x 2^32 wraps numel to 0 if dims are
+  // unchecked — the reader would read zero floats and misparse everything
+  // after. It must fail with a clear corrupt-checkpoint error instead.
+  const std::string path = temp_path("hugedims.ckpt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const std::uint32_t magic = 0x54535232;  // "TSR2"
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    const std::uint32_t version = 2;
+    std::fwrite(&version, sizeof(version), 1, f);
+    const std::uint64_t count = 1;
+    std::fwrite(&count, sizeof(count), 1, f);
+    const char name[] = "w";
+    const std::uint64_t name_len = 1;
+    std::fwrite(&name_len, sizeof(name_len), 1, f);
+    std::fwrite(name, 1, 1, f);
+    const std::uint64_t rank = 2;
+    std::fwrite(&rank, sizeof(rank), 1, f);
+    const std::uint64_t dim = 1ull << 32;  // dim * dim wraps u64 numel to 0
+    std::fwrite(&dim, sizeof(dim), 1, f);
+    std::fwrite(&dim, sizeof(dim), 1, f);
+    std::fclose(f);
+  }
+  util::Rng rng(8);
+  Mlp m(2, 2, 2, rng);
+  try {
+    load_parameters(m, path);
+    FAIL() << "huge corrupt dimensions must be rejected, not wrapped";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt checkpoint"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, RejectsGarbageFile) {
   const std::string path = temp_path("garbage.ckpt");
   {

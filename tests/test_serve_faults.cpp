@@ -354,6 +354,36 @@ TEST_F(FaultTest, PublishFaultRetriesIdempotentlyAcrossShards) {
       << "retried publish diverged from a fault-free ingest of the same stream";
 }
 
+// A publish that keeps faulting through shutdown's bounded retries is
+// abandoned — and drain() must observe the abandonment instead of
+// waiting forever on a visibility watermark nothing can advance: both a
+// drain() already blocked when shutdown gives up and one called
+// afterwards must return.
+TEST_F(FaultTest, DrainReturnsAfterShutdownAbandonsFaultingPublish) {
+  const graph::Dataset data = small_dataset(17);
+  serve::GraphEpochManager mgr(data);
+  serve::EngineConfig ec;
+  ec.num_workers = 1;
+  serve::ServingEngine engine(mgr, tiny_session_config(), ec);
+
+  fp::FailpointConfig cfg;  // max_fires = 0: every publish attempt throws
+  fp::ScopedFailpoint arm("serve.epoch.publish", cfg);
+
+  engine.ingest(data.src[0], data.dst[0], data.ts.back() + 1);
+
+  std::thread drainer([&] { engine.drain(); });  // blocks on visibility
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  engine.shutdown();  // bounded retries exhaust, publish abandoned
+  drainer.join();
+  engine.drain();  // post-shutdown drain returns immediately too
+
+  const serve::ServingStats s = engine.stats();
+  EXPECT_TRUE(s.publish_abandoned);
+  EXPECT_GE(s.publish_faults, 1u);
+  EXPECT_EQ(s.events_ingested, 0u);  // applied, but never became visible
+  EXPECT_EQ(s.event_queue_depth, 0);
+}
+
 // ---- all-or-nothing checkpoint loads ---------------------------------------
 
 TEST_F(FaultTest, CheckpointLoadIsAllOrNothingAcrossReplicas) {
@@ -528,6 +558,47 @@ TEST_F(FaultTest, BlockedSubmitFailsTypedWhenShutdownWinsTheRace) {
   if (!threw_in_submit) EXPECT_THROW(f3.get(), serve::EngineStoppedError);
   const serve::ServingStats s = engine.stats();
   EXPECT_EQ(s.requests + s.rejected + s.expired + s.faulted, s.submitted);
+}
+
+// shutdown() can run to COMPLETION between submit()'s front-gate stop
+// check and its shard-queue lock. The fast (non-blocked) path must then
+// fail the future typed instead of enqueueing onto the dead shard —
+// there the promise would never resolve (the worker is already joined)
+// and drain() would hang forever.
+TEST_F(FaultTest, SubmitDispatchRacingShutdownFailsTypedNotStranded) {
+  const graph::Dataset data = small_dataset(17);
+  serve::GraphEpochManager mgr(data);
+  serve::EngineConfig ec;
+  ec.num_workers = 1;
+  serve::ServingEngine engine(mgr, tiny_session_config(), ec);
+
+  // Pin the submitter between seq assignment and the shard enqueue
+  // (delay, not throw — the seq is already consumed) while shutdown()
+  // runs to completion, worker join included.
+  fp::FailpointConfig cfg;
+  cfg.action = fp::FailpointConfig::Action::kDelay;
+  cfg.delay_ms = 200;
+  cfg.max_fires = 1;
+  fp::ScopedFailpoint arm("serve.submit.dispatch", cfg);
+
+  std::future<float> f;
+  bool threw_in_submit = false;  // lost the race: stop_ seen up front
+  std::thread submitter([&] {
+    try {
+      f = engine.submit(tiny_queries(data, 1)[0]);
+    } catch (const serve::EngineStoppedError&) {
+      threw_in_submit = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  engine.shutdown();  // finishes while the submitter sleeps in dispatch
+  submitter.join();
+
+  if (!threw_in_submit) EXPECT_THROW(f.get(), serve::EngineStoppedError);
+  engine.drain();  // must not hang on a stranded request
+  const serve::ServingStats s = engine.stats();
+  EXPECT_EQ(s.requests + s.rejected + s.expired + s.faulted, s.submitted);
+  EXPECT_EQ(s.queue_depth, 0);
 }
 
 TEST_F(FaultTest, SubmitAndIngestAfterShutdownFailTyped) {
