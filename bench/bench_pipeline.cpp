@@ -27,10 +27,20 @@
 // Part 4 — the ROADMAP's "benchmark accuracy cost before enabling" gate:
 // short TASER training runs (ada_batch + ada_neighbor), synchronous vs
 // stale-θ, reporting end-of-training loss and validation MRR deltas.
+//
+// Part 5 — multi-builder ring sweep: P ∈ {1, 2, 4} builder workers over a
+// depth-7 ring with modeled (sleep-hook) device-side build time, the
+// regime where construction is the bottleneck. Gate: 4 builders ≥ 2x
+// batches/sec over 1 at train:build ≤ 0.5.
+//
+// --smoke: part 5 only on a reduced dataset, best-of-3 attempts; exits
+// non-zero when the multi-builder gate fails (the ctest canary).
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <string>
 #include <thread>
 
 #include "common.h"
@@ -49,18 +59,93 @@ graph::TargetBatch make_roots(const graph::Dataset& data, std::int64_t from,
   return b;
 }
 
+// --- Part 5: multi-builder ring sweep ---------------------------------------
+// Build time is modeled with a sleep hook (the real host-side build at
+// T=16 roots is negligible next to it), so builds overlap freely across
+// P workers while the consumer "trains" for ratio x build_ms per batch.
+// With 4 builders the build stage's throughput ceiling is 4x serial; the
+// gate requires >= 2x at train:build <= 0.5 and runs at ratio 0.25 —
+// at 0.5 exactly, 2.0x IS the theoretical maximum (the train stage
+// becomes the binding ceiling), so any scheduling noise would flake a
+// >= 2.0 gate there. The 0.5 row is reported ungated.
+int run_multibuilder_sweep(const graph::Dataset& data,
+                           sampling::GpuNeighborFinder& finder,
+                           cache::PlainFeatureSource& features, gpusim::Device& device,
+                           bool smoke) {
+  std::printf("\n== Part 5: multi-builder ring sweep (modeled device-side builds) ==\n");
+  const std::size_t kDepth = 7;
+  const double build_ms = 4.0;
+  const int hops = 2;
+  graph::TargetBatch roots5 = make_roots(data, data.num_edges() / 2, 16);
+  core::BuilderConfig bc;
+  bc.n = 10;
+  const int attempts = smoke ? 3 : 1;  // keep the best attempt: the gate
+                                       // measures capability, not load noise
+  const int Ps[3] = {1, 2, 4};
+  std::printf("(build modeled as %.1f ms device time/batch; depth-%zu ring; "
+              "%s)\n", build_ms, kDepth,
+              smoke ? "best of 3 attempts" : "single attempt");
+  util::Table mb({"train:build", "P=1 b/s", "P=2 b/s", "P=4 b/s", "P2/P1", "P4/P1"});
+  double gate_p4_over_p1 = 0;
+  for (double ratio : {0.25, 0.5}) {
+    double rates[3] = {0, 0, 0};
+    for (int pi = 0; pi < 3; ++pi) {
+      double best = 0;
+      for (int a = 0; a < attempts; ++a) {
+        core::BuilderPool pool(data, finder, features, device, nullptr, bc, kDepth + 1);
+        pool.begin_epoch();
+        core::BatchPipeline pipeline(pool, hops, /*async=*/true, kDepth, Ps[pi]);
+        pipeline.set_build_hook([&](std::uint64_t) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(build_ms));
+        });
+        util::Rng master(53);
+        const int batches = smoke ? 32 : 48;
+        int submitted = 0;
+        util::WallTimer t;
+        for (int it = 0; it < batches; ++it) {
+          while (submitted < batches && submitted <= it + static_cast<int>(kDepth)) {
+            pipeline.submit(roots5, master.split());
+            ++submitted;
+          }
+          (void)pipeline.next();
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(ratio * build_ms));
+        }
+        best = std::max(best, batches / t.seconds());
+      }
+      rates[pi] = best;
+    }
+    if (ratio == 0.25) gate_p4_over_p1 = rates[2] / rates[0];
+    mb.add_row({util::Table::fmt(ratio, 2), util::Table::fmt(rates[0], 1),
+                util::Table::fmt(rates[1], 1), util::Table::fmt(rates[2], 1),
+                util::Table::fmt(rates[1] / rates[0], 2),
+                util::Table::fmt(rates[2] / rates[0], 2)});
+  }
+  mb.print();
+  std::printf("\n");
+  const bool gate = gate_p4_over_p1 >= 2.0;
+  bench::print_shape("4 builders >= 2x batches/sec over 1 at train:build <= 0.5",
+                     gate);
+  return gate ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
   std::printf("== Pipeline: batch construction throughput ==\n\n");
 
-  graph::SyntheticConfig cfg = graph::wikipedia_like(0.06 * bench::bench_scale(), 32);
+  graph::SyntheticConfig cfg = graph::wikipedia_like(
+      smoke ? 0.02 : 0.06 * bench::bench_scale(), 32);
   cfg.node_feat_dim = 32;
   graph::Dataset data = generate_synthetic(cfg);
   graph::TCSR tcsr(data);
   gpusim::Device device;
   sampling::GpuNeighborFinder finder(tcsr, device);
   cache::PlainFeatureSource features(data, device);
+
+  if (smoke) return run_multibuilder_sweep(data, finder, features, device, true);
 
   const std::int64_t T = 200, m = 32, n = 10;
   const int hops = 2, warmup = 3, iters = 30;
@@ -437,5 +522,9 @@ int main() {
     bench::print_shape("stale-θ end-of-training loss within 10% of sync",
                        std::fabs(loss_delta) <= 0.10 * final_loss[0]);
   }
+
+  // Full runs report the multi-builder sweep too, but only --smoke turns
+  // the gate into a process exit status (the ctest canary).
+  (void)run_multibuilder_sweep(data, finder, features, device, false);
   return 0;
 }

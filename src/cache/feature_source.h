@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "cache/feature_store.h"
 #include "cache/gpu_cache.h"
@@ -62,6 +63,53 @@ class CachedFeatureSource : public FeatureSource {
  private:
   HostFeatureStore store_;
   GpuFeatureCache cache_;
+};
+
+/// Per-builder-slot facade for the multi-builder prefetch pool
+/// (core::BuilderPool): serves the SAME feature content as the shared
+/// source — including the shared GpuFeatureCache's cached set, which is
+/// immutable intra-epoch — but accounts simulated transfer/gather time on
+/// the slot's Device and tallies cache hits/misses into slot-local
+/// counters. The pool folds those tallies into the shared cache's epoch
+/// stats in batch-consumption order (GpuFeatureCache::fold_stats), so
+/// epoch statistics reduce in a fixed order no matter how builds
+/// interleave across workers. Does NOT expose cache(): epoch-end
+/// replacement must go through the shared source exactly once.
+class SlotFeatureSource : public FeatureSource {
+ public:
+  SlotFeatureSource(FeatureSource& shared, const graph::Dataset& data,
+                    gpusim::Device& slot_device)
+      : shared_cache_(shared.cache()), store_(data, slot_device),
+        device_(slot_device) {}
+
+  void gather_edges(const std::vector<EdgeId>& ids, float* out) override {
+    if (shared_cache_) {
+      shared_cache_->gather_edge_feats_onto(ids, out, device_, hits_, misses_);
+    } else {
+      store_.gather_edge_feats(ids, out);
+    }
+  }
+  void gather_nodes(const std::vector<NodeId>& ids, float* out) override {
+    store_.gather_node_feats(ids, out);
+  }
+  std::string name() const override {
+    return shared_cache_ ? "vram-cache.slot" : "ram.slot";
+  }
+
+  /// Drains the hit/miss tally accumulated since the last call (the
+  /// pool reads this after each build on this slot).
+  std::pair<std::uint64_t, std::uint64_t> take_cache_stats() {
+    const auto out = std::make_pair(hits_, misses_);
+    hits_ = 0;
+    misses_ = 0;
+    return out;
+  }
+
+ private:
+  GpuFeatureCache* shared_cache_;  ///< null on the plain (RAM) path
+  HostFeatureStore store_;
+  gpusim::Device& device_;
+  std::uint64_t hits_ = 0, misses_ = 0;
 };
 
 }  // namespace taser::cache

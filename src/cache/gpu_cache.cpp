@@ -1,6 +1,7 @@
 #include "cache/gpu_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <numeric>
 
@@ -63,15 +64,26 @@ void GpuFeatureCache::install(const std::vector<EdgeId>& edges) {
 }
 
 void GpuFeatureCache::gather_edge_feats(const std::vector<EdgeId>& ids, float* out) {
+  std::uint64_t hit_rows = 0, miss_rows = 0;
+  gather_edge_feats_onto(ids, out, device_, hit_rows, miss_rows);
+  current_.hits += hit_rows;
+  current_.misses += miss_rows;
+}
+
+void GpuFeatureCache::gather_edge_feats_onto(const std::vector<EdgeId>& ids, float* out,
+                                             gpusim::Device& device, std::uint64_t& hits,
+                                             std::uint64_t& misses) {
   const std::int64_t d = data_.edge_feat_dim;
   const auto count = static_cast<std::int64_t>(ids.size());
   std::uint64_t hit_rows = 0, miss_rows = 0;
   // Rows are disjoint per index, so the copy loop parallelises cleanly.
   // The stateful pieces stay exact: hit/miss counts go through OpenMP's
   // per-thread reduction copies (merged after the loop), and the
-  // access-frequency increments are atomic — both order-independent, so
-  // statistics are bit-identical to the serial gather at any thread count
-  // (test_cache asserts).
+  // access-frequency increments are atomic (std::atomic_ref so they stay
+  // atomic — and sanitizer-visible — across concurrent builder threads,
+  // not just within one OpenMP team) — both order-independent, so
+  // statistics are bit-identical to the serial gather at any thread or
+  // builder count (test_cache / test_pipeline assert).
 #pragma omp parallel for schedule(static) reduction(+ : hit_rows, miss_rows) \
     if (count > 64)
   for (std::int64_t i = 0; i < count; ++i) {
@@ -81,8 +93,8 @@ void GpuFeatureCache::gather_edge_feats(const std::vector<EdgeId>& ids, float* o
       std::memset(dst, 0, static_cast<std::size_t>(d) * sizeof(float));
       continue;
     }
-#pragma omp atomic
-    ++freq_[static_cast<std::size_t>(e)];
+    std::atomic_ref<std::uint32_t>(freq_[static_cast<std::size_t>(e)])
+        .fetch_add(1, std::memory_order_relaxed);
     const std::int32_t slot = slot_of_[static_cast<std::size_t>(e)];
     if (slot >= 0) {
       std::memcpy(dst, vram_.data() + static_cast<std::int64_t>(slot) * d,
@@ -95,11 +107,11 @@ void GpuFeatureCache::gather_edge_feats(const std::vector<EdgeId>& ids, float* o
       ++miss_rows;
     }
   }
-  current_.hits += hit_rows;
-  current_.misses += miss_rows;
+  hits += hit_rows;
+  misses += miss_rows;
   const auto row_bytes = static_cast<std::uint64_t>(d) * sizeof(float);
-  if (hit_rows > 0) device_.account_vram_gather(hit_rows * row_bytes);
-  if (miss_rows > 0) device_.account_zero_copy(miss_rows * row_bytes);
+  if (hit_rows > 0) device.account_vram_gather(hit_rows * row_bytes);
+  if (miss_rows > 0) device.account_zero_copy(miss_rows * row_bytes);
 }
 
 void GpuFeatureCache::end_epoch() {

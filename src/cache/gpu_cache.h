@@ -48,6 +48,27 @@ class GpuFeatureCache {
   /// (per-thread counter reduction + atomic Q increments).
   void gather_edge_feats(const std::vector<EdgeId>& ids, float* out);
 
+  /// Multi-builder variant: identical content lookup (same cached set,
+  /// same VRAM rows), but simulated time is accounted on `device` (a
+  /// per-slot ledger) and hit/miss rows are added to the caller's
+  /// counters instead of the epoch stats. Safe to call concurrently from
+  /// several builder threads: intra-epoch the cached set is immutable,
+  /// and the Q increments are atomic (order-independent sums, so Q is
+  /// bit-identical to the serial gather at any builder count). Callers
+  /// fold their hit/miss tallies back via fold_stats in consumption
+  /// order — the fixed-order reduction that keeps epoch statistics
+  /// deterministic under P workers.
+  void gather_edge_feats_onto(const std::vector<EdgeId>& ids, float* out,
+                              gpusim::Device& device, std::uint64_t& hits,
+                              std::uint64_t& misses);
+
+  /// Consumption-order merge of a slot gather's hit/miss tallies into the
+  /// current epoch's stats (see gather_edge_feats_onto).
+  void fold_stats(std::uint64_t hits, std::uint64_t misses) {
+    current_.hits += hits;
+    current_.misses += misses;
+  }
+
   /// Algorithm 3 epoch boundary: maybe replace the cached set, then
   /// archive and reset the per-epoch counters.
   void end_epoch();

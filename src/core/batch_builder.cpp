@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace taser::core {
 
@@ -272,6 +273,10 @@ BatchBuilder::Built BatchBuilder::build(const graph::TargetBatch& roots, int num
   TASER_CHECK(num_hops >= 1);
   TASER_CHECK_MSG(sampler_override == nullptr || sampler_ != nullptr,
                   "sampler override on a non-adaptive builder");
+  // Fault-injection site for the pipeline/trainer exception-path suites
+  // (a failing build mid-epoch must unwind without leaking snapshot pins
+  // or blocking pipeline teardown).
+  TASER_FAILPOINT("core.builder.build");
   AdaptiveSampler* sampler = sampler_override ? sampler_override : sampler_;
   Built built;
   built.inputs.num_roots = static_cast<std::int64_t>(roots.size());

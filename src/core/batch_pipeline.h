@@ -3,41 +3,63 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/batch_builder.h"
+#include "core/builder_pool.h"
 
 namespace taser::core {
 
-/// Depth-K ring of prefetch slots: up to `depth() + 1` batches may be in
-/// flight (submitted but not yet consumed) while a background worker
-/// builds them in submission order and the caller trains on the oldest
-/// (the CPU is otherwise idle while the real system's GPU runs
-/// propagation — the overlap GNNFlow-style samplers exploit). depth = 1
-/// is the classic double buffer; deeper rings let the trainer run ahead
-/// of bursty builds instead of stalling on every slow one.
+/// Depth-K ring of prefetch slots with P builder workers: up to
+/// `depth() + 1` batches may be in flight (submitted but not yet
+/// consumed) while up to `workers()` background threads build them
+/// concurrently and the caller trains on the oldest (the CPU is
+/// otherwise idle while the real system's GPU runs propagation — the
+/// overlap GNNFlow-style samplers exploit). depth = 1, one worker is the
+/// classic double buffer; deeper rings absorb bursty builds, and extra
+/// workers convert ring depth into build throughput when construction is
+/// the bottleneck.
 ///
-/// Determinism contract: batches are submitted, built, and consumed in
-/// one total order in both modes (the worker is single-threaded by
-/// design and drains the ring FIFO), and every submit() carries its own
-/// forked Rng (the hand-off). Since a build touches no state outside the
-/// builder/finder/feature-source it owns, async and sync runs are
-/// bit-identical at every depth. Callers must NOT overlap a build with
-/// anything that mutates builder-visible state (sampler parameter
-/// updates, re-ordered batch selection). Adaptive runs satisfy that in
-/// one of two ways: the Trainer degrades to sync mode (kSyncOnly), or —
-/// stale-θ prefetch (kStaleTheta) — each submit() additionally carries a
-/// *snapshot* of the sampler parameters taken at submit time (drawn from
-/// a SamplerSnapshotPool), which is the only sampler the worker reads
-/// for that job; the live sampler is then free to take θ updates while
-/// the build runs, at the cost of the build seeing parameters up to
-/// `staleness` steps old.
+/// Determinism contract (multi-builder model):
+///  - *Claim order is submission order.* Workers claim queued batches
+///    strictly in submission order (a single monotone claim counter);
+///    only build *completion* may reorder. next() hands batches out FIFO
+///    regardless of completion order.
+///  - *Builds share no mutable state.* Batch j builds on ring-slot
+///    context j mod capacity() — its own BatchBuilder + workspace and,
+///    in pool mode, its own finder replica and device ledger
+///    (BuilderPool). Each submit() carries its own forked Rng, and slot
+///    finders/devices are repositioned per sequence number
+///    (NeighborFinder::begin_build), so a build's output is a pure
+///    function of (seq, job) — bit-identical at any worker count, any
+///    depth, sync or async.
+///  - *Side-state merges in consumption order.* What a serial run would
+///    accumulate on shared objects (device sim-time ledger, launch
+///    count, cache hit/miss stats) is captured per build as a delta and
+///    folded inside next(), in consumption (= submission) order — a
+///    fixed-order reduction independent of worker timing.
+///  - Callers must NOT overlap a build with anything that mutates
+///    builder-visible state (sampler parameter updates, re-ordered batch
+///    selection). Adaptive runs satisfy that via sync degradation or the
+///    stale-θ snapshot hand-off: `sampler_snapshot` on submit() is the
+///    only sampler the build reads, and it must stay alive and unmutated
+///    until that batch's next() returns.
 ///
 /// Capacity contract: submitting more than `depth() + 1` batches without
 /// consuming is a hard error (TASER_CHECK), never a silent deepening —
-/// the ring bound is what the snapshot-pool lifetime argument rests on.
+/// the ring bound is what the snapshot-pool lifetime argument AND the
+/// one-build-per-slot-context-at-a-time argument rest on.
+///
+/// Teardown contract: destruction (or request_stop()) discards
+/// queued-but-unclaimed jobs — no build starts after stop is requested.
+/// In-progress builds finish (builds are not interruptible), their
+/// results are dropped, and workers exit. This is what makes teardown
+/// during exception unwind safe: abandoned jobs may reference sampler
+/// snapshots the unwinding caller is about to release, and must never
+/// reach a builder.
 ///
 /// Phase accounting: the worker measures its own NF/AS/FS wall and
 /// simulated time into the Prepared record, plus the sampler's tensor
@@ -53,11 +75,24 @@ class BatchPipeline {
     double build_wall = 0;              ///< total build() wall seconds
   };
 
+  /// Single-builder mode (legacy): every build runs on `builder`, one
+  /// worker, no side-state management — callers own all shared state.
   /// async=false degrades to a synchronous pipeline with identical
   /// numerics: submit() enqueues into the ring, next() builds inline.
   /// `depth` bounds how far submission may run ahead of consumption
   /// (in-flight ≤ depth + 1); 1 reproduces the old double buffer.
   BatchPipeline(BatchBuilder& builder, int num_hops, bool async, std::size_t depth = 1);
+
+  /// Multi-builder mode: builds run on `pool`'s per-slot contexts with up
+  /// to `workers` concurrent builder threads (clamped to [1,
+  /// min(capacity, pool.max_workers())]); side-state deltas fold in
+  /// consumption order. `builder_threads` sets each worker's OpenMP team
+  /// size; 0 = auto: max(1, host_team / (2 * workers)) — the
+  /// generalisation of the old "the one worker takes half the host team"
+  /// heuristic. The pool must outlive the pipeline and have ≥
+  /// `depth + 1` slots (or be serial-only).
+  BatchPipeline(BuilderPool& pool, int num_hops, bool async, std::size_t depth,
+                int workers, int builder_threads = 0);
   ~BatchPipeline();
 
   BatchPipeline(const BatchPipeline&) = delete;
@@ -68,6 +103,8 @@ class BatchPipeline {
   std::size_t depth() const { return ring_.size() - 1; }
   /// Ring slots = depth() + 1 (max in-flight batches).
   std::size_t capacity() const { return ring_.size(); }
+  /// Builder worker threads running (0 in sync mode).
+  int workers() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues the next batch in submission order. `rng` is the per-batch
   /// stream forked by the caller — the deterministic RNG hand-off.
@@ -78,13 +115,30 @@ class BatchPipeline {
   void submit(graph::TargetBatch roots, util::Rng rng,
               AdaptiveSampler* sampler_snapshot = nullptr);
 
-  /// Returns the oldest submitted batch, blocking until the worker has
-  /// built it (async) or building it inline (sync). Rethrows any
-  /// exception the build raised.
+  /// Returns the oldest submitted batch, blocking until a worker has
+  /// built it (async) or building it inline (sync), then folds its
+  /// side-state deltas (pool mode). Rethrows a failed build's exception
+  /// exactly once; later batches build and serve normally.
   Prepared next();
 
   /// Batches submitted but not yet consumed.
   std::size_t pending() const;
+  /// Builds completed (successfully or with a stored error) so far.
+  /// Teardown tests assert that queued-but-unclaimed jobs never build.
+  std::uint64_t built_count() const;
+
+  /// Initiates teardown: discards queued-but-unclaimed jobs and lets
+  /// workers exit after any in-progress build. Idempotent; called by the
+  /// destructor (exposed so tests can assert the discard semantics
+  /// deterministically before joining).
+  void request_stop();
+
+  /// Test/bench hook: called at the top of every build, on the building
+  /// thread, with the batch's sequence number. May throw — the exception
+  /// is stored as that build's error and rethrown by next(). May sleep —
+  /// benches model device-side build time this way so builds overlap on
+  /// a single host core. Must be set before the first submit().
+  void set_build_hook(std::function<void(std::uint64_t)> hook);
 
  private:
   struct Job {
@@ -92,36 +146,45 @@ class BatchPipeline {
     util::Rng rng;
     AdaptiveSampler* sampler_snapshot = nullptr;  ///< stale-θ hand-off (may be null)
   };
-  /// One ring slot. Its lifecycle (queued → building → ready → empty) is
-  /// fully determined by the three monotone counters below — batch j's
-  /// slot holds a queued job iff built_ ≤ j < submitted_, a result iff
-  /// consumed_ ≤ j < built_ — so the slot carries no state of its own.
-  /// Slot j mod capacity cannot be reused before batch j is consumed
-  /// (the capacity check on submit).
+  /// One ring slot. Batch j's slot is ring_[j % capacity()]: it holds a
+  /// queued job iff claimed_ ≤ j < submitted_, and a result iff `ready`
+  /// (builds complete out of order under P > 1, so readiness is
+  /// per-slot, not a counter). Slot j mod capacity cannot be reused
+  /// before batch j is consumed (the capacity check on submit), which is
+  /// also what keeps one build per slot context at a time.
   struct Slot {
     Job job;
     Prepared prep;
     std::exception_ptr err;
+    BuilderPool::SideState side;
+    bool ready = false;
   };
 
-  Prepared run(Job job);
+  Prepared run(Job job, std::uint64_t seq);
   void worker_loop();
 
-  BatchBuilder& builder_;
+  BuilderPool* pool_ = nullptr;      ///< multi-builder mode
+  BatchBuilder* builder_ = nullptr;  ///< single-builder (legacy) mode
   int num_hops_;
   bool async_;
+  int num_workers_requested_ = 1;
+  int builder_threads_ = 0;
+  std::function<void(std::uint64_t)> hook_;
 
   mutable std::mutex mu_;
   std::condition_variable job_ready_;
   std::condition_variable result_ready_;
   std::vector<Slot> ring_;
   /// Monotone batch counters; slot of batch j is ring_[j % capacity()].
-  /// Invariant: consumed_ ≤ built_ ≤ submitted_ ≤ consumed_ + capacity().
+  /// Invariant: consumed_ ≤ claimed_ ≤ submitted_ ≤ consumed_ + capacity()
+  /// and built_ ≤ claimed_. Workers claim at claimed_ (submission order)
+  /// and may complete out of order; per-slot `ready` bridges the gap.
   std::uint64_t submitted_ = 0;
+  std::uint64_t claimed_ = 0;
   std::uint64_t built_ = 0;
   std::uint64_t consumed_ = 0;
   bool stop_ = false;
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace taser::core

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/batch_builder.h"
+
+namespace taser::core {
+
+/// Per-ring-slot build contexts for the multi-builder prefetch pipeline.
+///
+/// The P-worker BatchPipeline needs concurrent builds to touch no shared
+/// mutable state, yet stay bit-identical to the one-worker build order.
+/// This pool gives every ring slot its own full build context:
+///
+///   - a private gpusim::Device (same spec and RNG seed as the shared
+///     one) so kernel launches and transfer accounting never race;
+///   - a NeighborFinder replica (NeighborFinder::clone_for) repositioned
+///     per build (begin_build) to reproduce the serial sampling stream
+///     for that batch sequence number;
+///   - a cache::SlotFeatureSource reading the shared feature content but
+///     accounting device time and cache hit/miss tallies slot-locally;
+///   - a BatchBuilder with its own BuilderWorkspace — the zero-alloc
+///     steady-state invariant holds per slot.
+///
+/// Batch `seq` always builds on slot `seq % num_slots()`; the pipeline's
+/// ring-capacity bound guarantees batch seq and seq + num_slots are never
+/// in flight together, so a slot context is used by one build at a time.
+///
+/// Determinism: builds themselves are pure given the positioned contexts.
+/// The side-state a serial run would accumulate on shared objects — the
+/// device's simulated-time ledger and launch count, the cache's epoch
+/// hit/miss stats — is captured per build as a delta (end_build) and
+/// folded into the shared objects in batch-consumption order (fold), so
+/// shared state after batch k is a function of k alone, independent of
+/// worker timing.
+///
+/// Finders with hidden sequential state (clone_for returns nullptr, e.g.
+/// the original Python-model finder's single RNG) degrade the pool to one
+/// shared builder over the shared device/features — exactly the pre-pool
+/// single-worker behavior; max_workers() reports 1 and the deltas are
+/// no-ops because builds account on the shared objects directly.
+class BuilderPool {
+ public:
+  BuilderPool(const graph::Dataset& data, sampling::NeighborFinder& finder,
+              cache::FeatureSource& features, gpusim::Device& device,
+              AdaptiveSampler* sampler, const BuilderConfig& config,
+              std::size_t num_slots);
+  ~BuilderPool();
+
+  BuilderPool(const BuilderPool&) = delete;
+  BuilderPool& operator=(const BuilderPool&) = delete;
+
+  /// True when the finder could be replicated (per-slot contexts exist).
+  bool parallel() const { return parallel_; }
+  std::size_t num_slots() const { return parallel_ ? slots_.size() : 1; }
+  /// Max concurrent builds this pool supports (1 for serial-only finders).
+  int max_workers() const { return static_cast<int>(num_slots()); }
+
+  /// Epoch boundary, called before the epoch's first build: synchronises
+  /// every slot device's launch counter to the shared ledger's current
+  /// value and lets each slot finder reset / capture its per-epoch base
+  /// (NeighborFinder::begin_epoch).
+  void begin_epoch();
+
+  BatchBuilder& builder_for(std::uint64_t seq);
+
+  /// Positions slot `seq % num_slots()` (finder stream, device launch
+  /// counter) so its upcoming build samples exactly what the serial
+  /// single-builder order would for batch `seq`, and snapshots the slot
+  /// ledgers for end_build's delta. Called on the building thread.
+  void begin_build(std::uint64_t seq, int num_hops);
+
+  /// Shared-state deltas one build produced on its slot context.
+  struct SideState {
+    gpusim::SimDuration sim_delta;  ///< slot device ledger growth
+    std::uint64_t launches = 0;     ///< slot device launch-count growth
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+  };
+
+  /// Collects the deltas of the build that just ran for `seq` (same
+  /// thread as begin_build). Valid even after a throwing build — partial
+  /// deltas keep the shared ledger consistent.
+  SideState end_build(std::uint64_t seq);
+
+  /// Folds one build's deltas into the shared device ledger and cache
+  /// stats. Callers invoke this in batch-consumption order — the
+  /// fixed-order reduction the determinism contract rests on.
+  void fold(const SideState& side);
+
+ private:
+  struct Slot {
+    std::unique_ptr<gpusim::Device> device;
+    std::unique_ptr<sampling::NeighborFinder> finder;
+    std::unique_ptr<cache::SlotFeatureSource> features;
+    std::unique_ptr<BatchBuilder> builder;
+    gpusim::SimDuration sim_before;
+    std::uint64_t launches_before = 0;
+  };
+
+  gpusim::Device& main_device_;
+  cache::FeatureSource& shared_features_;
+  std::vector<Slot> slots_;
+  /// Serial-only fallback: one builder over the shared context.
+  std::unique_ptr<BatchBuilder> shared_builder_;
+  bool parallel_ = false;
+};
+
+}  // namespace taser::core

@@ -68,4 +68,54 @@ class SamplerSnapshotPool {
   bool poison_on_release_;
 };
 
+/// Move-only RAII pin on a SamplerSnapshotPool slot: acquires in the
+/// constructor, releases in the destructor (or at an explicit reset()).
+/// This is how the trainer holds snapshots — an exception unwinding
+/// mid-epoch releases every in-flight pin automatically, so a caller
+/// that catches and retries never hits the pool's "recycled while still
+/// pinned" check with slots leaked by the failed epoch. Callers still
+/// reset() explicitly on the success path, at the exact point the
+/// batch's gradient fold-back completes (the release-ordering the
+/// determinism contract specifies); the destructor is the unwind safety
+/// net, not the primary release site.
+class SnapshotLease {
+ public:
+  SnapshotLease() = default;
+  SnapshotLease(SamplerSnapshotPool& pool, const AdaptiveSampler& live)
+      : pool_(&pool), snapshot_(pool.acquire(live)) {}
+  ~SnapshotLease() { reset(); }
+
+  SnapshotLease(SnapshotLease&& other) noexcept
+      : pool_(other.pool_), snapshot_(other.snapshot_) {
+    other.pool_ = nullptr;
+    other.snapshot_ = nullptr;
+  }
+  SnapshotLease& operator=(SnapshotLease&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      snapshot_ = other.snapshot_;
+      other.pool_ = nullptr;
+      other.snapshot_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotLease(const SnapshotLease&) = delete;
+  SnapshotLease& operator=(const SnapshotLease&) = delete;
+
+  AdaptiveSampler* get() const { return snapshot_; }
+  explicit operator bool() const { return snapshot_ != nullptr; }
+
+  /// Releases the pin now (idempotent).
+  void reset() {
+    if (snapshot_) pool_->release(snapshot_);
+    pool_ = nullptr;
+    snapshot_ = nullptr;
+  }
+
+ private:
+  SamplerSnapshotPool* pool_ = nullptr;
+  AdaptiveSampler* snapshot_ = nullptr;
+};
+
 }  // namespace taser::core

@@ -61,6 +61,11 @@ void TrainerConfig::validate() const {
                         << " would silently ignore it (leave staleness at -1/0 or "
                            "switch modes)");
   }
+  TASER_CHECK_MSG(builder_workers >= 1,
+                  "builder_workers must be >= 1 (got " << builder_workers << ")");
+  TASER_CHECK_MSG(builder_threads >= 0,
+                  "builder_threads must be >= 0 (0 = auto; got " << builder_threads
+                      << ")");
 }
 
 int TrainerConfig::resolved_staleness() const {
@@ -156,6 +161,15 @@ Trainer::Trainer(const graph::Dataset& data, TrainerConfig config)
   bc.time_scale = data_.mean_inter_event_gap();
   builder_ = std::make_unique<BatchBuilder>(data_, *finder_, *features_, device_,
                                             sampler_.get(), bc);
+  // Per-ring-slot build contexts for the training pipeline: one slot per
+  // in-flight batch (depth + 1). Training builds route through the pool
+  // in every prefetch mode — the sync path rotates through the same slot
+  // contexts so sync and async epochs are bit-identical by construction.
+  // Finders that cannot be replicated degrade the pool to one shared
+  // builder over the shared device (pre-pool behavior, one worker).
+  pool_ = std::make_unique<BuilderPool>(
+      data_, *finder_, *features_, device_, sampler_.get(), bc,
+      static_cast<std::size_t>(config_.prefetch_depth) + 1);
 
   auto params = model_->parameters();
   auto pp = predictor_->parameters();
@@ -191,7 +205,10 @@ EpochStats Trainer::train_epoch() {
   model_->set_training(true);
   predictor_->set_training(true);
   if (sampler_) sampler_->set_training(true);
-  if (auto* tgl = dynamic_cast<sampling::TglNeighborFinder*>(finder_.get())) tgl->reset();
+  finder_->begin_epoch();
+  // Sync every slot context to the shared ledgers before the first build
+  // (slot finders capture their per-epoch bases here).
+  pool_->begin_epoch();
 
   util::PhaseAccumulator phases;
   const std::int64_t train = data_.num_train();
@@ -229,17 +246,22 @@ EpochStats Trainer::train_epoch() {
   const int lookahead =
       !async ? 0
              : (stale ? config_.resolved_staleness() : config_.prefetch_depth);
-  BatchPipeline pipeline(*builder_, model_->num_hops(), async,
-                         static_cast<std::size_t>(config_.prefetch_depth));
   // Per-batch metadata travelling alongside the pipeline's ring, in the
   // same submission order (one struct so the entries cannot
   // desynchronize).
   struct PendingBatch {
     std::vector<std::int64_t> edge_ids;
-    AdaptiveSampler* snapshot = nullptr;   ///< frozen θ this batch builds from
-    std::int64_t theta_at_submit = 0;      ///< θ updates applied at submit time
+    SnapshotLease lease;               ///< pins the frozen θ this batch builds from
+    std::int64_t theta_at_submit = 0;  ///< θ updates applied at submit time
   };
+  // Declared BEFORE the pipeline so the pipeline destructs FIRST on any
+  // exit path: workers join (in-progress builds finish, queued jobs are
+  // discarded) before the leases below release — and, in debug builds,
+  // NaN-poison — the snapshots those builds may still be reading.
   std::deque<PendingBatch> pending;
+  BatchPipeline pipeline(*pool_, model_->num_hops(), async,
+                         static_cast<std::size_t>(config_.prefetch_depth),
+                         config_.builder_workers, config_.builder_threads);
   std::int64_t prefetched = 0, stale_builds = 0;
   std::int64_t theta_updates = 0;
   std::vector<std::int64_t> staleness_hist(
@@ -262,17 +284,17 @@ EpochStats Trainer::train_epoch() {
       for (std::int64_t k = lo; k < hi; ++k)
         edge_ids[static_cast<std::size_t>(k - lo)] = k;
     }
-    AdaptiveSampler* snapshot = nullptr;
+    SnapshotLease lease;
     if (stale && sampler_) {
-      snapshot = snapshot_pool_->acquire(*sampler_);
-      snapshot->set_training(sampler_->training());
+      lease = SnapshotLease(*snapshot_pool_, *sampler_);
+      lease.get()->set_training(sampler_->training());
     }
     // Sequence the two rng_ draws explicitly: negatives first, then the
     // per-batch fork (as arguments their order would be compiler-defined,
     // breaking cross-toolchain reproducibility).
     graph::TargetBatch roots = make_roots(edge_ids);
-    pipeline.submit(std::move(roots), rng_.split(), snapshot);
-    pending.push_back(PendingBatch{std::move(edge_ids), snapshot, theta_updates});
+    pipeline.submit(std::move(roots), rng_.split(), lease.get());
+    pending.push_back(PendingBatch{std::move(edge_ids), std::move(lease), theta_updates});
   };
 
   std::int64_t next_submit = 0;
@@ -289,7 +311,7 @@ EpochStats Trainer::train_epoch() {
     PendingBatch batch = std::move(pending.front());
     pending.pop_front();
     const std::vector<std::int64_t>& edge_ids = batch.edge_ids;
-    AdaptiveSampler* used_snapshot = batch.snapshot;
+    AdaptiveSampler* used_snapshot = batch.lease.get();
     // Observed staleness of this build: θ updates applied between its
     // submission and now. Bounded by `lookahead` iterations, hence by
     // the staleness cap.
@@ -381,7 +403,10 @@ EpochStats Trainer::train_epoch() {
     }
     // The batch's backward is done; nothing can touch its frozen θ again,
     // so its pool slot may be recycled (and, in debug builds, poisoned).
-    if (used_snapshot) snapshot_pool_->release(used_snapshot);
+    // This is the success-path release point; the lease destructor is the
+    // exception-unwind safety net (a failed build must not leak its pin
+    // into the next epoch).
+    batch.lease.reset();
     opt_model_->zero_grad();
   }
 
@@ -413,7 +438,7 @@ double Trainer::evaluate_mrr(std::int64_t first_edge, std::int64_t last_edge) {
   model_->set_training(false);
   predictor_->set_training(false);
   if (sampler_) sampler_->set_training(false);
-  if (auto* tgl = dynamic_cast<sampling::TglNeighborFinder*>(finder_.get())) tgl->reset();
+  finder_->begin_epoch();
 
   // Evenly strided subsample of at most max_eval_edges.
   std::vector<std::int64_t> eval_edges;

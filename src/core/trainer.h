@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/batch_builder.h"
+#include "core/builder_pool.h"
 #include "core/minibatch_selector.h"
 #include "core/snapshot_pool.h"
 #include "core/sample_loss.h"
@@ -78,11 +79,25 @@ struct TrainerConfig {
   /// staleness > 0 with kOff/kSyncOnly is a validate() error (those
   /// modes would silently ignore it).
   int staleness = -1;
+  /// Concurrent builder workers P over the prefetch ring. Each ring slot
+  /// has its own build context (BuilderPool), workers claim batches in
+  /// submission order, and side-state folds in consumption order, so any
+  /// P is bit-identical to P = 1 at every (depth, staleness) — P only
+  /// converts ring depth into build throughput when construction is the
+  /// bottleneck. Clamped to min(prefetch_depth + 1, pool.max_workers());
+  /// finders that cannot be replicated (orig-cpu) run one worker
+  /// regardless.
+  int builder_workers = 1;
+  /// OpenMP team size inside each builder worker's parallel regions.
+  /// 0 = auto: max(1, host_team / (2 * workers)) — the generalisation of
+  /// the old "the one worker takes half the host team" halving heuristic.
+  /// Thread-count independent results either way.
+  int builder_threads = 0;
 
   /// Rejects contradictory prefetch configurations (throws
   /// std::runtime_error): prefetch_depth < 1, staleness > prefetch_depth,
-  /// or staleness > 0 outside kStaleTheta. Trainer calls this on
-  /// construction.
+  /// staleness > 0 outside kStaleTheta, builder_workers < 1, or
+  /// builder_threads < 0. Trainer calls this on construction.
   void validate() const;
   /// The staleness bound actually in force after resolving the -1 auto
   /// default (see `staleness`).
@@ -192,6 +207,12 @@ class Trainer {
   models::EdgePredictor& predictor() { return *predictor_; }
   MiniBatchSelector* selector() { return selector_.get(); }
   AdaptiveSampler* sampler() { return sampler_.get(); }
+  /// Frozen-θ snapshot pool (null outside kStaleTheta+ada_neighbor).
+  /// Tests assert pinned() == 0 after an epoch — including one that
+  /// unwound through an exception (SnapshotLease).
+  SamplerSnapshotPool* snapshot_pool() { return snapshot_pool_.get(); }
+  /// Per-ring-slot build contexts the training pipeline runs on.
+  BuilderPool* builder_pool() { return pool_.get(); }
   sampling::NeighborFinder& finder() { return *finder_; }
   int num_hops() const { return model_->num_hops(); }
   std::int64_t epochs_run() const { return epochs_run_; }
@@ -219,6 +240,10 @@ class Trainer {
   std::unique_ptr<SamplerSnapshotPool> snapshot_pool_;
   std::unique_ptr<MiniBatchSelector> selector_;
   std::unique_ptr<BatchBuilder> builder_;
+  /// Per-ring-slot build contexts for train_epoch's pipeline (training
+  /// builds always go through the pool; evaluation uses builder_ on the
+  /// shared device directly).
+  std::unique_ptr<BuilderPool> pool_;
   std::unique_ptr<nn::Adam> opt_model_;
   std::unique_ptr<nn::Adam> opt_sampler_;
   util::Rng rng_;

@@ -114,6 +114,16 @@ class Device {
 
   /// Reseed the deterministic kernel RNG sequence.
   void reseed(std::uint64_t seed) { seed_ = seed; }
+  std::uint64_t rng_seed() const { return seed_; }
+
+  /// Launch-counter plumbing for the multi-builder prefetch pool: every
+  /// launch's kernel RNG seed is a function of (rng_seed, launch count),
+  /// so a per-slot device can reproduce the exact sampling stream of a
+  /// single shared device by positioning its counter at the value the
+  /// serial stream would have reached for that batch. The counter value
+  /// used by launch k (1-based since construction/reset) is k.
+  std::uint64_t launch_count() const { return launch_counter_; }
+  void set_launch_count(std::uint64_t count) { launch_counter_ = count; }
 
  private:
   PerfModel model_;

@@ -32,10 +32,24 @@ class GpuNeighborFinder : public NeighborFinder {
   /// Modeled device time of the most recent `sample` call.
   gpusim::SimDuration last_kernel_time() const { return last_kernel_time_; }
 
+  /// Multi-builder replication: the finder itself is stateless, but each
+  /// launch's kernel RNG depends on the device's launch counter, so a
+  /// replica gets its own Device and positions that counter per build
+  /// (one launch per sample_into call, i.e. num_hops per build) to
+  /// reproduce the serial shared-device stream exactly.
+  std::unique_ptr<NeighborFinder> clone_for(gpusim::Device* device) override {
+    return device ? std::make_unique<GpuNeighborFinder>(graph_, *device) : nullptr;
+  }
+  void begin_epoch() override { launch_base_ = device_.launch_count(); }
+  void begin_build(std::uint64_t seq, int num_hops) override {
+    device_.set_launch_count(launch_base_ + seq * static_cast<std::uint64_t>(num_hops));
+  }
+
  private:
   const graph::TCSR& graph_;
   gpusim::Device& device_;
   gpusim::SimDuration last_kernel_time_;
+  std::uint64_t launch_base_ = 0;  ///< device launch count at begin_epoch
 };
 
 }  // namespace taser::sampling

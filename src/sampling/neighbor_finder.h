@@ -1,11 +1,17 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/tcsr.h"
 #include "graph/types.h"
 #include "util/rng.h"
+
+namespace taser::gpusim {
+class Device;
+}
 
 namespace taser::sampling {
 
@@ -82,6 +88,39 @@ class NeighborFinder {
   /// TGL pointer-array restriction the paper's §III-C motivates the GPU
   /// finder with).
   virtual bool chronological_only() const { return false; }
+
+  // ---- multi-builder prefetch support ---------------------------------
+  // The P-worker prefetch ring (core::BuilderPool) replicates the finder
+  // once per ring slot so concurrent builds never share finder state. A
+  // replicated finder must be able to reproduce, for batch sequence
+  // number `seq`, exactly what the single shared finder would have
+  // sampled for that batch in a serial build order — that repositioning
+  // is what keeps P builders bit-identical to one.
+
+  /// Returns an independent replica sampling from the same graph, with
+  /// any device interaction routed to `device` (per-slot simulated-time
+  /// ledger). Returns nullptr when the finder cannot be replicated
+  /// without changing its sampling stream (hidden sequential state, e.g.
+  /// the original finder's single Rng); the pool then degrades to one
+  /// shared builder.
+  virtual std::unique_ptr<NeighborFinder> clone_for(gpusim::Device* device) {
+    (void)device;
+    return nullptr;
+  }
+
+  /// Epoch boundary for replicas and originals alike: reset monotone
+  /// snapshot state (TGL) or capture the per-epoch base of a counter
+  /// stream (GPU finder launch counter). Default: nothing to reset.
+  virtual void begin_epoch() {}
+
+  /// Positions per-build deterministic state so that the upcoming build
+  /// of batch `seq` (0-based within the epoch, `num_hops` sample_into
+  /// calls) draws exactly the random streams a serial single-finder
+  /// build order would give it. Default: stateless finder, no-op.
+  virtual void begin_build(std::uint64_t seq, int num_hops) {
+    (void)seq;
+    (void)num_hops;
+  }
 };
 
 }  // namespace taser::sampling

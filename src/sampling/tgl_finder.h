@@ -38,6 +38,22 @@ class TglNeighborFinder : public NeighborFinder {
   /// Resets pointers to the beginning of time (start of epoch).
   void reset();
 
+  /// Multi-builder replication: replicas own their pointer array and
+  /// snapshot clock (ptr advance depends only on the snapshot time, not
+  /// on which intermediate batches a replica saw, so a replica that
+  /// builds every P-th batch reaches the same visible prefix the shared
+  /// finder would). begin_build repositions the per-batch RNG counter to
+  /// the value a serial build order gives batch `seq` (one sample_into
+  /// per hop). `device` is unused — this is a CPU finder.
+  std::unique_ptr<NeighborFinder> clone_for(gpusim::Device* device) override {
+    (void)device;
+    return std::make_unique<TglNeighborFinder>(graph_, seed_);
+  }
+  void begin_epoch() override { reset(); }
+  void begin_build(std::uint64_t seq, int num_hops) override {
+    batch_counter_ = seq * static_cast<std::uint64_t>(num_hops);
+  }
+
   Time snapshot_time() const { return snapshot_time_; }
 
  private:

@@ -10,11 +10,13 @@
 
 #include <omp.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
 #include "cache/feature_source.h"
 #include "core/batch_builder.h"
+#include "core/builder_pool.h"
 #include "graph/synthetic.h"
 #include "sampling/gpu_finder.h"
 
@@ -54,6 +56,53 @@ struct Stack {
                                                    sampler.get(), bc);
   }
 };
+
+/// Like Stack, but build contexts come from a BuilderPool (one per ring
+/// slot) so tests can drive the multi-builder pipeline against a serial
+/// Stack reference. Same shapes/seeds as Stack, so a PoolStack build of
+/// batch k must be bit-identical to a Stack build of batch k.
+struct PoolStack {
+  std::unique_ptr<graph::TCSR> graph;
+  gpusim::Device device;
+  std::unique_ptr<sampling::GpuNeighborFinder> finder;
+  std::unique_ptr<cache::PlainFeatureSource> features;
+  std::unique_ptr<core::AdaptiveSampler> sampler;
+  std::unique_ptr<core::BuilderPool> pool;
+
+  PoolStack(const graph::Dataset& data, bool adaptive, std::size_t num_slots) {
+    graph = std::make_unique<graph::TCSR>(data);
+    finder = std::make_unique<sampling::GpuNeighborFinder>(*graph, device);
+    features = std::make_unique<cache::PlainFeatureSource>(data, device);
+    core::BuilderConfig bc;
+    bc.n = 4;
+    if (adaptive) {
+      bc.m = 9;
+      util::Rng init_rng(21);
+      core::EncoderConfig ec;
+      ec.node_feat_dim = data.node_feat_dim;
+      ec.edge_feat_dim = data.edge_feat_dim;
+      ec.dim = 8;
+      ec.m = 9;
+      sampler = std::make_unique<core::AdaptiveSampler>(ec, core::DecoderKind::kLinear,
+                                                        8, init_rng);
+      sampler->set_training(true);
+    }
+    pool = std::make_unique<core::BuilderPool>(data, *finder, *features, device,
+                                               sampler.get(), bc, num_slots);
+    pool->begin_epoch();
+  }
+};
+
+/// Builder-worker count for the stress fuzzes: TASER_STRESS_BUILDERS
+/// overrides (the CI matrix sweeps P ∈ {1, 2, 4} with it), otherwise
+/// `fallback`.
+inline int env_builders(int fallback) {
+  if (const char* s = std::getenv("TASER_STRESS_BUILDERS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  return fallback;
+}
 
 /// The 50-src/25-dst 1500-edge synthetic CTDG the trainer-level pipeline
 /// suites run on (small enough for multi-epoch bit-compare runs).

@@ -11,8 +11,13 @@
 
 #include <omp.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 #include "cache/feature_source.h"
 #include "core/batch_pipeline.h"
@@ -21,6 +26,7 @@
 #include "graph/synthetic.h"
 #include "pipeline_test_util.h"
 #include "sampling/gpu_finder.h"
+#include "util/failpoint.h"
 
 using namespace taser;
 using namespace taser::core;
@@ -520,6 +526,473 @@ TEST(SnapshotPool, RingOverCapacitySubmitIsHardError) {
   (void)pipeline.next();
   (void)pipeline.next();
   EXPECT_EQ(pipeline.pending(), 0u);
+}
+
+// ---- multi-builder conformance suite ---------------------------------------
+
+TEST(MultiBuilder, PoolPipelineBitIdenticalToSerialAnyWorkerCount) {
+  // The tentpole anchor at the raw-pipeline level: P ∈ {1, 2, 4} builder
+  // workers over a depth-3 ring must reproduce the serial single-builder
+  // build stream bit-for-bit, batch by batch.
+  graph::Dataset data = small_data();
+  const int kBatches = 8;
+  const int kHops = 2;
+  const int kDepth = 3;
+
+  Stack serial(data, /*adaptive=*/false);
+  util::Rng master_a(99);
+  util::PhaseAccumulator scratch;
+  std::vector<BatchBuilder::Built> ref;
+  for (int k = 0; k < kBatches; ++k) {
+    util::Rng batch_rng = master_a.split();
+    ref.push_back(serial.builder->build(batch_roots(data, 1200 + 40 * k, 12), kHops,
+                                        scratch, batch_rng));
+  }
+
+  for (int P : {1, 2, 4}) {
+    SCOPED_TRACE(testing::Message() << "P=" << P << " builder workers");
+    testutil::PoolStack piped(data, /*adaptive=*/false, kDepth + 1);
+    ASSERT_TRUE(piped.pool->parallel());
+    util::Rng master_b(99);
+    BatchPipeline pipeline(*piped.pool, kHops, /*async=*/true, kDepth, P,
+                           testutil::tsan_safe_threads(0));
+    EXPECT_EQ(pipeline.workers(), std::min(P, kDepth + 1));
+    int submitted = 0;
+    for (int k = 0; k < kBatches; ++k) {
+      while (submitted < kBatches && submitted <= k + kDepth) {
+        pipeline.submit(batch_roots(data, 1200 + 40 * submitted, 12), master_b.split());
+        ++submitted;
+      }
+      expect_built_eq(ref[static_cast<std::size_t>(k)], pipeline.next().built);
+    }
+    EXPECT_EQ(pipeline.pending(), 0u);
+  }
+}
+
+TEST(MultiBuilder, AdaptiveSnapshotBuildsBitIdenticalAnyWorkerCount) {
+  // Adaptive builds under P workers: each in-flight batch gets its own
+  // frozen-θ copy (the trainer's stale-θ hand-off), all frozen from the
+  // same live θ, so every worker count must reproduce the serial live-θ
+  // reference bit-for-bit.
+  graph::Dataset data = small_data();
+  const int kBatches = 6;
+  const int kHops = 2;
+  const int kDepth = 2;
+
+  Stack serial(data, /*adaptive=*/true);
+  util::Rng master_a(77);
+  util::PhaseAccumulator scratch;
+  std::vector<BatchBuilder::Built> ref;
+  for (int k = 0; k < kBatches; ++k) {
+    util::Rng batch_rng = master_a.split();
+    ref.push_back(serial.builder->build(batch_roots(data, 1900 + 30 * k, 12), kHops,
+                                        scratch, batch_rng));
+  }
+
+  for (int P : {1, 2, 4}) {
+    SCOPED_TRACE(testing::Message() << "P=" << P << " builder workers");
+    testutil::PoolStack piped(data, /*adaptive=*/true, kDepth + 1);
+    // One frozen copy per ring slot, like the trainer's snapshot pool:
+    // concurrent builds never share a sampler instance.
+    EncoderConfig ec;
+    ec.node_feat_dim = data.node_feat_dim;
+    ec.edge_feat_dim = data.edge_feat_dim;
+    ec.dim = 8;
+    ec.m = 9;
+    std::vector<std::unique_ptr<AdaptiveSampler>> frozen;
+    for (int s = 0; s < kDepth + 1; ++s) {
+      util::Rng snap_init(5000 + static_cast<std::uint64_t>(s));
+      frozen.push_back(
+          std::make_unique<AdaptiveSampler>(ec, DecoderKind::kLinear, 8, snap_init));
+      frozen.back()->copy_parameters_from(*piped.sampler);
+      frozen.back()->set_training(true);
+    }
+
+    util::Rng master_b(77);
+    BatchPipeline pipeline(*piped.pool, kHops, /*async=*/true, kDepth, P,
+                           testutil::tsan_safe_threads(0));
+    int submitted = 0;
+    for (int k = 0; k < kBatches; ++k) {
+      while (submitted < kBatches && submitted <= k + kDepth) {
+        pipeline.submit(batch_roots(data, 1900 + 30 * submitted, 12), master_b.split(),
+                        frozen[static_cast<std::size_t>(submitted) % frozen.size()].get());
+        ++submitted;
+      }
+      expect_built_eq(ref[static_cast<std::size_t>(k)], pipeline.next().built);
+    }
+  }
+}
+
+TEST(MultiBuilder, TrainerBitIdenticalAcrossWorkerCounts) {
+  // Trainer-level P-invariance on the non-adaptive overlap path: worker
+  // count is a pure throughput knob, never a numerics knob.
+  graph::Dataset data = testutil::small_trainer_data(23);
+  TrainerConfig tc;
+  tc.backbone = BackboneKind::kTgat;
+  tc.finder = FinderKind::kGpu;
+  tc.batch_size = 96;
+  tc.n_neighbors = 4;
+  tc.hidden_dim = 12;
+  tc.time_dim = 8;
+  tc.max_eval_edges = 60;
+  tc.seed = 5;
+  tc.max_iters_per_epoch = 4;
+  tc.prefetch_depth = 3;
+  tc.builder_threads = testutil::tsan_safe_threads(0);
+
+  Trainer ref(data, tc);  // builder_workers = 1
+  std::vector<double> ref_losses;
+  for (int e = 0; e < 2; ++e) ref_losses.push_back(ref.train_epoch().mean_loss);
+  const double ref_mrr = ref.evaluate_val_mrr();
+
+  for (int P : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "P=" << P << " builder workers");
+    TrainerConfig tp = tc;
+    tp.builder_workers = P;
+    Trainer t(data, tp);
+    ASSERT_TRUE(t.builder_pool()->parallel());
+    for (int e = 0; e < 2; ++e) {
+      const auto s = t.train_epoch();
+      EXPECT_EQ(s.mean_loss, ref_losses[static_cast<std::size_t>(e)]) << "epoch " << e;
+      EXPECT_GT(s.prefetched_batches, 0);
+    }
+    EXPECT_EQ(t.evaluate_val_mrr(), ref_mrr);
+  }
+}
+
+TEST(MultiBuilder, StaleThetaTrainerBitIdenticalAcrossWorkerCounts) {
+  // The hard case: P workers × depth-2 ring × staleness-2 snapshots.
+  // Losses, the staleness histogram, and MRR must all be independent of P.
+  graph::Dataset data = stale_suite_data(31);
+  TrainerConfig tc = stale_suite_config();
+  tc.prefetch_mode = PrefetchMode::kStaleTheta;
+  tc.prefetch_depth = 2;
+  tc.staleness = -1;  // auto: resolves to 2
+  tc.max_iters_per_epoch = 5;
+  tc.builder_threads = testutil::tsan_safe_threads(0);
+
+  Trainer ref(data, tc);
+  std::vector<EpochStats> ref_stats;
+  for (int e = 0; e < 2; ++e) ref_stats.push_back(ref.train_epoch());
+  const double ref_mrr = ref.evaluate_val_mrr();
+
+  for (int P : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "P=" << P << " builder workers");
+    TrainerConfig tp = tc;
+    tp.builder_workers = P;
+    Trainer t(data, tp);
+    for (int e = 0; e < 2; ++e) {
+      const auto s = t.train_epoch();
+      EXPECT_EQ(s.mean_loss, ref_stats[static_cast<std::size_t>(e)].mean_loss)
+          << "epoch " << e;
+      EXPECT_EQ(s.stale_builds, ref_stats[static_cast<std::size_t>(e)].stale_builds);
+      EXPECT_EQ(s.staleness_hist, ref_stats[static_cast<std::size_t>(e)].staleness_hist);
+    }
+    EXPECT_EQ(t.evaluate_val_mrr(), ref_mrr);
+  }
+}
+
+TEST(MultiBuilder, CachedPathStatsDeterministicAcrossWorkerCounts) {
+  // The VRAM cache under P workers: hit/miss epoch history (folded in
+  // consumption order) and the access counters Q (order-independent
+  // atomic sums) must match the single-worker run exactly.
+  graph::Dataset data = testutil::small_trainer_data(47);
+  TrainerConfig tc;
+  tc.backbone = BackboneKind::kTgat;
+  tc.finder = FinderKind::kGpu;
+  tc.cache_ratio = 0.3;
+  tc.batch_size = 96;
+  tc.n_neighbors = 4;
+  tc.hidden_dim = 12;
+  tc.time_dim = 8;
+  tc.max_eval_edges = 60;
+  tc.seed = 5;
+  tc.max_iters_per_epoch = 4;
+  tc.prefetch_depth = 3;
+  tc.builder_threads = testutil::tsan_safe_threads(0);
+
+  auto run = [&](int P) {
+    TrainerConfig tp = tc;
+    tp.builder_workers = P;
+    Trainer t(data, tp);
+    std::vector<double> losses;
+    for (int e = 0; e < 3; ++e) losses.push_back(t.train_epoch().mean_loss);
+    auto* cache = t.features().cache();
+    EXPECT_NE(cache, nullptr);
+    return std::make_pair(losses, cache->history());
+  };
+  const auto [ref_losses, ref_hist] = run(1);
+  std::uint64_t total = 0;
+  for (const auto& h : ref_hist) total += h.hits + h.misses;
+  ASSERT_GT(total, 0u) << "cache saw no traffic — test is vacuous";
+  for (int P : {2, 4}) {
+    SCOPED_TRACE(testing::Message() << "P=" << P << " builder workers");
+    const auto [losses, hist] = run(P);
+    EXPECT_EQ(losses, ref_losses);
+    ASSERT_EQ(hist.size(), ref_hist.size());
+    for (std::size_t e = 0; e < hist.size(); ++e) {
+      EXPECT_EQ(hist[e].hits, ref_hist[e].hits) << "epoch " << e;
+      EXPECT_EQ(hist[e].misses, ref_hist[e].misses) << "epoch " << e;
+      EXPECT_EQ(hist[e].replaced, ref_hist[e].replaced) << "epoch " << e;
+    }
+  }
+}
+
+TEST(MultiBuilder, TglFinderBitIdenticalAcrossWorkerCounts) {
+  // The TGL finder's per-slot replicas reposition their batch counter and
+  // chronological snapshot per sequence number; P must not change results.
+  graph::Dataset data = testutil::small_trainer_data(53);
+  TrainerConfig tc;
+  tc.backbone = BackboneKind::kGraphMixer;
+  tc.finder = FinderKind::kTgl;
+  tc.batch_size = 96;
+  tc.n_neighbors = 4;
+  tc.hidden_dim = 12;
+  tc.time_dim = 8;
+  tc.max_eval_edges = 60;
+  tc.seed = 5;
+  tc.max_iters_per_epoch = 4;
+  tc.prefetch_depth = 2;
+  tc.builder_threads = testutil::tsan_safe_threads(0);
+
+  Trainer ref(data, tc);
+  ASSERT_TRUE(ref.builder_pool()->parallel());
+  std::vector<double> ref_losses;
+  for (int e = 0; e < 2; ++e) ref_losses.push_back(ref.train_epoch().mean_loss);
+  const double ref_mrr = ref.evaluate_val_mrr();
+
+  TrainerConfig tp = tc;
+  tp.builder_workers = 3;
+  Trainer t(data, tp);
+  for (int e = 0; e < 2; ++e)
+    EXPECT_EQ(t.train_epoch().mean_loss, ref_losses[static_cast<std::size_t>(e)])
+        << "epoch " << e;
+  EXPECT_EQ(t.evaluate_val_mrr(), ref_mrr);
+}
+
+TEST(MultiBuilder, SerialOnlyFinderDegradesToOneWorker) {
+  // The original finder's hidden sequential RNG cannot be replicated:
+  // the pool must degrade to the shared single-builder path (max one
+  // worker) and still run — with any requested P — identically to P=1.
+  graph::Dataset data = testutil::small_trainer_data(59);
+  TrainerConfig tc;
+  tc.backbone = BackboneKind::kTgat;
+  tc.finder = FinderKind::kOrig;
+  tc.batch_size = 96;
+  tc.n_neighbors = 4;
+  tc.hidden_dim = 12;
+  tc.time_dim = 8;
+  tc.max_eval_edges = 60;
+  tc.seed = 5;
+  tc.max_iters_per_epoch = 3;
+
+  Trainer ref(data, tc);
+  EXPECT_FALSE(ref.builder_pool()->parallel());
+  EXPECT_EQ(ref.builder_pool()->max_workers(), 1);
+  const double ref_loss = ref.train_epoch().mean_loss;
+
+  TrainerConfig tp = tc;
+  tp.builder_workers = 4;
+  Trainer t(data, tp);
+  EXPECT_EQ(t.train_epoch().mean_loss, ref_loss);
+}
+
+TEST(MultiBuilder, ExplicitBuilderThreadsMatchAuto) {
+  // builder_threads only sizes each worker's OpenMP team — it must never
+  // change numerics (thread-count invariance inside a builder worker).
+  graph::Dataset data = testutil::small_trainer_data(61);
+  TrainerConfig tc;
+  tc.backbone = BackboneKind::kTgat;
+  tc.finder = FinderKind::kGpu;
+  tc.batch_size = 96;
+  tc.n_neighbors = 4;
+  tc.hidden_dim = 12;
+  tc.time_dim = 8;
+  tc.max_eval_edges = 60;
+  tc.seed = 5;
+  tc.max_iters_per_epoch = 3;
+  tc.prefetch_depth = 2;
+  tc.builder_workers = 2;
+
+  TrainerConfig ta = tc;
+  ta.builder_threads = 0;  // auto heuristic
+  TrainerConfig tb = tc;
+  tb.builder_threads = testutil::tsan_safe_threads(2);
+  if (tb.builder_threads == 0) tb.builder_threads = 1;
+
+  Trainer a(data, ta);
+  Trainer b(data, tb);
+  EXPECT_EQ(a.train_epoch().mean_loss, b.train_epoch().mean_loss);
+  EXPECT_EQ(a.evaluate_val_mrr(), b.evaluate_val_mrr());
+}
+
+// ---- pipeline lifecycle: teardown + error paths ----------------------------
+
+TEST(PipelineLifecycle, BuildErrorRethrownOnceLaterBatchesServe) {
+  // A faulted build surfaces exactly once, at its own next(); batches
+  // after it build and serve bit-identically to the no-fault reference.
+  graph::Dataset data = small_data();
+  const int kBatches = 4;
+  const int kHops = 2;
+  const int kDepth = 3;
+
+  Stack serial(data, /*adaptive=*/false);
+  util::Rng master_a(41);
+  util::PhaseAccumulator scratch;
+  std::vector<BatchBuilder::Built> ref;
+  for (int k = 0; k < kBatches; ++k) {
+    util::Rng batch_rng = master_a.split();
+    ref.push_back(serial.builder->build(batch_roots(data, 1400 + 30 * k, 10), kHops,
+                                        scratch, batch_rng));
+  }
+
+  testutil::PoolStack piped(data, /*adaptive=*/false, kDepth + 1);
+  util::Rng master_b(41);
+  BatchPipeline pipeline(*piped.pool, kHops, /*async=*/true, kDepth, 2,
+                         testutil::tsan_safe_threads(0));
+  pipeline.set_build_hook([](std::uint64_t seq) {
+    if (seq == 1) throw std::runtime_error("injected build fault (seq 1)");
+  });
+  for (int k = 0; k < kBatches; ++k)
+    pipeline.submit(batch_roots(data, 1400 + 30 * k, 10), master_b.split());
+
+  expect_built_eq(ref[0], pipeline.next().built);
+  EXPECT_THROW(pipeline.next(), std::runtime_error);
+  expect_built_eq(ref[2], pipeline.next().built);
+  expect_built_eq(ref[3], pipeline.next().built);
+  EXPECT_EQ(pipeline.pending(), 0u);
+}
+
+TEST(PipelineLifecycle, TwoConsecutiveFaultedBuildsEachRethrowOnce) {
+  graph::Dataset data = small_data();
+  const int kBatches = 4;
+  const int kHops = 2;
+  const int kDepth = 3;
+
+  Stack serial(data, /*adaptive=*/false);
+  util::Rng master_a(43);
+  util::PhaseAccumulator scratch;
+  std::vector<BatchBuilder::Built> ref;
+  for (int k = 0; k < kBatches; ++k) {
+    util::Rng batch_rng = master_a.split();
+    ref.push_back(serial.builder->build(batch_roots(data, 1500 + 30 * k, 10), kHops,
+                                        scratch, batch_rng));
+  }
+
+  testutil::PoolStack piped(data, /*adaptive=*/false, kDepth + 1);
+  util::Rng master_b(43);
+  BatchPipeline pipeline(*piped.pool, kHops, /*async=*/true, kDepth, 2,
+                         testutil::tsan_safe_threads(0));
+  pipeline.set_build_hook([](std::uint64_t seq) {
+    if (seq == 1 || seq == 2)
+      throw std::runtime_error("injected build fault (seq " + std::to_string(seq) + ")");
+  });
+  for (int k = 0; k < kBatches; ++k)
+    pipeline.submit(batch_roots(data, 1500 + 30 * k, 10), master_b.split());
+
+  expect_built_eq(ref[0], pipeline.next().built);
+  EXPECT_THROW(pipeline.next(), std::runtime_error);
+  EXPECT_THROW(pipeline.next(), std::runtime_error);
+  expect_built_eq(ref[3], pipeline.next().built);
+  EXPECT_EQ(pipeline.pending(), 0u);
+}
+
+TEST(PipelineLifecycle, DestructionWithStoredErrorPendingIsClean) {
+  // A stored error nobody consumed must not block or corrupt teardown
+  // (the ASan job additionally proves the exception_ptr does not leak).
+  graph::Dataset data = small_data();
+  testutil::PoolStack piped(data, /*adaptive=*/false, 3);
+  util::Rng master(47);
+  BatchPipeline pipeline(*piped.pool, 2, /*async=*/true, 2, 2,
+                         testutil::tsan_safe_threads(0));
+  pipeline.set_build_hook([](std::uint64_t seq) {
+    if (seq == 0) throw std::runtime_error("injected build fault (seq 0)");
+  });
+  pipeline.submit(batch_roots(data, 1600, 10), master.split());
+  pipeline.submit(batch_roots(data, 1630, 10), master.split());
+  while (pipeline.built_count() < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // Destructor runs with slot 0 holding a stored error and slot 1 a
+  // never-consumed result.
+}
+
+TEST(PipelineLifecycle, StopDiscardsQueuedUnbuiltJobs) {
+  // The teardown bugfix: with the ring full and one build blocked
+  // in-progress, request_stop() (what the destructor issues first) must
+  // discard the queued-but-unclaimed jobs — the worker exits after the
+  // in-progress build instead of draining the whole ring.
+  graph::Dataset data = small_data();
+  testutil::PoolStack piped(data, /*adaptive=*/false, 4);
+
+  std::atomic<int> hook_calls{0};
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  {
+    // One worker: build 0 blocks in the hook; builds 1-3 stay queued.
+    BatchPipeline pipeline(*piped.pool, 2, /*async=*/true, /*depth=*/3, 1,
+                           testutil::tsan_safe_threads(0));
+    pipeline.set_build_hook([&](std::uint64_t) {
+      ++hook_calls;
+      std::unique_lock<std::mutex> lk(m);
+      cv.wait(lk, [&] { return release; });
+    });
+    util::Rng master(51);
+    for (int k = 0; k < 4; ++k)
+      pipeline.submit(batch_roots(data, 1700 + 30 * k, 10), master.split());
+    while (hook_calls.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(pipeline.pending(), 4u);
+    EXPECT_EQ(pipeline.built_count(), 0u);
+    // Deterministic ordering: stop is set BEFORE the blocked build may
+    // finish, so the worker's next claim check must see it.
+    pipeline.request_stop();
+    {
+      std::lock_guard<std::mutex> lk(m);
+      release = true;
+    }
+    cv.notify_all();
+    // Destructor joins the worker here.
+  }
+  EXPECT_EQ(hook_calls.load(), 1)
+      << "a queued-but-unclaimed job was built after stop was requested";
+}
+
+TEST(PipelineLifecycle, SnapshotPinsReleasedOnFailedEpochUnwind) {
+  // The snapshot-leak bugfix: a build that throws mid-epoch unwinds
+  // train_epoch with several stale-θ snapshots pinned; the leases must
+  // release every pin (after the pipeline has joined its workers), and
+  // the next epoch on the same trainer must run clean.
+  if (!util::failpoints::compiled_in())
+    GTEST_SKIP() << "failpoints compiled out (-DTASER_FAILPOINTS=OFF)";
+  graph::Dataset data = stale_suite_data(67);
+  for (int P : {1, 2}) {
+    SCOPED_TRACE(testing::Message() << "P=" << P << " builder workers");
+    TrainerConfig tc = stale_suite_config();
+    tc.prefetch_mode = PrefetchMode::kStaleTheta;
+    tc.prefetch_depth = 2;
+    tc.staleness = -1;  // auto: 2 → up to 3 snapshots pinned at once
+    tc.max_iters_per_epoch = 4;
+    tc.builder_workers = P;
+    tc.builder_threads = testutil::tsan_safe_threads(0);
+
+    Trainer t(data, tc);
+    ASSERT_NE(t.snapshot_pool(), nullptr);
+    {
+      util::failpoints::FailpointConfig fc;
+      fc.first_hit = 3;  // mid-epoch, with earlier snapshots still pinned
+      fc.max_fires = 1;
+      util::failpoints::ScopedFailpoint fp("core.builder.build", fc);
+      EXPECT_THROW(t.train_epoch(), util::failpoints::FailpointError);
+    }
+    EXPECT_EQ(t.snapshot_pool()->pinned(), 0u)
+        << "failed epoch leaked pinned snapshots";
+    const auto stats = t.train_epoch();
+    EXPECT_EQ(t.snapshot_pool()->pinned(), 0u);
+    EXPECT_EQ(stats.iterations, 4);
+    EXPECT_TRUE(std::isfinite(stats.mean_loss))
+        << "post-failure epoch read a poisoned/stale snapshot";
+  }
 }
 
 TEST(StaleTheta, FirstBatchMatchesSync) {

@@ -1,12 +1,16 @@
 // Randomized depth-K prefetch-ring stress: seeded fuzz over (ring depth,
-// staleness, train:build timing, OpenMP team size, ada_batch/ada_neighbor
-// on/off), asserting that every schedule completes (no deadlock), that
-// results come back in submission order bit-identical to an inline
-// reference built from the same frozen θ, that the snapshot pool's
-// pin/release accounting closes, and that the trainer's staleness
-// histogram stays consistent. Runs in the OMP_NUM_THREADS matrix and the
-// ASan+UBSan CI job; every expectation is exact (no tolerance, no
-// retries), so a single flake fails the suite.
+// staleness, builder-worker count P, train:build timing, OpenMP team
+// size, ada_batch/ada_neighbor on/off), asserting that every schedule
+// completes (no deadlock), that results come back in submission order
+// bit-identical to an inline reference built from the same frozen θ,
+// that the snapshot pool's pin/release accounting closes, and that the
+// trainer's staleness histogram stays consistent — with the P-worker run
+// compared against a P=1 reference, so worker count is proven to be a
+// pure throughput knob. TASER_STRESS_BUILDERS pins P (the CI matrix
+// sweeps {1, 2, 4}); unset, each round draws P randomly. Runs in the
+// OMP_NUM_THREADS matrix, the ASan+UBSan job, and (P=4) the TSan job;
+// every expectation is exact (no tolerance, no retries), so a single
+// flake fails the suite.
 #include <gtest/gtest.h>
 
 #include <omp.h>
@@ -52,13 +56,14 @@ TEST(PipelineStress, RandomizedRingScheduleMatchesInlineReference) {
     const std::size_t depth = 1 + fuzz() % 4;            // ring depth K ∈ [1, 4]
     const bool adaptive = round == 0 || fuzz() % 4 != 0;  // mostly adaptive
     const int threads = 1 << (fuzz() % 3);               // 1, 2, or 4
+    const int workers = testutil::env_builders(1 << (fuzz() % 3));  // P ∈ {1, 2, 4}
     SCOPED_TRACE(testing::Message() << "round " << round << " depth " << depth
                                     << " adaptive " << adaptive << " threads "
-                                    << threads);
+                                    << threads << " workers " << workers);
     OmpThreadGuard guard;
     omp_set_num_threads(testutil::tsan_safe_threads(threads));
 
-    Stack piped(data, adaptive);
+    testutil::PoolStack piped(data, adaptive, depth + 1);
     Stack ref(data, adaptive);
     // The reference builds inline with `ref_frozen` as sampler override —
     // the same frozen-θ hand-off the pipelined run gets from its pool.
@@ -76,8 +81,11 @@ TEST(PipelineStress, RandomizedRingScheduleMatchesInlineReference) {
     }
 
     const int total = 12;
-    BatchPipeline pipeline(*piped.builder, 2, /*async=*/true, depth);
+    BatchPipeline pipeline(*piped.pool, 2, /*async=*/true, depth, workers,
+                           testutil::tsan_safe_threads(0));
     ASSERT_EQ(pipeline.capacity(), depth + 1);
+    EXPECT_EQ(pipeline.workers(),
+              std::min<int>(workers, static_cast<int>(depth) + 1));
     util::Rng master_pipe(31), master_ref(31);
     util::PhaseAccumulator scratch;
     std::vector<BatchBuilder::Built> reference(total);
@@ -141,11 +149,12 @@ TEST(PipelineStress, RandomizedRingScheduleMatchesInlineReference) {
 }
 
 TEST(PipelineStress, RandomizedTrainerConfigsReproducibleAndHistogramConsistent) {
-  // Trainer-level fuzz: random (depth, staleness, adaptive switches,
-  // OpenMP team size) draws; each config runs twice with identical seeds
-  // and must agree bit-for-bit, with a staleness histogram that sums to
-  // the iteration count, never exceeds the staleness cap, and explains
-  // stale_builds exactly.
+  // Trainer-level fuzz: random (depth, staleness, builder workers,
+  // adaptive switches, OpenMP team size) draws; each config runs at P
+  // workers AND at the P=1 reference with identical seeds and must agree
+  // bit-for-bit, with a staleness histogram that sums to the iteration
+  // count, never exceeds the staleness cap, and explains stale_builds
+  // exactly.
   graph::Dataset data = small_trainer_data(29);
   std::mt19937 fuzz(987654321);
   const int kConfigs = 6;
@@ -157,10 +166,12 @@ TEST(PipelineStress, RandomizedTrainerConfigsReproducibleAndHistogramConsistent)
     const bool ada_batch = fuzz() % 2 == 0;
     const bool ada_neighbor = c == 0 || fuzz() % 4 != 0;  // mostly on
     const int threads = 1 << (fuzz() % 3);
+    const int workers = testutil::env_builders(1 + static_cast<int>(fuzz() % 4));
     SCOPED_TRACE(testing::Message() << "config " << c << ": depth " << depth
                                     << " staleness " << staleness << " ada_batch "
                                     << ada_batch << " ada_neighbor " << ada_neighbor
-                                    << " threads " << threads);
+                                    << " threads " << threads << " workers "
+                                    << workers);
     OmpThreadGuard guard;
     omp_set_num_threads(testutil::tsan_safe_threads(threads));
 
@@ -182,11 +193,17 @@ TEST(PipelineStress, RandomizedTrainerConfigsReproducibleAndHistogramConsistent)
     tc.max_eval_edges = 60;
     tc.seed = 5;
     tc.max_iters_per_epoch = 3 + static_cast<std::int64_t>(fuzz() % 3);
+    tc.builder_workers = workers;
+    tc.builder_threads = testutil::tsan_safe_threads(0);
     ASSERT_NO_THROW(tc.validate());
     const int S = tc.resolved_staleness();
 
+    // b is the single-worker reference: the P-worker run must agree with
+    // it bit-for-bit, not merely with a same-P repeat.
+    TrainerConfig tc_ref = tc;
+    tc_ref.builder_workers = 1;
     Trainer a(data, tc);
-    Trainer b(data, tc);
+    Trainer b(data, tc_ref);
     const auto sa = a.train_epoch();
     const auto sb = b.train_epoch();
     EXPECT_EQ(sa.mean_loss, sb.mean_loss);
