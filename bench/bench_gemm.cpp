@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "tensor/gemm_kernels.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -223,6 +224,7 @@ int run_sweep() {
   std::printf("\ngemm-gate: packed backend >= 2x GFLOP/s on decoder-trunk shapes — "
               "%s (min %.2fx)\n",
               trunk_speedup >= 2.0 ? "HELD" : "MISSED", trunk_speedup);
+  taser::bench::report_metric("sweep.trunk_speedup", trunk_speedup);
   return trunk_speedup >= 2.0 ? 0 : 1;
 }
 
@@ -369,6 +371,8 @@ int run_smoke() {
   for (const auto& s : shapes) smoke_shape(s[0], s[1], s[2], rng);
   smoke_batched(rng);
   std::printf("%s\n", g_failures == 0 ? "smoke: ALL PASS" : "smoke: FAILURES");
+  taser::bench::report_metric("smoke.failures", g_failures);
+  taser::bench::print_shape("packed backend matches naive reference", g_failures == 0);
   return g_failures == 0 ? 0 : 1;
 }
 
@@ -376,5 +380,7 @@ int run_smoke() {
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
-  return smoke ? run_smoke() : run_sweep();
+  int rc = smoke ? run_smoke() : run_sweep();
+  rc |= taser::bench::write_json_report(argc, argv, "bench_gemm");
+  return rc;
 }

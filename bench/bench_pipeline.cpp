@@ -124,6 +124,7 @@ int run_multibuilder_sweep(const graph::Dataset& data,
   }
   mb.print();
   std::printf("\n");
+  bench::report_metric("multibuilder.p4_over_p1", gate_p4_over_p1);
   const bool gate = gate_p4_over_p1 >= 2.0;
   bench::print_shape("4 builders >= 2x batches/sec over 1 at train:build <= 0.5",
                      gate);
@@ -145,7 +146,11 @@ int main(int argc, char** argv) {
   sampling::GpuNeighborFinder finder(tcsr, device);
   cache::PlainFeatureSource features(data, device);
 
-  if (smoke) return run_multibuilder_sweep(data, finder, features, device, true);
+  if (smoke) {
+    int rc = run_multibuilder_sweep(data, finder, features, device, true);
+    rc |= bench::write_json_report(argc, argv, "bench_pipeline");
+    return rc;
+  }
 
   const std::int64_t T = 200, m = 32, n = 10;
   const int hops = 2, warmup = 3, iters = 30;
@@ -526,5 +531,5 @@ int main(int argc, char** argv) {
   // Full runs report the multi-builder sweep too, but only --smoke turns
   // the gate into a process exit status (the ctest canary).
   (void)run_multibuilder_sweep(data, finder, features, device, false);
-  return 0;
+  return bench::write_json_report(argc, argv, "bench_pipeline");
 }

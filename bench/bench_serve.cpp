@@ -56,6 +56,8 @@
 
 #include "common.h"
 #include "graph/dynamic_tcsr.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/epoch_manager.h"
 #include "serve/inference_session.h"
 #include "serve/serving_engine.h"
@@ -188,6 +190,12 @@ int run_part1(std::int64_t num_queries, bool smoke) {
   t.print();
 
   std::printf("\nmicro-batching speedup: %.2fx\n", speedup);
+
+  bench::report_metric("part1.solo_qps", solo.qps);
+  bench::report_metric("part1.batched_qps", batched.qps);
+  bench::report_metric("part1.batched_p50_ms", batched.p50_ms);
+  bench::report_metric("part1.batched_p99_ms", batched.p99_ms);
+  bench::report_metric("part1.speedup", speedup);
 
   // Steady-state flat-workspace check: re-drive the batched engine's
   // session shape and require zero further arena growth.
@@ -501,14 +509,38 @@ int run_part5(bool smoke) {
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  // --trace <path>: record request spans over parts 2-5 (the multi-worker
+  // scale-out through the shedding overload run) and write a Chrome
+  // trace_event file of the window. Off unless asked — the timing gates
+  // run untraced in CI.
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+
   const std::int64_t n =
       smoke ? 256 : static_cast<std::int64_t>(512 * bench::bench_scale());
   int rc = run_part1(n, smoke);
+  if (!trace_path.empty()) {
+    obs::clear_spans();
+    obs::set_trace_enabled(true);
+  }
   const std::int64_t n2 =
       smoke ? 1024 : static_cast<std::int64_t>(1024 * bench::bench_scale());
   rc |= run_part2(n2, smoke);
   rc |= run_part3(smoke);
   if (!smoke) run_part4();
   rc |= run_part5(smoke);
+  if (!trace_path.empty()) {
+    obs::set_trace_enabled(false);
+    const std::string doc = obs::chrome_trace_json(obs::collect_spans());
+    if (!obs::json_valid(doc) || !obs::write_file(trace_path, doc)) {
+      std::fprintf(stderr, "trace: cannot write %s\n", trace_path.c_str());
+      rc |= 1;
+    } else {
+      std::printf("chrome trace: %s (%llu spans dropped)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(obs::dropped_spans()));
+    }
+  }
+  rc |= bench::write_json_report(argc, argv, "bench_serve");
   return rc;
 }

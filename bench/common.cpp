@@ -2,8 +2,37 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "obs/export.h"
 
 namespace taser::bench {
+
+namespace {
+
+/// Process-wide report state: print_shape and report_metric feed it,
+/// write_json_report flushes it. Benches are single-threaded at the
+/// recording points.
+struct ReportState {
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<std::pair<std::string, bool>> gates;
+};
+ReportState& report_state() {
+  static ReportState s;
+  return s;
+}
+
+void upsert_metric(std::vector<std::pair<std::string, double>>& metrics,
+                   const std::string& name, double value) {
+  for (auto& m : metrics)
+    if (m.first == name) {
+      m.second = value;
+      return;
+    }
+  metrics.emplace_back(name, value);
+}
+
+}  // namespace
 
 double bench_scale() {
   const char* env = std::getenv("TASER_BENCH_SCALE");
@@ -75,6 +104,53 @@ double train_and_eval(const graph::Dataset& data, core::TrainerConfig cfg, int e
 
 void print_shape(const std::string& claim, bool held) {
   std::printf("paper-shape: %s — %s\n", claim.c_str(), held ? "HELD" : "NOT HELD");
+  report_state().gates.emplace_back(claim, held);
+}
+
+void report_metric(const std::string& name, double value) {
+  upsert_metric(report_state().metrics, name, value);
+}
+
+int write_json_report(int argc, char** argv, const std::string& bench_name) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") path = argv[i + 1];
+  if (path.empty()) return 0;
+
+  const ReportState& state = report_state();
+  std::string out = "{\"schema_version\":1,\"bench\":" +
+                    obs::json_quote(bench_name) + ",\"metrics\":{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, value] : state.metrics) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    out += obs::json_quote(name) + ":" + buf;
+  }
+  out += "},\"gates\":{";
+  first = true;
+  for (const auto& [claim, held] : state.gates) {
+    if (!first) out += ",";
+    first = false;
+    out += obs::json_quote(claim) + (held ? ":true" : ":false");
+  }
+  out += "},\"telemetry\":" + obs::json_snapshot() + "}";
+
+  // Validate before writing: a malformed report must fail the smoke gate
+  // loudly, not poison downstream consumers of the artifact.
+  if (!obs::json_valid(out) || !obs::json_has_key(out, "metrics") ||
+      !obs::json_has_key(out, "gates") || !obs::json_has_key(out, "telemetry")) {
+    std::fprintf(stderr, "json report: generated document failed validation\n");
+    return 1;
+  }
+  if (!obs::write_file(path, out)) {
+    std::fprintf(stderr, "json report: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("json report: %s (%zu metrics, %zu gates)\n", path.c_str(),
+              state.metrics.size(), state.gates.size());
+  return 0;
 }
 
 }  // namespace taser::bench

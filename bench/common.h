@@ -42,7 +42,29 @@ core::TrainerConfig reduced_trainer_config(core::BackboneKind backbone);
 /// Trains `epochs` epochs and returns the final test MRR.
 double train_and_eval(const graph::Dataset& data, core::TrainerConfig cfg, int epochs);
 
-/// Prints the standard "paper-shape" verdict line.
+/// Prints the standard "paper-shape" verdict line, and records the
+/// verdict into the process-wide JSON report (write_json_report).
 void print_shape(const std::string& claim, bool held);
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench reports (PR 10). Benches record named scalars
+// and gate verdicts as they run; `--json <path>` on the command line
+// flushes them — plus a full telemetry snapshot — to a schema-stable
+// document:
+//   {"schema_version":1, "bench":"<name>",
+//    "metrics":{name:value,…}, "gates":{claim:bool,…},
+//    "telemetry":{…obs::json_snapshot()…}}
+// The CI smoke jobs upload these as BENCH_*.json artifacts.
+// ---------------------------------------------------------------------------
+
+/// Records one named scalar into the report (last write per name wins).
+void report_metric(const std::string& name, double value);
+
+/// Writes the report to the `--json <path>` argument if present (any
+/// argv position; no-op and success when absent). The document is
+/// round-trip validated (obs::json_valid) before the write. Returns 0 on
+/// success, 1 on a validation or I/O failure — benches OR it into their
+/// exit code so a broken report fails the smoke gate.
+int write_json_report(int argc, char** argv, const std::string& bench_name);
 
 }  // namespace taser::bench

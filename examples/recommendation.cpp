@@ -8,7 +8,11 @@
 //      arriving — queries fan out to worker shards that coalesce them
 //      into micro-batches and score with the trained link predictor
 //      (no-grad, zero steady-state allocation) against the current
-//      published epoch, while the ingest thread builds the next one.
+//      published epoch, while the ingest thread builds the next one;
+//   4. observe: request tracing is on for the serving window — the run
+//      ends with the Prometheus metrics snapshot an operator would
+//      scrape and a Chrome trace (chrome://tracing / Perfetto) showing
+//      the per-request submit → queue → batch → forward nesting.
 //
 //   ./recommendation
 #include <algorithm>
@@ -18,6 +22,8 @@
 #include "core/trainer.h"
 #include "graph/dynamic_tcsr.h"
 #include "graph/synthetic.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "serve/epoch_manager.h"
 #include "serve/serving_engine.h"
 
@@ -83,6 +89,11 @@ int main() {
   serve::ServingEngine engine(live_graph, sc, ec);
   engine.load_checkpoint(ckpt);
 
+  // Trace the serving window (off during training — the trained bits are
+  // identical either way; this keeps the trace focused on the request
+  // lifecycle).
+  obs::set_trace_enabled(true);
+
   // ---- live traffic: interactions stream in while users get ranked ---------
   graph::Time now = data.ts.back();
   std::vector<graph::NodeId> users = {data.src[data.num_edges() - 1],
@@ -143,5 +154,28 @@ int main() {
       static_cast<unsigned long long>(st.faulted),
       static_cast<unsigned long long>(st.events_faulted),
       static_cast<unsigned long long>(st.publish_faults));
+
+  // ---- observability hand-off ----------------------------------------------
+  // What a /metrics scrape would return right now (the json_snapshot()
+  // twin of this text feeds dashboards; the engine can also write it
+  // periodically — EngineConfig::telemetry_snapshot_path).
+  obs::set_trace_enabled(false);
+  std::printf("\n--- prometheus snapshot (serve metrics) ---\n");
+  const std::string prom = obs::prometheus_text();
+  // The full exposition includes every histogram bucket; print just the
+  // scalar series here to keep the demo readable.
+  for (std::size_t pos = 0; pos < prom.size();) {
+    const std::size_t eol = prom.find('\n', pos);
+    const std::string line = prom.substr(pos, eol - pos);
+    if (line.find("_bucket{") == std::string::npos &&
+        line.compare(0, 12, "taser_tensor") != 0)
+      std::printf("%s\n", line.c_str());
+    pos = eol == std::string::npos ? prom.size() : eol + 1;
+  }
+
+  const std::string trace_path = "/tmp/taser_recommendation_trace.json";
+  if (obs::write_file(trace_path, obs::chrome_trace_json(obs::collect_spans())))
+    std::printf("\nrequest trace written to %s (load in chrome://tracing)\n",
+                trace_path.c_str());
   return 0;
 }

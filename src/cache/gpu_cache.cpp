@@ -5,10 +5,25 @@
 #include <cstring>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace taser::cache {
+
+namespace {
+/// Cache telemetry, bridged once per epoch at the end_epoch boundary
+/// (gathers stay untouched — no per-row counter traffic).
+struct CacheObs {
+  obs::Counter hits = obs::counter("taser.cache.hits");
+  obs::Counter misses = obs::counter("taser.cache.misses");
+  obs::Counter replacements = obs::counter("taser.cache.replacements");
+};
+const CacheObs& cache_obs() {
+  static const CacheObs o;
+  return o;
+}
+}  // namespace
 
 std::vector<EdgeId> top_k_edges(const std::vector<std::uint32_t>& counts, std::int64_t k) {
   const auto e = static_cast<std::int64_t>(counts.size());
@@ -125,9 +140,12 @@ void GpuFeatureCache::end_epoch() {
     install(topk);
     ++replacements_;
     current_.replaced = true;
+    cache_obs().replacements.add(1);
     device_.account_h2d(static_cast<std::uint64_t>(topk.size()) *
                         static_cast<std::uint64_t>(data_.edge_feat_dim) * sizeof(float));
   }
+  cache_obs().hits.add(current_.hits);
+  cache_obs().misses.add(current_.misses);
   history_.push_back(current_);
   current_ = {};
   if (record_counts_) epoch_counts_.push_back(freq_);

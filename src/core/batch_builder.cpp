@@ -11,25 +11,31 @@ namespace taser::core {
 
 namespace {
 
-/// RAII: accumulates wall time under `wall_key` and the device ledger
-/// delta under `sim_key`.
+/// RAII: accumulates wall time under `wall`, the device ledger delta
+/// under `sim` (when given), and emits a matching trace span. Phase ids
+/// are a fixed enum — no string keys or map nodes on the build hot path.
 class PhaseScope {
  public:
-  PhaseScope(util::PhaseAccumulator& acc, gpusim::Device& dev, const char* wall_key,
-             const char* sim_key)
-      : acc_(acc), dev_(dev), wall_key_(wall_key), sim_key_(sim_key),
-        sim0_(dev.elapsed().seconds) {}
+  PhaseScope(util::PhaseAccumulator& acc, gpusim::Device& dev, util::Phase wall)
+      : acc_(acc), dev_(dev), wall_(wall), has_sim_(false),
+        sim0_(dev.elapsed().seconds), span_(util::phase_span_name(wall)) {}
+  PhaseScope(util::PhaseAccumulator& acc, gpusim::Device& dev, util::Phase wall,
+             util::Phase sim)
+      : acc_(acc), dev_(dev), wall_(wall), sim_(sim), has_sim_(true),
+        sim0_(dev.elapsed().seconds), span_(util::phase_span_name(wall)) {}
   ~PhaseScope() {
-    acc_.add(wall_key_, timer_.seconds());
-    if (sim_key_) acc_.add(sim_key_, dev_.elapsed().seconds - sim0_);
+    acc_.add(wall_, timer_.seconds());
+    if (has_sim_) acc_.add(sim_, dev_.elapsed().seconds - sim0_);
   }
 
  private:
   util::PhaseAccumulator& acc_;
   gpusim::Device& dev_;
-  const char* wall_key_;
-  const char* sim_key_;
+  util::Phase wall_;
+  util::Phase sim_{};
+  bool has_sim_;
   double sim0_;
+  obs::TraceSpan span_;
   util::WallTimer timer_;
 };
 
@@ -317,7 +323,7 @@ BatchBuilder::Built BatchBuilder::build(const graph::TargetBatch& roots, int num
     const sampling::SampledNeighbors* next_src = nullptr;
     models::HopInputs hop_inputs;
     if (sampler) {
-      PhaseScope as(phases, device_, phase::kAS, nullptr);
+      PhaseScope as(phases, device_, phase::kAS);
       SelectionResult sel = sampler->select(cands, config_.n, rng);
       hop_inputs = hop_inputs_from(cands, sel.selected, &sel.selected_slot);
       built.selections.push_back(std::move(sel));

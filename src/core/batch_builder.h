@@ -12,16 +12,18 @@ namespace taser::core {
 
 /// Phase keys used by the runtime breakdown (paper Table III). Wall time
 /// is host-measured; ".sim" entries are simulated device time accrued in
-/// the same phase (kernels + transfers). Benches report the sum.
+/// the same phase (kernels + transfers). Benches report the sum. These
+/// are now interned enum ids (util::Phase) — the accumulator hot path is
+/// a flat array add, no string keys.
 namespace phase {
-inline constexpr const char* kNF = "NF";        // neighbor finding (wall)
-inline constexpr const char* kNFSim = "NF.sim"; // finder kernels / index H2D
-inline constexpr const char* kAS = "AS";        // adaptive sampling (wall)
-inline constexpr const char* kASSim = "AS.sim"; // modeled sampler device compute
-inline constexpr const char* kFS = "FS";        // feature slicing (wall)
-inline constexpr const char* kFSSim = "FS.sim"; // transfers / gathers
-inline constexpr const char* kPP = "PP";        // propagation (wall)
-inline constexpr const char* kPPSim = "PP.sim"; // modeled backbone device compute
+inline constexpr util::Phase kNF = util::Phase::kNF;
+inline constexpr util::Phase kNFSim = util::Phase::kNFSim;
+inline constexpr util::Phase kAS = util::Phase::kAS;
+inline constexpr util::Phase kASSim = util::Phase::kASSim;
+inline constexpr util::Phase kFS = util::Phase::kFS;
+inline constexpr util::Phase kFSSim = util::Phase::kFSSim;
+inline constexpr util::Phase kPP = util::Phase::kPP;
+inline constexpr util::Phase kPPSim = util::Phase::kPPSim;
 }  // namespace phase
 
 struct BuilderConfig {

@@ -4,10 +4,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/counters.h"
 #include "util/check.h"
 
 namespace taser::core {
+
+namespace {
+/// Build-pipeline telemetry (lazy; registration/interning lock once).
+/// The phase-level spans (phase.NF / phase.AS / phase.FS + .sim twins)
+/// are emitted inside BatchBuilder by PhaseScope and nest under
+/// build.batch via the per-thread RAII stack.
+struct BuildObs {
+  obs::SpanName claim = obs::intern_span_name("build.claim");
+  obs::SpanName batch = obs::intern_span_name("build.batch");
+  obs::SpanName wait = obs::intern_span_name("build.wait");
+  obs::Counter batches = obs::counter("taser.build.batches");
+  obs::Histogram build_ms = obs::histogram("taser.build.build_ms");
+};
+const BuildObs& build_obs() {
+  static const BuildObs o;
+  return o;
+}
+}  // namespace
 
 BatchPipeline::BatchPipeline(BatchBuilder& builder, int num_hops, bool async,
                              std::size_t depth)
@@ -60,12 +80,15 @@ BatchPipeline::Prepared BatchPipeline::run(Job job, std::uint64_t seq) {
   BatchBuilder& builder = pool_ ? pool_->builder_for(seq) : *builder_;
   Prepared prep;
   tensor::ThreadOpCounterSnapshot snap;
+  obs::TraceSpan batch_span(build_obs().batch, seq);
   util::WallTimer timer;
   prep.built = builder.build(job.roots, num_hops_, prep.phases, job.rng,
                              job.sampler_snapshot);
   prep.build_wall = timer.seconds();
   prep.sampler_flops = snap.flops();
   prep.sampler_launches = snap.launches();
+  build_obs().batches.add(1);
+  build_obs().build_ms.observe(prep.build_wall * 1e3);
   return prep;
 }
 
@@ -86,6 +109,7 @@ void BatchPipeline::worker_loop() {
     Job job;
     std::uint64_t seq;
     {
+      obs::TraceSpan claim_span(build_obs().claim);
       std::unique_lock<std::mutex> lock(mu_);
       job_ready_.wait(lock, [this] { return stop_ || claimed_ < submitted_; });
       // Stop wins over queued work: jobs that are submitted but not yet
@@ -168,7 +192,10 @@ BatchPipeline::Prepared BatchPipeline::next() {
   // Builds may complete out of order under P > 1 workers; batch
   // consumed_ is ready exactly when its own slot is.
   Slot& slot = ring_[consumed_ % ring_.size()];
-  result_ready_.wait(lock, [&slot] { return slot.ready; });
+  {
+    obs::TraceSpan wait_span(build_obs().wait, consumed_);
+    result_ready_.wait(lock, [&slot] { return slot.ready; });
+  }
   Prepared prep = std::move(slot.prep);
   std::exception_ptr err = slot.err;
   BuilderPool::SideState side = slot.side;

@@ -6,12 +6,32 @@
 
 #include "core/batch_pipeline.h"
 
+#include "obs/metrics.h"
 #include "tensor/counters.h"
 #include "tensor/ops.h"
 
 namespace taser::core {
 
 namespace tt = taser::tensor;
+
+namespace {
+/// Training telemetry, bridged once per epoch (the per-batch hot loop
+/// stays untouched — PhaseAccumulator already aggregates).
+struct TrainObs {
+  obs::Counter epochs = obs::counter("taser.train.epochs");
+  obs::Counter iterations = obs::counter("taser.train.iterations");
+  obs::Counter stale_builds = obs::counter("taser.train.stale_builds");
+  obs::Histogram nf_ms = obs::histogram("taser.train.nf_ms");
+  obs::Histogram as_ms = obs::histogram("taser.train.as_ms");
+  obs::Histogram fs_ms = obs::histogram("taser.train.fs_ms");
+  obs::Histogram pp_ms = obs::histogram("taser.train.pp_ms");
+  obs::Gauge mean_loss = obs::gauge("taser.train.mean_loss");
+};
+const TrainObs& train_obs() {
+  static const TrainObs o;
+  return o;
+}
+}  // namespace
 
 const char* to_string(BackboneKind kind) {
   return kind == BackboneKind::kTgat ? "TGAT" : "GraphMixer";
@@ -430,6 +450,16 @@ EpochStats Trainer::train_epoch() {
   stats.stale_builds = stale_builds;
   stats.staleness_hist = std::move(staleness_hist);
   stats.mean_loss = iters > 0 ? loss_sum / static_cast<double>(iters) : 0;
+  // Per-epoch telemetry bridge: EpochStats stays the API; the registry
+  // gets the same numbers for the exporters (wall+sim per paper phase).
+  train_obs().epochs.add(1);
+  train_obs().iterations.add(static_cast<std::uint64_t>(stats.iterations));
+  train_obs().stale_builds.add(static_cast<std::uint64_t>(stats.stale_builds));
+  train_obs().nf_ms.observe((stats.nf_wall + stats.nf_sim) * 1e3);
+  train_obs().as_ms.observe((stats.as_wall + stats.as_sim) * 1e3);
+  train_obs().fs_ms.observe((stats.fs_wall + stats.fs_sim) * 1e3);
+  train_obs().pp_ms.observe((stats.pp_wall + stats.pp_sim) * 1e3);
+  train_obs().mean_loss.set(stats.mean_loss);
   return stats;
 }
 

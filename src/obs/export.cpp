@@ -1,0 +1,379 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "tensor/counters.h"
+
+namespace taser::obs {
+
+namespace {
+
+std::string promname(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == '.' || c == '-') c = '_';
+  return out;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles; trim to %g-style readability where exact.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// The tensor runtime's own global counters (flops / kernel launches /
+/// tape nodes) surfaced as registry-style counters without touching the
+/// tensor hot path — the exporter bridges them at read time.
+void append_opcounter_bridge(MetricsSnapshot& snap) {
+  snap.counters.push_back({"taser.tensor.flops", tensor::OpCounters::flops()});
+  snap.counters.push_back(
+      {"taser.tensor.launches", tensor::OpCounters::launches()});
+  snap.counters.push_back(
+      {"taser.tensor.tape_nodes", tensor::OpCounters::tape_nodes()});
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snap_in) {
+  MetricsSnapshot snap = snap_in;
+  append_opcounter_bridge(snap);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& c : snap.counters) {
+    const std::string n = promname(c.name);
+    out += "# TYPE " + n + " counter\n" + n + " ";
+    append_u64(out, c.value);
+    out += "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = promname(g.name);
+    out += "# TYPE " + n + " gauge\n" + n + " ";
+    append_double(out, g.value);
+    out += "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = promname(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < HistogramBuckets::kCount; ++i) {
+      const std::uint64_t b = h.hist.buckets[static_cast<std::size_t>(i)];
+      if (b == 0 && i != HistogramBuckets::kCount - 1) continue;  // sparse
+      cum += b;
+      out += n + "_bucket{le=\"";
+      append_double(out, HistogramBuckets::upper_edge(i));
+      out += "\"} ";
+      append_u64(out, cum);
+      out += "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.hist.count);
+    out += "\n" + n + "_sum ";
+    append_double(out, h.hist.sum);
+    out += "\n" + n + "_count ";
+    append_u64(out, h.hist.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string prometheus_text() { return prometheus_text(snapshot()); }
+
+std::string json_snapshot(const MetricsSnapshot& snap_in) {
+  MetricsSnapshot snap = snap_in;
+  append_opcounter_bridge(snap);
+  std::string out = "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(c.name) + ":";
+    append_u64(out, c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(g.name) + ":";
+    append_double(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(h.name) + ":{\"count\":";
+    append_u64(out, h.hist.count);
+    out += ",\"sum\":";
+    append_double(out, h.hist.sum);
+    out += ",\"min\":";
+    append_double(out, h.hist.count > 0 ? h.hist.min : 0.0);
+    out += ",\"max\":";
+    append_double(out, h.hist.max);
+    out += ",\"p50\":";
+    append_double(out, h.hist.quantile(0.50));
+    out += ",\"p95\":";
+    append_double(out, h.hist.quantile(0.95));
+    out += ",\"p99\":";
+    append_double(out, h.hist.quantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string json_snapshot() { return json_snapshot(snapshot()); }
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto common = [&](const SpanRecord& s, const char* ph, std::int64_t ts_ns) {
+    out += "{\"name\":" + json_quote(span_name(s.name_id)) +
+           ",\"cat\":\"taser\",\"ph\":\"";
+    out += ph;
+    out += "\",\"ts\":";
+    append_double(out, static_cast<double>(ts_ns) / 1000.0);  // microseconds
+    out += ",\"pid\":1,\"tid\":";
+    append_u64(out, s.tid);
+  };
+  auto args = [&](const SpanRecord& s) {
+    out += ",\"args\":{\"span\":";
+    append_u64(out, s.span_id);
+    out += ",\"parent\":";
+    append_u64(out, s.parent);
+    out += ",\"tag\":";
+    append_u64(out, s.tag);
+    out += "}}";
+  };
+  for (const auto& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    if (s.async) {
+      // Nestable async pair: independent rows, arbitrary overlap.
+      char idbuf[32];
+      std::snprintf(idbuf, sizeof(idbuf), "\"0x%" PRIx64 "\"", s.span_id);
+      common(s, "b", s.t0_ns);
+      out += ",\"id\":";
+      out += idbuf;
+      args(s);
+      out += ",";
+      common(s, "e", s.t1_ns);
+      out += ",\"id\":";
+      out += idbuf;
+      args(s);
+    } else {
+      common(s, "X", s.t0_ns);
+      out += ",\"dur\":";
+      append_double(out, static_cast<double>(s.t1_ns - s.t0_ns) / 1000.0);
+      args(s);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size() && std::fclose(f) == 0;
+  if (n != content.size()) std::fclose(f);
+  return ok;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  void ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+  bool lit(const char* s) {
+    const std::size_t n = std::strlen(s);
+    if (static_cast<std::size_t>(end - p) < n || std::strncmp(p, s, n) != 0)
+      return false;
+    p += n;
+    return true;
+  }
+  bool string(std::string* out = nullptr) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+        if (*p == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p;
+            if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p)))
+              return false;
+          }
+        }
+      } else if (static_cast<unsigned char>(*p) < 0x20) {
+        return false;
+      } else if (out != nullptr) {
+        out->push_back(*p);
+      }
+      ++p;
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* s = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    return p > s;
+  }
+  bool value() {
+    ws();
+    if (p >= end) return false;
+    if (++depth > kMaxDepth) return false;
+    bool ok;
+    switch (*p) {
+      case '{': ok = object(nullptr); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = lit("true"); break;
+      case 'f': ok = lit("false"); break;
+      case 'n': ok = lit("null"); break;
+      default: ok = number();
+    }
+    --depth;
+    return ok;
+  }
+  bool object(std::vector<std::string>* keys) {
+    if (p >= end || *p != '{') return false;
+    ++p;
+    ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      ws();
+      std::string key;
+      if (!string(keys != nullptr ? &key : nullptr)) return false;
+      if (keys != nullptr) keys->push_back(std::move(key));
+      ws();
+      if (p >= end || *p != ':') return false;
+      ++p;
+      if (!value()) return false;
+      ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    if (p >= end || *p != '[') return false;
+    ++p;
+    ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool document(std::vector<std::string>* top_keys) {
+    ws();
+    bool ok;
+    if (top_keys != nullptr) {
+      if (p >= end || *p != '{') return false;
+      ok = object(top_keys);
+    } else {
+      ok = value();
+    }
+    ws();
+    return ok && p == end;
+  }
+};
+
+}  // namespace
+
+bool json_valid(const std::string& doc) {
+  JsonParser jp{doc.data(), doc.data() + doc.size()};
+  return jp.document(nullptr);
+}
+
+bool json_has_key(const std::string& doc, const std::string& key) {
+  std::vector<std::string> keys;
+  JsonParser jp{doc.data(), doc.data() + doc.size()};
+  if (!jp.document(&keys)) return false;
+  for (const auto& k : keys)
+    if (k == key) return true;
+  return false;
+}
+
+}  // namespace taser::obs

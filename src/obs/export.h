@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace taser::obs {
+
+// ---------------------------------------------------------------------------
+// Machine-readable exports over the metrics registry and the span rings.
+// All exporters are read-side only: they allocate freely (strings), never
+// touch hot paths, and work (returning empty documents) when the
+// telemetry layer is compiled out.
+// ---------------------------------------------------------------------------
+
+/// Prometheus text exposition (version 0.0.4) of a metrics snapshot.
+/// Metric names have dots mapped to underscores (`taser.serve.requests`
+/// → `taser_serve_requests`); histograms emit the standard cumulative
+/// `_bucket{le="…"}` series plus `_sum` and `_count`.
+std::string prometheus_text(const MetricsSnapshot& snap);
+/// Convenience: snapshot() + render.
+std::string prometheus_text();
+
+/// JSON document of a metrics snapshot:
+///   {"schema_version":1, "counters":{name:value,…},
+///    "gauges":{name:value,…},
+///    "histograms":{name:{"count":…,"sum":…,"min":…,"max":…,
+///                        "p50":…,"p95":…,"p99":…},…}}
+std::string json_snapshot(const MetricsSnapshot& snap);
+std::string json_snapshot();
+
+/// Chrome trace_event JSON (chrome://tracing / Perfetto "JSON Array
+/// Format" with displayTimeUnit) for a span collection. Sync spans
+/// become complete events (ph "X") on their recording thread's track —
+/// RAII nesting renders as stacked slices; async spans become nestable
+/// async begin/end pairs (ph "b"/"e") keyed by span id, each on its own
+/// row. Parent and tag ride in "args".
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans);
+
+/// Writes `content` to `path` (truncate). Returns false on I/O failure —
+/// telemetry must never take the serving process down.
+bool write_file(const std::string& path, const std::string& content);
+
+// ---------------------------------------------------------------------------
+// Minimal JSON support: enough of a writer + recursive-descent validator
+// for the exporters' own output and the BENCH_*.json files. Not a general
+// JSON library.
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+std::string json_quote(const std::string& s);
+
+/// Strict structural validation of a complete JSON document (objects,
+/// arrays, strings, numbers, true/false/null; rejects trailing garbage).
+/// The smoke benches and test_obs use this for round-trip checks.
+bool json_valid(const std::string& doc);
+
+/// True when `doc` is valid JSON whose top-level object contains `key`
+/// (top level only — no path traversal).
+bool json_has_key(const std::string& doc, const std::string& key);
+
+}  // namespace taser::obs

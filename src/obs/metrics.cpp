@@ -1,0 +1,279 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace taser::obs {
+
+int HistogramBuckets::index(double v) {
+  if (!(v > 0)) return 0;
+  // log2(v) via frexp: v = m * 2^e with m in [0.5, 1) → log2(v) = e + log2(m).
+  int e;
+  const double m = std::frexp(v, &e);
+  const double l2 = static_cast<double>(e) + std::log2(m);
+  const int i = static_cast<int>(std::floor((l2 - kMinExp2) * kPerOctave));
+  return i < 0 ? 0 : (i >= kCount ? kCount - 1 : i);
+}
+
+double HistogramBuckets::upper_edge(int i) {
+  return std::exp2(static_cast<double>(kMinExp2) +
+                   static_cast<double>(i + 1) / kPerOctave);
+}
+
+double HistogramBuckets::lower_edge(int i) {
+  return std::exp2(static_cast<double>(kMinExp2) +
+                   static_cast<double>(i) / kPerOctave);
+}
+
+double LocalHistogram::quantile(double q) const {
+  TASER_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q=" << q << " outside [0, 1]");
+  if (count == 0) return 0.0;
+  // Nearest-rank: the smallest value whose cumulative count reaches
+  // ceil(q * count) (q=0 → rank 1, the minimum).
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < HistogramBuckets::kCount; ++i) {
+    const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (cum + in_bucket >= rank) {
+      // Log-interpolate the rank's position inside the bucket: fraction
+      // of the bucket's own observations below the rank.
+      const double frac = (static_cast<double>(rank - cum) - 0.5) /
+                          static_cast<double>(in_bucket);
+      const double lo = HistogramBuckets::lower_edge(i);
+      const double hi = HistogramBuckets::upper_edge(i);
+      double v = lo * std::exp2(std::log2(hi / lo) *
+                                std::min(1.0, std::max(0.0, frac)));
+      // Exact extremes bound the estimate (q=0/1 return them exactly).
+      if (v < min) v = min;
+      if (v > max) v = max;
+      return v;
+    }
+    cum += in_bucket;
+  }
+  return max;
+}
+
+#if TASER_TELEMETRY_ENABLED
+
+namespace {
+
+/// One thread's slice of every registered metric. Allocated once per
+/// shard slot on first use (startup-time, not steady state), never freed.
+/// Counter cells are written with relaxed fetch_add: a shard slot is
+/// normally owned by one thread (uncontended RMW on a private line), but
+/// slots wrap at kMaxShards, so the RMW keeps totals exact even when two
+/// threads share a slot.
+struct Shard {
+  std::atomic<std::uint64_t> counters[kMaxCounters];
+  std::atomic<std::uint64_t> hist_buckets[kMaxHistograms][HistogramBuckets::kCount];
+  std::atomic<std::uint64_t> hist_count[kMaxHistograms];
+  /// Sum in fixed-point (value * kSumScale) so it can be a relaxed
+  /// fetch_add too; converted back to double on read.
+  std::atomic<std::uint64_t> hist_sum_fp[kMaxHistograms];
+  /// Exact min/max as order-preserving bit patterns (see to_bits). Only
+  /// finite non-negative observations are expected (durations, sizes).
+  std::atomic<std::uint64_t> hist_min_bits[kMaxHistograms];
+  std::atomic<std::uint64_t> hist_max_bits[kMaxHistograms];
+  Shard() {
+    for (auto& h : hist_min_bits) h.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+};
+
+constexpr double kSumScale = 4096.0;
+constexpr int kMaxShards = 64;
+
+inline std::uint64_t to_bits(double v) {
+  // For non-negative doubles the IEEE-754 bit pattern is order-preserving.
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(v));
+  __builtin_memcpy(&b, &v, sizeof(b));
+  return b;
+}
+inline double from_bits(std::uint64_t b) {
+  double v;
+  __builtin_memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+struct Registry {
+  std::mutex mu;
+  // Slot 0 of each kind is the reserved "unregistered handle" sink.
+  std::vector<std::string> counter_names{"taser.unregistered"};
+  std::vector<std::string> gauge_names{"taser.unregistered"};
+  std::vector<std::string> hist_names{"taser.unregistered"};
+  /// Gauges are last-write-wins process globals — not sharded (a sharded
+  /// gauge has no meaningful merge). Stored as bit patterns.
+  std::atomic<std::uint64_t> gauges[kMaxGauges]{};
+
+  std::atomic<Shard*> shards[kMaxShards]{};
+  std::atomic<std::uint32_t> next_slot{0};
+
+  Shard& shard_for_this_thread() {
+    thread_local Shard* tl = nullptr;
+    if (tl == nullptr) {
+      const auto slot = next_slot.fetch_add(1, std::memory_order_relaxed) %
+                        static_cast<std::uint32_t>(kMaxShards);
+      Shard* s = shards[slot].load(std::memory_order_acquire);
+      if (s == nullptr) {
+        std::lock_guard<std::mutex> lock(mu);
+        s = shards[slot].load(std::memory_order_acquire);
+        if (s == nullptr) {
+          s = new Shard();
+          shards[slot].store(s, std::memory_order_release);
+        }
+      }
+      tl = s;
+    }
+    return *tl;
+  }
+
+  static std::uint16_t intern(std::vector<std::string>& names,
+                              std::string_view name, int cap, const char* kind) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return static_cast<std::uint16_t>(i);
+    TASER_CHECK_MSG(static_cast<int>(names.size()) < cap,
+                    "metric registry " << kind << " capacity (" << cap
+                                       << ") exhausted registering '" << name
+                                       << "'");
+    names.emplace_back(name);
+    return static_cast<std::uint16_t>(names.size() - 1);
+  }
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives every static dtor
+  return *r;
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) const {
+  registry().shard_for_this_thread().counters[id_].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) const {
+  registry().gauges[id_].store(to_bits(v), std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) const {
+  Shard& s = registry().shard_for_this_thread();
+  s.hist_buckets[id_][HistogramBuckets::index(v)].fetch_add(
+      1, std::memory_order_relaxed);
+  s.hist_count[id_].fetch_add(1, std::memory_order_relaxed);
+  s.hist_sum_fp[id_].fetch_add(
+      static_cast<std::uint64_t>(v > 0 ? v * kSumScale + 0.5 : 0.0),
+      std::memory_order_relaxed);
+  // min/max: CAS loops, but only when the extreme actually moves — after
+  // warm-up these are two relaxed loads.
+  const std::uint64_t bits = to_bits(v < 0 ? 0.0 : v);
+  std::uint64_t cur = s.hist_min_bits[id_].load(std::memory_order_relaxed);
+  while (bits < cur && !s.hist_min_bits[id_].compare_exchange_weak(
+                           cur, bits, std::memory_order_relaxed)) {
+  }
+  cur = s.hist_max_bits[id_].load(std::memory_order_relaxed);
+  while (bits > cur && !s.hist_max_bits[id_].compare_exchange_weak(
+                           cur, bits, std::memory_order_relaxed)) {
+  }
+}
+
+Counter counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return Counter(Registry::intern(r.counter_names, name, kMaxCounters, "counter"));
+}
+
+Gauge gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return Gauge(Registry::intern(r.gauge_names, name, kMaxGauges, "gauge"));
+}
+
+Histogram histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return Histogram(Registry::intern(r.hist_names, name, kMaxHistograms, "histogram"));
+}
+
+MetricsSnapshot snapshot() {
+  Registry& r = registry();
+  MetricsSnapshot out;
+  std::size_t n_counters, n_gauges, n_hists;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    n_counters = r.counter_names.size();
+    n_gauges = r.gauge_names.size();
+    n_hists = r.hist_names.size();
+    // Copy names under the lock; values merge below with relaxed loads.
+    for (std::size_t i = 1; i < n_counters; ++i)
+      out.counters.push_back({r.counter_names[i], 0});
+    for (std::size_t i = 1; i < n_gauges; ++i)
+      out.gauges.push_back({r.gauge_names[i], 0});
+    for (std::size_t i = 1; i < n_hists; ++i)
+      out.histograms.push_back({r.hist_names[i], {}});
+  }
+  for (std::size_t i = 1; i < n_gauges; ++i)
+    out.gauges[i - 1].value =
+        from_bits(r.gauges[i].load(std::memory_order_relaxed));
+  for (int slot = 0; slot < kMaxShards; ++slot) {
+    const Shard* s = r.shards[slot].load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (std::size_t i = 1; i < n_counters; ++i)
+      out.counters[i - 1].value +=
+          s->counters[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 1; i < n_hists; ++i) {
+      LocalHistogram& h = out.histograms[i - 1].hist;
+      const std::uint64_t c = s->hist_count[i].load(std::memory_order_relaxed);
+      if (c == 0) continue;
+      for (int b = 0; b < HistogramBuckets::kCount; ++b)
+        h.buckets[static_cast<std::size_t>(b)] +=
+            s->hist_buckets[i][b].load(std::memory_order_relaxed);
+      h.sum += static_cast<double>(
+                   s->hist_sum_fp[i].load(std::memory_order_relaxed)) /
+               kSumScale;
+      const double mn =
+          from_bits(s->hist_min_bits[i].load(std::memory_order_relaxed));
+      const double mx =
+          from_bits(s->hist_max_bits[i].load(std::memory_order_relaxed));
+      if (h.count == 0 || mn < h.min) h.min = mn;
+      if (h.count == 0 || mx > h.max) h.max = mx;
+      h.count += c;
+    }
+  }
+  return out;
+}
+
+void reset_for_test() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& g : r.gauges) g.store(0, std::memory_order_relaxed);
+  for (int slot = 0; slot < kMaxShards; ++slot) {
+    Shard* s = r.shards[slot].load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (int i = 0; i < kMaxHistograms; ++i) {
+      for (auto& b : s->hist_buckets[i]) b.store(0, std::memory_order_relaxed);
+      s->hist_count[i].store(0, std::memory_order_relaxed);
+      s->hist_sum_fp[i].store(0, std::memory_order_relaxed);
+      s->hist_min_bits[i].store(UINT64_MAX, std::memory_order_relaxed);
+      s->hist_max_bits[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+#else  // !TASER_TELEMETRY_ENABLED
+
+Counter counter(std::string_view) { return Counter(); }
+Gauge gauge(std::string_view) { return Gauge(); }
+Histogram histogram(std::string_view) { return Histogram(); }
+MetricsSnapshot snapshot() { return {}; }
+void reset_for_test() {}
+
+#endif  // TASER_TELEMETRY_ENABLED
+
+}  // namespace taser::obs

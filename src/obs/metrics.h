@@ -1,0 +1,194 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Compile-time switch for the whole telemetry layer (metrics registry +
+// trace spans): -DTASER_TELEMETRY=OFF (the CMake option) defines
+// TASER_TELEMETRY_ENABLED=0 and every update compiles to nothing — zero
+// code, zero data, no atomic op. Default ON. Mirrors the
+// TASER_FAILPOINTS pattern (util/failpoint.h). Exporters and snapshot
+// functions still exist when OFF; they return empty results.
+#ifndef TASER_TELEMETRY_ENABLED
+#define TASER_TELEMETRY_ENABLED 1
+#endif
+
+namespace taser::obs {
+
+/// True when the telemetry layer is compiled in; tests gate on this and
+/// the OFF CI build proves the compile-out path.
+constexpr bool compiled_in() { return TASER_TELEMETRY_ENABLED != 0; }
+
+// ---------------------------------------------------------------------------
+// Histogram bucket geometry (shared by the registry, the serving stats
+// path and the exporters). Log-spaced: 8 buckets per octave (bucket edge
+// ratio 2^(1/8) ~ 9.05%), value domain [2^-7, 2^19) ~ [0.0078, 524288)
+// in whatever unit the metric declares (serving latency uses
+// milliseconds: ~8 us .. ~9 min). Underflow clamps into bucket 0,
+// overflow into the last bucket. Quantile queries log-interpolate within
+// the bucket, so the estimate error is well under the bucket width on
+// smooth distributions.
+// ---------------------------------------------------------------------------
+struct HistogramBuckets {
+  static constexpr int kPerOctave = 8;
+  static constexpr int kMinExp2 = -7;   ///< lowest bucket lower edge = 2^-7
+  static constexpr int kMaxExp2 = 19;   ///< highest bucket upper edge = 2^19
+  static constexpr int kCount = (kMaxExp2 - kMinExp2) * kPerOctave;  // 208
+
+  /// Bucket index for `v` (clamped into [0, kCount-1]; v <= 0 maps to 0).
+  static int index(double v);
+  /// Upper (inclusive, Prometheus `le`) edge of bucket i.
+  static double upper_edge(int i);
+  /// Lower edge of bucket i.
+  static double lower_edge(int i);
+};
+
+/// A plain (non-atomic, non-registered) fixed-bucket histogram value
+/// type: the building block the registry shards use internally, and what
+/// single-threaded owners (e.g. a serving shard under its own lock) use
+/// directly. NOT gated by TASER_TELEMETRY_ENABLED — it is just
+/// arithmetic, and the serving percentile path depends on it.
+struct LocalHistogram {
+  std::array<std::uint64_t, HistogramBuckets::kCount> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< exact; meaningful only when count > 0
+  double max = 0;  ///< exact
+
+  void observe(double v) {
+    buckets[static_cast<std::size_t>(HistogramBuckets::index(v))]++;
+    if (count == 0 || v < min) min = v;
+    if (count == 0 || v > max) max = v;
+    ++count;
+    sum += v;
+  }
+  void merge(const LocalHistogram& o) {
+    for (int i = 0; i < HistogramBuckets::kCount; ++i)
+      buckets[static_cast<std::size_t>(i)] += o.buckets[static_cast<std::size_t>(i)];
+    if (o.count > 0) {
+      if (count == 0 || o.min < min) min = o.min;
+      if (count == 0 || o.max > max) max = o.max;
+    }
+    count += o.count;
+    sum += o.sum;
+  }
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Nearest-rank quantile with log interpolation inside the bucket;
+  /// q in [0, 1]. Returns 0 when empty. The exact tracked min/max clamp
+  /// the interpolation so q=0 / q=1 never leave the observed range.
+  double quantile(double q) const;
+};
+
+// ---------------------------------------------------------------------------
+// Handles. Registered once at setup time (registration takes a mutex and
+// may allocate — never do it on a hot path); updates are one relaxed
+// atomic RMW on a thread-sharded cache line. Handles are trivially
+// copyable value types; a default-constructed handle is valid and
+// updates a reserved "unregistered" slot (so static-init order can never
+// crash a hot path).
+// ---------------------------------------------------------------------------
+class Counter {
+ public:
+  Counter() = default;
+#if TASER_TELEMETRY_ENABLED
+  void add(std::uint64_t n = 1) const;
+#else
+  void add(std::uint64_t = 1) const {}
+#endif
+
+ private:
+  friend Counter counter(std::string_view);
+  explicit Counter(std::uint16_t id) : id_(id) {}
+  std::uint16_t id_ = 0;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+#if TASER_TELEMETRY_ENABLED
+  void set(double v) const;
+#else
+  void set(double) const {}
+#endif
+
+ private:
+  friend Gauge gauge(std::string_view);
+  explicit Gauge(std::uint16_t id) : id_(id) {}
+  std::uint16_t id_ = 0;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+#if TASER_TELEMETRY_ENABLED
+  void observe(double v) const;
+#else
+  void observe(double) const {}
+#endif
+
+ private:
+  friend Histogram histogram(std::string_view);
+  explicit Histogram(std::uint16_t id) : id_(id) {}
+  std::uint16_t id_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registration + read side.
+//
+// Process-wide registry, capacity-bounded (kMaxCounters / kMaxGauges /
+// kMaxHistograms below; exceeding a bound is a hard failure at
+// registration time, never at update time). Registering the same name
+// twice returns the same handle — engines/tests re-construct freely.
+// Updates land in per-thread shards (round-robin slot per thread, merged
+// with relaxed loads on read), so the merged totals are exact once the
+// writing threads have quiesced (joined or merely idle) and
+// monotonically fresh while they run.
+//
+// Prometheus semantics: registry values are process-lifetime cumulative.
+// Per-object views (e.g. one ServingEngine's stats) snapshot-and-diff or
+// keep their own LocalHistogram — see src/obs/README.md.
+// ---------------------------------------------------------------------------
+inline constexpr int kMaxCounters = 256;
+inline constexpr int kMaxGauges = 64;
+inline constexpr int kMaxHistograms = 64;
+
+/// Register-or-lookup. Names are flat, dot-separated, lowercase
+/// (`taser.serve.requests`); see src/obs/README.md for the scheme and
+/// cardinality rules (no unbounded label values — worker/shard indices
+/// only). When compiled out these return no-op handles.
+Counter counter(std::string_view name);
+Gauge gauge(std::string_view name);
+Histogram histogram(std::string_view name);
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  LocalHistogram hist;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Merged view over every thread shard. Exact when writers are quiescent;
+/// a consistent-enough monotone view while they run. Empty when compiled
+/// out.
+MetricsSnapshot snapshot();
+
+/// Zeroes every registered metric across all shards (names and handles
+/// stay valid). Test isolation only — production code never resets.
+void reset_for_test();
+
+}  // namespace taser::obs

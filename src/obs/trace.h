@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"  // TASER_TELEMETRY_ENABLED + compiled_in()
+
+namespace taser::obs {
+
+// ---------------------------------------------------------------------------
+// Per-request / per-phase trace spans.
+//
+// A span is a `{span_id, parent, name_id, t0, t1, tag}` record written
+// into a fixed-capacity per-thread ring buffer when the scope closes.
+// Rings never block and never allocate in steady state: overflow
+// overwrites the oldest record and bumps a drop counter. Tracing is OFF
+// by default at runtime; when disabled a span costs one relaxed atomic
+// load. With -DTASER_TELEMETRY=OFF the whole layer compiles out.
+//
+// Determinism contract (test-enforced in test_obs): spans read the clock
+// and nothing else — no RNG, no fold order, no scheduling decision ever
+// depends on tracing, so telemetry on/off runs are bitwise-identical.
+//
+// Parent attribution: RAII TraceSpans nest on a per-thread stack, so a
+// span's parent is the innermost open span on the same thread. Work that
+// hops threads (a queued request, a shard-replay thread) passes the
+// parent span id explicitly. `async` spans render as independent rows in
+// the Chrome trace (ph "b"/"e") instead of thread-stack slices — use
+// them for wait states that overlap arbitrarily (queue residency).
+// ---------------------------------------------------------------------------
+
+struct SpanRecord {
+  std::uint64_t span_id = 0;
+  std::uint64_t parent = 0;   ///< 0 = root
+  std::uint32_t name_id = 0;
+  std::uint32_t tid = 0;      ///< recording thread (Chrome trace track)
+  std::int64_t t0_ns = 0;     ///< since trace_epoch() (steady clock)
+  std::int64_t t1_ns = 0;
+  std::uint64_t tag = 0;      ///< site-defined (seq, epoch id, batch size…)
+  bool async = false;
+};
+
+/// Interned span-name handle; intern once per site (static local or
+/// namespace-scope). Id 0 is reserved ("unnamed").
+struct SpanName {
+  std::uint32_t id = 0;
+};
+
+SpanName intern_span_name(std::string_view name);
+/// Name for an interned id ("unnamed"/"?" when unknown). Exporter-side.
+std::string span_name(std::uint32_t id);
+
+#if TASER_TELEMETRY_ENABLED
+
+/// Runtime master switch (process-wide, relaxed atomic). Off by default.
+void set_trace_enabled(bool on);
+bool trace_enabled();
+
+/// Nanoseconds since the process trace epoch (steady clock).
+std::int64_t trace_now_ns();
+
+/// Allocates a span id without opening a scope (for cross-thread spans
+/// whose begin and end are recorded by different threads).
+std::uint64_t next_span_id();
+
+/// The innermost open RAII span on this thread (0 at top level) — pass
+/// it across a thread hop to keep parentage.
+std::uint64_t current_span_id();
+
+/// Records a complete span directly (cross-thread emission: the caller
+/// measured t0/t1 itself). The record lands in the *calling* thread's
+/// ring. `span_id` 0 auto-allocates.
+void emit_span(SpanName name, std::int64_t t0_ns, std::int64_t t1_ns,
+               std::uint64_t parent, std::uint64_t tag, bool async = false,
+               std::uint64_t span_id = 0);
+
+/// RAII scope: records [construction, destruction) under `name` with the
+/// innermost open span on this thread as parent (or `parent_override`
+/// when nonzero — cross-thread parentage). Inert (one relaxed load) when
+/// tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(SpanName name, std::uint64_t tag = 0,
+                     std::uint64_t parent_override = 0);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  /// This span's id (0 when tracing was off at construction).
+  std::uint64_t id() const { return span_id_; }
+  /// Updates the tag before the scope closes (e.g. a batch size known
+  /// only mid-scope).
+  void set_tag(std::uint64_t tag) { tag_ = tag; }
+
+ private:
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t tag_ = 0;
+  std::int64_t t0_ns_ = 0;
+  std::uint32_t name_id_ = 0;
+};
+
+/// Snapshot of every thread ring, sorted by t0. Exact once writers are
+/// quiescent (the usual collection point: after drain()/join); while
+/// they run it is a best-effort copy.
+std::vector<SpanRecord> collect_spans();
+
+/// Spans dropped (overwritten before collection) across all rings since
+/// the last clear.
+std::uint64_t dropped_spans();
+
+/// Empties every ring and zeroes drop counters (test isolation / between
+/// trace windows).
+void clear_spans();
+
+/// Per-thread ring capacity in records (compile-time constant; see
+/// trace.cpp).
+std::size_t ring_capacity();
+
+#else  // !TASER_TELEMETRY_ENABLED
+
+inline void set_trace_enabled(bool) {}
+inline bool trace_enabled() { return false; }
+inline std::int64_t trace_now_ns() { return 0; }
+inline std::uint64_t next_span_id() { return 0; }
+inline std::uint64_t current_span_id() { return 0; }
+inline void emit_span(SpanName, std::int64_t, std::int64_t, std::uint64_t,
+                      std::uint64_t, bool = false, std::uint64_t = 0) {}
+class TraceSpan {
+ public:
+  explicit TraceSpan(SpanName, std::uint64_t = 0, std::uint64_t = 0) {}
+  std::uint64_t id() const { return 0; }
+  void set_tag(std::uint64_t) {}
+};
+inline std::vector<SpanRecord> collect_spans() { return {}; }
+inline std::uint64_t dropped_spans() { return 0; }
+inline void clear_spans() {}
+inline std::size_t ring_capacity() { return 0; }
+
+#endif  // TASER_TELEMETRY_ENABLED
+
+}  // namespace taser::obs

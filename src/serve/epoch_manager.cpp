@@ -5,10 +5,31 @@
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/failpoint.h"
+#include "util/timer.h"
 
 namespace taser::serve {
+
+namespace {
+/// Epoch-lifecycle telemetry (lazy: registration/interning lock once).
+struct EpochObs {
+  obs::SpanName catch_up = obs::intern_span_name("epoch.catch_up");
+  obs::SpanName shard_replay = obs::intern_span_name("epoch.shard_replay");
+  obs::SpanName compact = obs::intern_span_name("epoch.compact");
+  obs::SpanName retire_wait = obs::intern_span_name("epoch.retire_wait");
+  obs::SpanName swap = obs::intern_span_name("epoch.swap");
+  obs::Counter published = obs::counter("taser.epoch.published");
+  obs::Counter compactions = obs::counter("taser.epoch.compactions");
+  obs::Histogram publish_ms = obs::histogram("taser.epoch.publish_ms");
+};
+const EpochObs& epoch_obs() {
+  static const EpochObs o;
+  return o;
+}
+}  // namespace
 
 GraphEpochManager::GraphEpochManager(graph::Dataset base, EpochConfig config)
     : config_(config) {
@@ -109,23 +130,32 @@ std::uint64_t GraphEpochManager::publish() {
     // RCU retirement: the write side may still be pinned by readers that
     // acquired it while it was the current epoch. It is reclaimed for
     // writing only once every one of them has released.
-    retire_cv_.wait(lock, [&] { return pins_[w] == 0; });
+    {
+      obs::TraceSpan wait_span(epoch_obs().retire_wait,
+                               static_cast<std::uint64_t>(w));
+      retire_cv_.wait(lock, [&] { return pins_[w] == 0; });
+    }
     TASER_CHECK(pins_[w] == 0);
   }
 
+  util::WallTimer publish_timer;
   const bool compacted = catch_up(w, target);
   const std::uint64_t version = sides_[w]->version();
 
   std::uint64_t epoch;
   {
+    obs::TraceSpan swap_span(epoch_obs().swap);
     std::lock_guard<std::mutex> lock(mu_);
     applied_[w] = target;
     published_version_[w] = version;
     current_ = w;
     epoch = ++epoch_id_;
+    swap_span.set_tag(epoch);
     if (compacted) ++compactions_;
     trim_log_locked();
   }
+  epoch_obs().published.add(1);
+  epoch_obs().publish_ms.observe(publish_timer.seconds() * 1e3);
   return epoch;
 }
 
@@ -143,6 +173,10 @@ bool GraphEpochManager::catch_up(int w, std::uint64_t target) {
   // loop can simply retry publish() after a fault and converge instead
   // of serving a permanently torn write side.
   TASER_FAILPOINT("serve.epoch.publish");
+  // Nested under the engine's serve.publish span (same thread); the
+  // shard-replay threads parent to it explicitly across the hop.
+  obs::TraceSpan catch_up_span(epoch_obs().catch_up, target);
+  const std::uint64_t catch_up_id = catch_up_span.id();
   graph::ShardedDynamicTCSR& g = *sides_[w];
   g.set_frozen(false);
   struct Refreeze {
@@ -196,6 +230,10 @@ bool GraphEpochManager::catch_up(int w, std::uint64_t target) {
       if (e) std::rethrow_exception(e);
   };
   run_on_shards([&](int s) {
+    // Cross-thread parentage: these run on per-publish std::threads, so
+    // the RAII stack can't see catch_up — parent passed explicitly.
+    obs::TraceSpan replay_span(epoch_obs().shard_replay,
+                               static_cast<std::uint64_t>(s), catch_up_id);
     TASER_FAILPOINT("serve.epoch.shard_replay");
     const std::int64_t directions = g.apply_slice_to_shard(s, e0, e1);
     if (config_.modeled_apply_us > 0.0 && directions > 0) {
@@ -207,8 +245,13 @@ bool GraphEpochManager::catch_up(int w, std::uint64_t target) {
 
   bool compacted = false;
   if (config_.compact_threshold > 0 && g.delta_edges() >= config_.compact_threshold) {
-    run_on_shards([&](int s) { g.compact_shard(s); });
+    run_on_shards([&](int s) {
+      obs::TraceSpan compact_span(epoch_obs().compact,
+                                  static_cast<std::uint64_t>(s), catch_up_id);
+      g.compact_shard(s);
+    });
     compacted = true;
+    epoch_obs().compactions.add(1);
   }
   return compacted;
 }

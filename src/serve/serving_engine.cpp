@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/export.h"
 #include "serve/stats_merge.h"
 #include "util/failpoint.h"
 
@@ -13,6 +14,22 @@ namespace {
 /// publish must not hang the destructor (each retry's backoff lives in
 /// the ingest loop's timed wait).
 constexpr std::uint64_t kShutdownPublishRetries = 64;
+
+/// Interned span names for the request/event lifecycle (lazy: interning
+/// locks, so resolve once on first use, never per span).
+struct SpanNames {
+  obs::SpanName submit = obs::intern_span_name("serve.submit");
+  obs::SpanName queue = obs::intern_span_name("serve.queue");
+  obs::SpanName batch = obs::intern_span_name("serve.batch");
+  obs::SpanName forward = obs::intern_span_name("serve.forward");
+  obs::SpanName device = obs::intern_span_name("serve.device");
+  obs::SpanName event_apply = obs::intern_span_name("serve.event.apply");
+  obs::SpanName publish = obs::intern_span_name("serve.publish");
+};
+const SpanNames& span_names() {
+  static const SpanNames names;
+  return names;
+}
 }  // namespace
 
 ServingEngine::ServingEngine(GraphEpochManager& graphs,
@@ -35,14 +52,36 @@ ServingEngine::ServingEngine(GraphEpochManager& graphs,
   TASER_CHECK_MSG(config_.max_pending_events >= 0,
                   "max_pending_events must be >= 0 (got "
                       << config_.max_pending_events << ")");
+  TASER_CHECK_MSG(config_.telemetry_snapshot_period_ms >= 0,
+                  "telemetry_snapshot_period_ms must be >= 0 (got "
+                      << config_.telemetry_snapshot_period_ms << ")");
+  // Registry handles: register-or-lookup, so re-constructed engines (tests
+  // build dozens) share the process-cumulative series.
+  metrics_.submitted = obs::counter("taser.serve.submitted");
+  metrics_.completed = obs::counter("taser.serve.requests");
+  metrics_.rejected = obs::counter("taser.serve.rejected");
+  metrics_.expired = obs::counter("taser.serve.expired");
+  metrics_.faulted = obs::counter("taser.serve.faulted");
+  metrics_.batches = obs::counter("taser.serve.batches");
+  metrics_.torn_retries = obs::counter("taser.serve.torn_view_retries");
+  metrics_.events_ingested = obs::counter("taser.serve.events.ingested");
+  metrics_.events_rejected = obs::counter("taser.serve.events.rejected");
+  metrics_.events_faulted = obs::counter("taser.serve.events.faulted");
+  metrics_.publishes = obs::counter("taser.serve.publishes");
+  metrics_.publish_faults = obs::counter("taser.serve.publish_faults");
+  metrics_.snapshot_write_failures =
+      obs::counter("taser.obs.snapshot_write_failures");
+  metrics_.queue_depth = obs::gauge("taser.serve.queue_depth");
+  metrics_.event_queue_depth = obs::gauge("taser.serve.event_queue_depth");
+  metrics_.batch_occupancy = obs::histogram("taser.serve.batch_occupancy");
   shards_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (std::int64_t w = 0; w < config_.num_workers; ++w) {
     auto shard = std::make_unique<Shard>();
     // Every replica shares one seed → identical models and identical
-    // keyed sampling; the per-shard reservoir seed differs per worker so
-    // merged percentiles are deterministic yet not correlated.
+    // keyed sampling.
     shard->session = std::make_unique<InferenceSession>(graphs_, session_config);
-    shard->reservoir_rng.reseed(0x5e54a75ULL + static_cast<std::uint64_t>(w));
+    shard->registry_latency =
+        obs::histogram("taser.serve.latency_ms.w" + std::to_string(w));
     shards_.push_back(std::move(shard));
   }
   ingest_thread_ = std::thread([this] { ingest_loop(); });
@@ -50,12 +89,22 @@ ServingEngine::ServingEngine(GraphEpochManager& graphs,
     Shard* s = shard.get();
     s->worker = std::thread([this, s] { worker_loop(*s); });
   }
+  if (config_.telemetry_snapshot_period_ms > 0)
+    telemetry_thread_ = std::thread([this] { telemetry_loop(); });
 }
 
 ServingEngine::~ServingEngine() { shutdown(); }
 
 void ServingEngine::shutdown() {
-  // Stop the ingest thread first: it drains the event queue and runs a
+  // Telemetry snapshot thread first: it only reads, and stopping it here
+  // keeps its periodic stats() calls from overlapping the teardown.
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    telemetry_stop_ = true;
+  }
+  telemetry_cv_.notify_all();
+  if (telemetry_thread_.joinable()) telemetry_thread_.join();
+  // Stop the ingest thread next: it drains the event queue and runs a
   // final publish, so late micro-batches score against the final epoch.
   {
     std::lock_guard<std::mutex> lock(front_mu_);
@@ -97,6 +146,7 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
                       query.dst < nodes,
                   "link query (" << query.src << ", " << query.dst
                                  << "): node id out of range [0, " << nodes << ")");
+  obs::TraceSpan submit_span(span_names().submit);
   std::uint64_t seq;
   {
     std::lock_guard<std::mutex> lock(front_mu_);
@@ -104,6 +154,8 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
     seq = seq_++;
     if (seq == 0) first_enqueue_ = std::chrono::steady_clock::now();
   }
+  submit_span.set_tag(seq);
+  metrics_.submitted.add(1);
   // Test-only window between the front stop gate and the shard enqueue
   // (delay schedules only: the seq is already consumed, so a throw here
   // would leak it from the stats identity).
@@ -119,6 +171,14 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
   req.query = query;
   req.seq = seq;
   req.enqueued = std::chrono::steady_clock::now();
+  // Queue-residency trace context: the async span opens here (client
+  // thread) and is emitted by whichever thread pops the request. Trace
+  // state never feeds scores or scheduling — determinism contract.
+  if (obs::trace_enabled()) {
+    req.trace_span = obs::next_span_id();
+    req.trace_parent = submit_span.id();
+    req.trace_t0_ns = obs::trace_now_ns();
+  }
   // Deadline resolution: per-query override > engine default; negative
   // per-query disables even a configured default.
   const double deadline_ms =
@@ -139,6 +199,7 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
     // path below.
     if (shard.stop) {
       ++shard.rejected;
+      metrics_.rejected.add(1);
       req.result.set_exception(std::make_exception_ptr(EngineStoppedError(
           "engine shut down while submit was dispatching to its shard")));
       return result;
@@ -153,6 +214,7 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
             config_.max_queue_per_worker) {
       if (config_.admission == EngineConfig::AdmissionPolicy::kReject) {
         ++shard.rejected;
+        metrics_.rejected.add(1);
         req.result.set_exception(std::make_exception_ptr(RejectedError(
             "serving queue full: worker " + std::to_string(w) + " holds " +
             std::to_string(shard.queue.size()) + " pending queries")));
@@ -171,6 +233,7 @@ std::future<float> ServingEngine::submit(const LinkQuery& query) {
       });
       if (shard.stop) {
         ++shard.rejected;
+        metrics_.rejected.add(1);
         req.result.set_exception(std::make_exception_ptr(
             EngineStoppedError("engine shut down while submit was blocked on "
                                "a full queue")));
@@ -214,6 +277,7 @@ void ServingEngine::ingest(graph::NodeId u, graph::NodeId v, graph::Time t,
         static_cast<std::int64_t>(events_.size()) >= config_.max_pending_events) {
       if (config_.admission == EngineConfig::AdmissionPolicy::kReject) {
         ++events_rejected_;
+        metrics_.events_rejected.add(1);
         throw RejectedError("event queue full: " +
                             std::to_string(events_.size()) +
                             " events pending ingest");
@@ -295,6 +359,8 @@ void ServingEngine::ingest_loop() {
       // it must not kill the ingest thread and strand every later event.
       bool ok = true;
       try {
+        obs::TraceSpan apply_span(span_names().event_apply,
+                                  static_cast<std::uint64_t>(ev.t));
         TASER_FAILPOINT("serve.ingest.apply");
         graphs_.ingest(ev.u, ev.v, ev.t, std::move(ev.feat));
       } catch (...) {
@@ -302,7 +368,12 @@ void ServingEngine::ingest_loop() {
       }
       lock.lock();
       ++events_applied_;
-      if (!ok) ++events_faulted_;
+      if (ok) {
+        metrics_.events_ingested.add(1);
+      } else {
+        ++events_faulted_;
+        metrics_.events_faulted.add(1);
+      }
     }
     const std::uint64_t applied_now = events_applied_;
     const bool exiting = stop_ && events_.empty();
@@ -312,6 +383,9 @@ void ServingEngine::ingest_loop() {
     // slice idempotently. Visibility only advances on success.
     bool published = true;
     try {
+      // The publish span parents the epoch manager's catch_up /
+      // shard-replay spans (same thread → RAII stack nesting).
+      obs::TraceSpan publish_span(span_names().publish, applied_now);
       graphs_.publish();  // no-op when nothing is unpublished
     } catch (...) {
       published = false;
@@ -320,9 +394,11 @@ void ServingEngine::ingest_loop() {
     if (published) {
       events_visible_ = std::max(events_visible_, applied_now);
       publish_backoff = 0;
+      metrics_.publishes.add(1);
     } else {
       ++publish_faults_;
       ++publish_backoff;
+      metrics_.publish_faults.add(1);
     }
     idle_.notify_all();
     // A permanently faulting publish must not hang shutdown: give up after
@@ -375,6 +451,12 @@ void ServingEngine::worker_loop(Shard& shard) {
     while (!shard.queue.empty() &&
            static_cast<std::int64_t>(shard.batch.size()) < config_.max_batch) {
       Request& front = shard.queue.front();
+      // Close the queue-residency async span (begun on the client thread)
+      // for every pop — scored, shed, either way the wait is over.
+      if (front.trace_span != 0)
+        obs::emit_span(span_names().queue, front.trace_t0_ns,
+                       obs::trace_now_ns(), front.trace_parent, front.seq,
+                       /*async=*/true, front.trace_span);
       if (front.has_deadline && now >= front.deadline) {
         front.result.set_exception(std::make_exception_ptr(DeadlineExceededError(
             "deadline exceeded after " +
@@ -383,6 +465,7 @@ void ServingEngine::worker_loop(Shard& shard) {
                                .count()) +
             " ms in queue")));
         ++shard.expired;
+        metrics_.expired.add(1);
         shard.queue.pop_front();
         continue;
       }
@@ -414,7 +497,16 @@ void ServingEngine::worker_loop(Shard& shard) {
     std::exception_ptr fault;
     bool scored = false;
     bool torn_retry = false;
+    // Batch span covers forward + modeled device time. Its id is
+    // allocated up front so the nested forward/device spans can parent to
+    // it; the record itself is emitted once `done` is known (keeping the
+    // span closed before the completion bookkeeping re-takes the lock).
+    const bool tracing = obs::trace_enabled();
+    const std::uint64_t batch_span = tracing ? obs::next_span_id() : 0;
+    const std::int64_t batch_t0 = tracing ? obs::trace_now_ns() : 0;
     auto run = [&] {
+      obs::TraceSpan forward_span(span_names().forward, shard.batch.size(),
+                                  batch_span);
       TASER_FAILPOINT("serve.worker.forward");
       // The session pins the current epoch for the whole micro-batch; the
       // seq keys make each score batch/worker-invariant.
@@ -436,36 +528,43 @@ void ServingEngine::worker_loop(Shard& shard) {
       fault = std::current_exception();
     }
     if (scored && config_.modeled_device_ms > 0) {
+      obs::TraceSpan device_span(span_names().device, shard.batch.size(),
+                                 batch_span);
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           config_.modeled_device_ms));
     }
     const auto done = std::chrono::steady_clock::now();
+    if (batch_span != 0)
+      obs::emit_span(span_names().batch, batch_t0, obs::trace_now_ns(),
+                     /*parent=*/0, shard.batch.size(), /*async=*/false,
+                     batch_span);
 
     lock.lock();
-    if (torn_retry) ++shard.torn_retries;
+    if (torn_retry) {
+      ++shard.torn_retries;
+      metrics_.torn_retries.add(1);
+    }
     if (scored) {
       for (std::size_t i = 0; i < shard.batch.size(); ++i) {
         shard.batch[i].result.set_value(shard.batch_scores[i]);
         const double ms = std::chrono::duration<double, std::milli>(
                               done - shard.batch[i].enqueued)
                               .count();
-        // Algorithm R: uniform reservoir, O(1) state for unbounded uptime.
-        ++shard.latency_count;
-        if (ms > shard.latency_max_ms) shard.latency_max_ms = ms;
-        if (shard.latencies_ms.size() < kLatencyReservoir) {
-          shard.latencies_ms.push_back(ms);
-        } else {
-          const std::uint64_t slot =
-              shard.reservoir_rng.next_below(shard.latency_count);
-          if (slot < kLatencyReservoir)
-            shard.latencies_ms[static_cast<std::size_t>(slot)] = ms;
-        }
+        // Fixed-bucket histogram: O(1) state for unbounded uptime, exact
+        // count/min/max/sum, ~9%-resolution percentiles — the one code
+        // path ServingStats and the exporters both read.
+        shard.latency_hist.observe(ms);
+        shard.registry_latency.observe(ms);
       }
       shard.completed += shard.batch.size();
       ++shard.batches;  // faulted batches are excluded from occupancy
+      metrics_.completed.add(shard.batch.size());
+      metrics_.batches.add(1);
+      metrics_.batch_occupancy.observe(static_cast<double>(shard.batch.size()));
     } else {
       for (auto& r : shard.batch) r.result.set_exception(fault);
       shard.faulted += shard.batch.size();
+      metrics_.faulted.add(shard.batch.size());
     }
     shard.last_complete = done;
     TASER_CHECK(shard.completed + shard.expired + shard.faulted <=
@@ -505,13 +604,11 @@ ServingStats ServingEngine::stats() const {
   s.compactions = graphs_.compactions();
 
   // Merge shards in fixed worker order: equal runs → equal stats. Each
-  // shard contributes its bounded reservoir *plus* its true request
-  // count; the percentile merge weights samples by represented requests
-  // (stats_merge.h) — a plain concatenation would bias toward
-  // lightly-loaded workers under skewed dispatch.
-  std::vector<ReservoirSlice> slices;
-  slices.reserve(shards_.size());
-  bool any_samples = false;
+  // shard contributes its exact fixed-bucket latency histogram; the
+  // bucketwise merge (stats_merge.h) is the single percentile code path
+  // shared with the telemetry exporters.
+  std::vector<obs::LocalHistogram> hists;
+  hists.reserve(shards_.size());
   std::chrono::steady_clock::time_point last_complete{};
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -527,9 +624,7 @@ ServingStats ServingEngine::stats() const {
         shard->batches > 0 ? static_cast<double>(shard->completed) /
                                  static_cast<double>(shard->batches)
                            : 0.0);
-    slices.push_back(ReservoirSlice{shard->latencies_ms, shard->latency_count});
-    any_samples = any_samples || !shard->latencies_ms.empty();
-    s.max_ms = std::max(s.max_ms, shard->latency_max_ms);
+    hists.push_back(shard->latency_hist);
     if (shard->completed > 0 && shard->last_complete > last_complete)
       last_complete = shard->last_complete;
     s.workspace_alloc_events += shard->session->workspace_alloc_events();
@@ -537,16 +632,45 @@ ServingStats ServingEngine::stats() const {
   if (s.batches > 0)
     s.mean_batch_occupancy =
         static_cast<double>(s.requests) / static_cast<double>(s.batches);
-  if (any_samples) {
-    s.p50_ms = merged_percentile(slices, 0.50);
-    s.p95_ms = merged_percentile(slices, 0.95);
-    s.p99_ms = merged_percentile(slices, 0.99);
+  const obs::LocalHistogram merged = merged_histogram(hists);
+  if (merged.count > 0) {
+    s.p50_ms = merged.quantile(0.50);
+    s.p95_ms = merged.quantile(0.95);
+    s.p99_ms = merged.quantile(0.99);
+    s.min_ms = merged.min;  // exact extremes + mean tracked alongside
+    s.max_ms = merged.max;
+    s.mean_ms = merged.mean();
     const double span =
         std::chrono::duration<double>(last_complete - first_enqueue).count();
     if (submitted_total > 0 && span > 0)
       s.qps = static_cast<double>(s.requests) / span;
   }
+  refresh_gauges(s.queue_depth, s.event_queue_depth);
   return s;
+}
+
+void ServingEngine::refresh_gauges(std::int64_t queue_depth,
+                                   std::int64_t event_queue_depth) const {
+  metrics_.queue_depth.set(static_cast<double>(queue_depth));
+  metrics_.event_queue_depth.set(static_cast<double>(event_queue_depth));
+}
+
+void ServingEngine::telemetry_loop() {
+  const auto period = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(config_.telemetry_snapshot_period_ms));
+  std::unique_lock<std::mutex> lock(telemetry_mu_);
+  for (;;) {
+    // One final snapshot on shutdown so short-lived engines still flush.
+    const bool stopping =
+        telemetry_cv_.wait_for(lock, period, [this] { return telemetry_stop_; });
+    lock.unlock();
+    stats();  // refreshes the queue-depth gauges as a side effect
+    if (!config_.telemetry_snapshot_path.empty() &&
+        !obs::write_file(config_.telemetry_snapshot_path, obs::json_snapshot()))
+      metrics_.snapshot_write_failures.add(1);
+    lock.lock();
+    if (stopping) return;
+  }
 }
 
 }  // namespace taser::serve

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/epoch_manager.h"
 #include "serve/errors.h"
 #include "serve/inference_session.h"
@@ -62,14 +64,32 @@ struct EngineConfig {
   /// time — before any forward work — failing its future with
   /// DeadlineExceededError. LinkQuery::deadline_ms overrides per query.
   double default_deadline_ms = 0;
+
+  // ---- telemetry (PR 10) --------------------------------------------------
+
+  /// Period of the background telemetry snapshot thread in ms (0 = off,
+  /// the default — serving never pays for observability it didn't ask
+  /// for). When on, the thread periodically refreshes the registry
+  /// queue-depth gauges and, if `telemetry_snapshot_path` is set, writes
+  /// a JSON metrics snapshot there (overwrite; I/O failures are counted,
+  /// never thrown — telemetry must not take the engine down).
+  double telemetry_snapshot_period_ms = 0;
+  /// Destination for periodic JSON snapshots (empty = gauges only).
+  std::string telemetry_snapshot_path;
 };
 
 /// Aggregate serving statistics (all completed requests so far), merged
 /// over shards in fixed worker order so equal runs report equal stats.
-/// Percentiles come from bounded uniform reservoirs (Algorithm R,
-/// kLatencyReservoir samples per shard) so a long-running engine holds
-/// O(workers) stats state — beyond the reservoir size they are estimates;
-/// `max_ms`, counts and `qps` stay exact.
+/// Percentiles come from per-shard fixed-bucket log-spaced histograms
+/// (obs::LocalHistogram, exact counts — every request lands in a bucket)
+/// merged bucketwise through the one shared code path
+/// (`merged_histogram_percentile`), so a long-running engine holds
+/// O(workers) stats state; resolution is the ~9% bucket geometry with
+/// log interpolation, clamped to the exact tracked min/max. The
+/// count-weighted reservoir merge survives in stats_merge as an
+/// independent cross-check (test_obs compares the two merges within
+/// bucket resolution). `min_ms`/`max_ms`/`mean_ms`, counts and `qps`
+/// are exact.
 struct ServingStats {
   std::uint64_t requests = 0;  ///< completed with a value
   std::uint64_t batches = 0;   ///< micro-batches scored (faulted ones excluded)
@@ -95,6 +115,8 @@ struct ServingStats {
   std::int64_t queue_depth = 0;        ///< queries queued right now (gauge)
   std::int64_t event_queue_depth = 0;  ///< events queued right now (gauge)
   double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;  ///< submit→complete latency
+  double min_ms = 0;   ///< exact fastest completed request (0 when none)
+  double mean_ms = 0;  ///< exact mean over all completed requests
   double qps = 0;                   ///< completed requests / serving wall time
   double mean_batch_occupancy = 0;  ///< requests per forward, all shards
   std::uint64_t workspace_alloc_events = 0;  ///< session builder arena growths
@@ -208,6 +230,12 @@ class ServingEngine {
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  ///< shed-after point
     bool has_deadline = false;
+    // Trace context (0 when tracing is off at submit): the queue-residency
+    // async span begins on the client thread and is emitted by whichever
+    // thread pops the request (worker dequeue / shed / stop-drain).
+    std::uint64_t trace_span = 0;   ///< pre-allocated queue-span id
+    std::uint64_t trace_parent = 0; ///< the submit scope's span id
+    std::int64_t trace_t0_ns = 0;   ///< enqueue time on the trace clock
   };
   struct Event {
     graph::NodeId u, v;
@@ -233,11 +261,16 @@ class ServingEngine {
     std::uint64_t faulted = 0;    ///< failed by a worker-forward fault
     std::uint64_t torn_retries = 0;  ///< torn-view batches re-run
     std::uint64_t batches = 0;
-    /// Bounded uniform latency reservoir (Algorithm R) + exact extremes.
-    std::vector<double> latencies_ms;
-    std::uint64_t latency_count = 0;
-    double latency_max_ms = 0;
-    util::Rng reservoir_rng{0};  ///< reseeded per worker id (deterministic merge)
+    /// Fixed-bucket latency histogram (engine-owned, this-engine-only —
+    /// the registry's histograms are process-cumulative). Source of
+    /// ServingStats percentiles and exact min/max/mean via
+    /// merged_histogram_percentile. Replaces the former per-shard
+    /// Algorithm-R reservoir: same O(1) state, but exact counts (no
+    /// sampling) and no RNG on the completion path.
+    obs::LocalHistogram latency_hist;
+    /// Registry twin (`taser.serve.latency_ms.w<id>`): process-cumulative,
+    /// feeds the exporters.
+    obs::Histogram registry_latency;
     std::chrono::steady_clock::time_point last_complete;
     std::unique_ptr<InferenceSession> session;
     std::thread worker;
@@ -250,10 +283,26 @@ class ServingEngine {
 
   void worker_loop(Shard& shard);
   void ingest_loop();
+  void telemetry_loop();
+  /// Refreshes the registry queue-depth gauges (read-side; called from
+  /// stats() and the snapshot thread — gauges are last-writer-wins).
+  void refresh_gauges(std::int64_t queue_depth,
+                      std::int64_t event_queue_depth) const;
 
   GraphEpochManager& graphs_;
   EngineConfig config_;
-  static constexpr std::size_t kLatencyReservoir = 4096;
+
+  /// Registry handles, resolved once at construction (registration locks;
+  /// updates are one relaxed atomic op on a thread-local shard). Names
+  /// under `taser.serve.*` — see src/obs/README.md for the scheme.
+  struct Metrics {
+    obs::Counter submitted, completed, rejected, expired, faulted, batches,
+        torn_retries, events_ingested, events_rejected, events_faulted,
+        publishes, publish_faults, snapshot_write_failures;
+    obs::Gauge queue_depth, event_queue_depth;
+    obs::Histogram batch_occupancy;
+  };
+  Metrics metrics_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -287,6 +336,13 @@ class ServingEngine {
   std::chrono::steady_clock::time_point first_enqueue_;
 
   std::thread ingest_thread_;
+
+  // Periodic telemetry snapshot thread (only started when
+  // telemetry_snapshot_period_ms > 0; first to stop at shutdown).
+  std::mutex telemetry_mu_;
+  std::condition_variable telemetry_cv_;
+  bool telemetry_stop_ = false;
+  std::thread telemetry_thread_;
 };
 
 }  // namespace taser::serve

@@ -39,4 +39,18 @@ double merged_percentile(const std::vector<ReservoirSlice>& slices, double p) {
   return all.back().ms;  // p == 1 with floating-point shortfall
 }
 
+obs::LocalHistogram merged_histogram(
+    const std::vector<obs::LocalHistogram>& shards) {
+  obs::LocalHistogram merged;
+  for (const obs::LocalHistogram& h : shards) merged.merge(h);
+  return merged;
+}
+
+double merged_histogram_percentile(
+    const std::vector<obs::LocalHistogram>& shards, double p) {
+  TASER_CHECK_MSG(p >= 0.0 && p <= 1.0,
+                  "merged_histogram_percentile: p=" << p << " outside [0, 1]");
+  return merged_histogram(shards).quantile(p);
+}
+
 }  // namespace taser::serve

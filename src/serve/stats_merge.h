@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace taser::serve {
 
 /// One worker shard's latency reservoir as the stats merge sees it:
@@ -29,5 +31,22 @@ struct ReservoirSlice {
 /// the plain merge; `p` must lie in [0, 1]. Empty slices are skipped;
 /// returns 0 when no slice has samples.
 double merged_percentile(const std::vector<ReservoirSlice>& slices, double p);
+
+/// Bucketwise merge of per-shard latency histograms. Unlike the
+/// reservoirs, histogram counts are exact (every request lands in a
+/// bucket — no sampling), so the merge needs no weighting: add the
+/// buckets, take min/max/sum across shards.
+obs::LocalHistogram merged_histogram(const std::vector<obs::LocalHistogram>& shards);
+
+/// Percentile over the bucketwise-merged histograms — the single
+/// percentile code path shared by ServingStats and the telemetry
+/// exporters (PR 10). Resolution is the bucket geometry of
+/// obs::HistogramBuckets (~9% edges, log-interpolated, clamped to the
+/// exact tracked min/max); the weighted-reservoir merged_percentile above
+/// is kept as the independent cross-check (test_obs compares the two
+/// within bucket resolution). Returns 0 when all shards are empty; `p`
+/// must lie in [0, 1].
+double merged_histogram_percentile(const std::vector<obs::LocalHistogram>& shards,
+                                   double p);
 
 }  // namespace taser::serve

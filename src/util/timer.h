@@ -1,8 +1,11 @@
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <map>
 #include <string>
+
+#include "obs/trace.h"
 
 namespace taser::util {
 
@@ -21,42 +24,97 @@ class WallTimer {
   clock::time_point start_;
 };
 
-/// Accumulates named phase durations (e.g. NF / AS / FS / PP breakdowns).
-/// Not thread-safe; each worker keeps its own and merges.
+/// The runtime-breakdown phases (paper Table III / Fig. 1): wall-time
+/// entries plus their ".sim" twins (simulated device time accrued in the
+/// same phase). A small closed enum, interned at compile time, so the
+/// hot-path accumulator is a flat array add — the former
+/// map<std::string, double> heap-allocated a node (and rebalanced) per
+/// *new* key and hashed/compared strings per add, inside the build loop.
+enum class Phase : std::uint8_t {
+  kNF = 0,   // neighbor finding (wall)
+  kNFSim,    // finder kernels / index H2D
+  kAS,       // adaptive sampling (wall)
+  kASSim,    // modeled sampler device compute
+  kFS,       // feature slicing (wall)
+  kFSSim,    // transfers / gathers
+  kPP,       // propagation (wall)
+  kPPSim,    // modeled backbone device compute
+  kCount
+};
+
+inline constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+/// Canonical display name (the former string keys, unchanged).
+inline const char* phase_name(Phase p) {
+  static constexpr const char* kNames[kPhaseCount] = {
+      "NF", "NF.sim", "AS", "AS.sim", "FS", "FS.sim", "PP", "PP.sim"};
+  return kNames[static_cast<std::size_t>(p)];
+}
+
+/// Interned trace-span name for a phase ("phase.NF", …). Lazily interned
+/// once per process; ScopedPhase emits spans under these so the runtime
+/// breakdown is visible in Chrome traces too.
+inline obs::SpanName phase_span_name(Phase p) {
+  static const std::array<obs::SpanName, kPhaseCount> names = [] {
+    std::array<obs::SpanName, kPhaseCount> a{};
+    for (std::size_t i = 0; i < kPhaseCount; ++i)
+      a[i] = obs::intern_span_name(std::string("phase.") +
+                                   phase_name(static_cast<Phase>(i)));
+    return a;
+  }();
+  return names[static_cast<std::size_t>(p)];
+}
+
+/// Accumulates per-phase durations (NF / AS / FS / PP breakdowns) in a
+/// fixed array — add() is branch-free index arithmetic, no allocation,
+/// no string compare. Not thread-safe; each worker keeps its own and
+/// merges. The string-keyed totals() view survives for reporting (it
+/// builds a map on demand — never call it on a hot path).
 class PhaseAccumulator {
  public:
-  void add(const std::string& phase, double seconds) { totals_[phase] += seconds; }
-  double total(const std::string& phase) const {
-    auto it = totals_.find(phase);
-    return it == totals_.end() ? 0.0 : it->second;
+  void add(Phase phase, double seconds) {
+    totals_[static_cast<std::size_t>(phase)] += seconds;
+  }
+  double total(Phase phase) const {
+    return totals_[static_cast<std::size_t>(phase)];
   }
   double grand_total() const {
     double t = 0;
-    for (const auto& [_, v] : totals_) t += v;
+    for (double v : totals_) t += v;
     return t;
   }
   void merge(const PhaseAccumulator& other) {
-    for (const auto& [k, v] : other.totals_) totals_[k] += v;
+    for (std::size_t i = 0; i < kPhaseCount; ++i) totals_[i] += other.totals_[i];
   }
-  void clear() { totals_.clear(); }
-  const std::map<std::string, double>& totals() const { return totals_; }
+  void clear() { totals_.fill(0.0); }
+  /// Reporting view, keyed by the canonical phase names. Allocates;
+  /// zero-valued phases are omitted (matching the old map's behavior of
+  /// only holding keys that were added to).
+  std::map<std::string, double> totals() const {
+    std::map<std::string, double> out;
+    for (std::size_t i = 0; i < kPhaseCount; ++i)
+      if (totals_[i] != 0.0) out[phase_name(static_cast<Phase>(i))] = totals_[i];
+    return out;
+  }
 
  private:
-  std::map<std::string, double> totals_;
+  std::array<double, kPhaseCount> totals_{};
 };
 
-/// RAII helper: times a scope and adds it to an accumulator under `phase`.
+/// RAII helper: times a scope and adds it to an accumulator under
+/// `phase`, and emits a matching trace span when tracing is enabled.
 class ScopedPhase {
  public:
-  ScopedPhase(PhaseAccumulator& acc, std::string phase)
-      : acc_(acc), phase_(std::move(phase)) {}
+  ScopedPhase(PhaseAccumulator& acc, Phase phase)
+      : acc_(acc), phase_(phase), span_(phase_span_name(phase)) {}
   ~ScopedPhase() { acc_.add(phase_, timer_.seconds()); }
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
  private:
   PhaseAccumulator& acc_;
-  std::string phase_;
+  Phase phase_;
+  obs::TraceSpan span_;
   WallTimer timer_;
 };
 

@@ -15,8 +15,10 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <new>
 #include <thread>
 
 #include "cache/feature_source.h"
@@ -1015,6 +1017,61 @@ TEST(StaleTheta, FirstBatchMatchesSync) {
     EXPECT_EQ(ss.mean_loss, st.mean_loss) << "epoch " << e;
     EXPECT_EQ(st.stale_builds, 0);
   }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PhaseAccumulator / ScopedPhase hot-path allocation audit (PR 10). The
+// accumulator moved from map<string,double> (node allocation + string
+// hashing per add) to a flat Phase-indexed array; this pins that down
+// with a real operator-new count. Counting is armed per-thread so
+// concurrent gtest machinery can't contaminate the window.
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local bool g_count_allocs = false;
+thread_local std::uint64_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_count_allocs) ++g_alloc_count;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+TEST(PhaseAccumulator, ScopedPhaseHotPathAllocatesNothing) {
+  util::PhaseAccumulator acc;
+  // Warm the lazy span-name interning (allocates once per process) and
+  // any timer statics before arming the counter.
+  { util::ScopedPhase warm(acc, util::Phase::kNF); }
+  { util::ScopedPhase warm(acc, util::Phase::kPPSim); }
+
+  g_alloc_count = 0;
+  g_count_allocs = true;
+  for (int i = 0; i < 1000; ++i) {
+    util::ScopedPhase nf(acc, util::Phase::kNF);
+    util::ScopedPhase as(acc, util::Phase::kAS);
+    acc.add(util::Phase::kFSSim, 1e-6);
+    acc.add(util::Phase::kPP, 1e-6);
+  }
+  util::PhaseAccumulator other;
+  other.add(util::Phase::kFS, 0.5);
+  acc.merge(other);
+  acc.clear();
+  g_count_allocs = false;
+
+  EXPECT_EQ(g_alloc_count, 0u)
+      << "ScopedPhase/PhaseAccumulator allocated on the hot path";
+  // The reporting view still works (and may allocate — off the hot path).
+  acc.add(util::Phase::kNF, 1.0);
+  const auto view = acc.totals();
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_DOUBLE_EQ(view.at("NF"), 1.0);
 }
 
 }  // namespace
